@@ -1,0 +1,87 @@
+"""Fig. 6(a): compression/accuracy tradeoff of float representation schemes.
+
+The paper plots, per scheme, the average compression ratio against the
+average accuracy drop across the three real-world models (LeNet, AlexNet,
+VGG).  Expected shape: lossless float32 barely compresses; float16 /
+bfloat16 roughly double the ratio at negligible accuracy cost; fixed
+point and quantization reach ~4-20x with accuracy dropping only for the
+most aggressive (few-bit) schemes.
+"""
+
+import pytest
+
+from repro.core.float_schemes import get_scheme
+from repro.dnn.training import accuracy
+
+SCHEMES = [
+    "float32",
+    "float16",
+    "bfloat16",
+    "fixed16",
+    "fixed8",
+    "quant8-uniform",
+    "quant8-random",
+    "quant4-uniform",
+    "quant4-random",
+]
+
+
+def measure(zoo, scheme_name):
+    """Average compression ratio and accuracy drop over the model zoo."""
+    scheme = get_scheme(scheme_name)
+    ratios, drops = [], []
+    for net, result, dataset in zoo.values():
+        original_weights = net.get_weights()
+        raw_bytes = 0
+        stored_bytes = 0
+        lossy_weights = {}
+        for layer, params in original_weights.items():
+            lossy_weights[layer] = {}
+            for key, matrix in params.items():
+                encoded = scheme.encode(matrix)
+                raw_bytes += matrix.nbytes
+                stored_bytes += encoded.compressed_size()
+                lossy_weights[layer][key] = scheme.decode(encoded)
+        baseline = accuracy(net, dataset.x_test, dataset.y_test)
+        net.set_weights(lossy_weights)
+        lossy_acc = accuracy(net, dataset.x_test, dataset.y_test)
+        net.set_weights(original_weights)
+        ratios.append(raw_bytes / max(stored_bytes, 1))
+        drops.append(baseline - lossy_acc)
+    return sum(ratios) / len(ratios), sum(drops) / len(drops)
+
+
+def test_fig6a_table(trained_zoo, reporter):
+    reporter.line("Fig 6(a): float scheme compression ratio vs accuracy drop")
+    reporter.line(f"{'scheme':>16} | {'avg ratio':>9} | {'avg acc drop':>12}")
+    reporter.line("-" * 45)
+    rows = {}
+    for name in SCHEMES:
+        ratio, drop = measure(trained_zoo, name)
+        rows[name] = (ratio, drop)
+        reporter.line(f"{name:>16} | {ratio:9.2f} | {drop:12.4f}")
+    # Shape assertions from the paper's figure.
+    assert rows["float32"][1] == 0.0  # lossless
+    assert rows["fixed8"][0] > rows["float16"][0] > rows["float32"][0]
+    assert rows["quant4-uniform"][0] > rows["quant8-uniform"][0]
+    # High-ratio schemes may pay accuracy; mild schemes must not.
+    assert abs(rows["float16"][1]) < 0.02
+    assert abs(rows["bfloat16"][1]) < 0.05
+
+
+@pytest.mark.parametrize("scheme_name", ["float32", "fixed8", "quant8-uniform"])
+def test_bench_encode_throughput(benchmark, trained_zoo, scheme_name):
+    """Encode+compress throughput of one LeNet snapshot per scheme."""
+    net, _, _ = trained_zoo["lenet"]
+    matrices = [
+        matrix
+        for params in net.get_weights().values()
+        for matrix in params.values()
+    ]
+    scheme = get_scheme(scheme_name)
+
+    def encode_all():
+        return sum(scheme.encode(m).compressed_size() for m in matrices)
+
+    stored = benchmark(encode_all)
+    assert stored > 0

@@ -1,0 +1,100 @@
+"""Fig. 6(c): comparing PAS archival storage algorithms on SD/RD.
+
+The paper sweeps the recreation budget ``Cr(T, s_i) <= alpha * Cr(SPT, s_i)``
+and plots each algorithm's total storage cost (left axis) and recreation
+cost (right axis), with the MST and SPT as the two extremes.  Expected
+shape: PAS-MT and PAS-PT exploit the budget and approach the MST storage
+bound far earlier in the alpha sweep than LAST (which cannot see group
+constraints); PT tends to win at tight alpha, MT at loose alpha.
+"""
+
+import pytest
+
+from repro.core.archival import (
+    alpha_constraints,
+    last_tree,
+    minimum_spanning_tree,
+    pas_mt,
+    pas_pt,
+    shortest_path_tree,
+)
+from repro.core.storage_graph import RetrievalScheme
+from repro.lifecycle.synthetic_graph import synthetic_storage_graph
+
+ALPHAS = [1.1, 1.3, 1.6, 2.0, 3.0, 4.0]
+
+
+@pytest.fixture(scope="module")
+def graphs(sd_repo):
+    """The trained SD graph plus a larger synthetic RD graph."""
+    sd_graph, _ = sd_repo.build_storage_graph()
+    rd_graph = synthetic_storage_graph(
+        num_versions=8, snapshots_per_version=6, matrices_per_snapshot=8,
+        delta_ratio=0.35, seed=23,
+    )
+    return {"SD": sd_graph, "RD": rd_graph}
+
+
+def mean_recreation(plan):
+    costs = plan.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+    return sum(costs.values()) / len(costs)
+
+
+def run_sweep(graph, reporter, label):
+    mst = minimum_spanning_tree(graph)
+    spt = shortest_path_tree(graph)
+    reporter.line(
+        f"[{label}] MST Cs={mst.storage_cost():.3e}  "
+        f"SPT Cs={spt.storage_cost():.3e}"
+    )
+    reporter.line(
+        f"{'alpha':>5} | {'algo':>6} | {'Cs':>10} | {'mean Cr':>10} | ok"
+    )
+    reporter.line("-" * 50)
+    table = {}
+    for alpha in ALPHAS:
+        constraints = alpha_constraints(graph, alpha)
+        plans = {
+            "LAST": last_tree(graph, eps=max(alpha - 1.0, 1e-6)),
+            "PAS-MT": pas_mt(graph, constraints),
+            "PAS-PT": pas_pt(graph, constraints),
+        }
+        for name, plan in plans.items():
+            ok = plan.satisfies(constraints, RetrievalScheme.INDEPENDENT)
+            reporter.line(
+                f"{alpha:5.1f} | {name:>6} | {plan.storage_cost():10.3e} | "
+                f"{mean_recreation(plan):10.3e} | {ok}"
+            )
+            table[(alpha, name)] = (plan.storage_cost(), ok)
+    return mst.storage_cost(), spt.storage_cost(), table
+
+
+def test_fig6c_sweep(graphs, reporter):
+    reporter.line("Fig 6(c): archival algorithms vs recreation budget alpha")
+    for label, graph in graphs.items():
+        mst_cost, spt_cost, table = run_sweep(graph, reporter, label)
+        # PAS algorithms always satisfy their constraints.
+        for (alpha, name), (cost, ok) in table.items():
+            if name in ("PAS-MT", "PAS-PT"):
+                assert ok, f"{label} {name} at alpha={alpha} broke constraints"
+                assert cost <= spt_cost * 1.05
+        # At a loose budget, the best PAS plan (the paper runs both
+        # algorithms and picks the winner) sits near the MST bound.
+        loose = ALPHAS[-1]
+        best_pas_loose = min(
+            table[(loose, "PAS-MT")][0], table[(loose, "PAS-PT")][0]
+        )
+        assert best_pas_loose <= 1.25 * mst_cost
+        best_pas_tight = min(
+            table[(ALPHAS[0], "PAS-MT")][0], table[(ALPHAS[0], "PAS-PT")][0]
+        )
+        assert best_pas_tight <= table[(ALPHAS[0], "LAST")][0] * 1.10
+        reporter.line("")
+
+
+@pytest.mark.parametrize("algorithm", [pas_mt, pas_pt])
+def test_bench_solver(benchmark, graphs, algorithm):
+    graph = graphs["RD"]
+    constraints = alpha_constraints(graph, 1.6)
+    plan = benchmark(algorithm, graph, constraints)
+    assert plan.is_complete()

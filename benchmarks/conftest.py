@@ -1,0 +1,133 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's Sec. V.
+Each prints its rows/series live (bypassing pytest's capture) and also
+writes them under ``benchmarks/results/`` so runs leave an artifact
+that EXPERIMENTS.md can reference.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.dnn.data import synthetic_digits, synthetic_faces
+from repro.dnn.training import SGDConfig, Trainer, accuracy
+from repro.dnn.zoo import alexnet_mini, lenet, vgg_mini
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class Reporter:
+    """Prints benchmark tables live and persists them to a results file."""
+
+    def __init__(self, name: str, capsys) -> None:
+        self.name = name
+        self.capsys = capsys
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+        with self.capsys.disabled():
+            print(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.name}.txt").write_text(
+            "\n".join(self.lines) + "\n"
+        )
+
+
+@pytest.fixture
+def reporter(request, capsys):
+    name = f"{request.node.module.__name__}__{request.node.name}"
+    rep = Reporter(name, capsys)
+    yield rep
+    rep.flush()
+
+
+def _train(net, dataset, epochs, base_lr=0.05, snapshot_every=0, seed=0):
+    config = SGDConfig(
+        epochs=epochs, base_lr=base_lr, batch_size=32,
+        snapshot_every=snapshot_every, seed=seed,
+    )
+    result = Trainer(net, config).fit(
+        dataset.x_train, dataset.y_train, dataset.x_test, dataset.y_test
+    )
+    return net, result
+
+
+@pytest.fixture(scope="session")
+def digits12():
+    return synthetic_digits(train_per_class=40, test_per_class=15)
+
+
+@pytest.fixture(scope="session")
+def digits32():
+    return synthetic_digits(size=32, train_per_class=25, test_per_class=10)
+
+
+@pytest.fixture(scope="session")
+def faces16():
+    return synthetic_faces(
+        size=16, num_classes=8, train_per_class=15, test_per_class=5
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_zoo(digits12, digits32):
+    """The three real-world models of Sec. V-A, trained to useful accuracy.
+
+    LeNet runs on 12x12 digits; AlexNet-mini and VGG-mini run on the sizes
+    their architectures need.  (Scaled-down substitutes for the paper's
+    reference/Model Zoo checkpoints — see DESIGN.md.)
+    """
+    from repro.dnn.data import synthetic_digits
+
+    digits16 = synthetic_digits(size=16, train_per_class=30, test_per_class=10)
+    digits28 = synthetic_digits(size=28, train_per_class=30, test_per_class=10)
+    zoo = {}
+    net = lenet(
+        input_shape=digits12.input_shape, num_classes=10, name="lenet"
+    ).build(0)
+    zoo["lenet"] = (*_train(net, digits12, epochs=3), digits12)
+
+    # The classic 431K-parameter LeNet of Fig. 2, at full paper scale.
+    net = lenet(
+        input_shape=digits28.input_shape, num_classes=10, name="lenet-28"
+    ).build(0)
+    zoo["lenet-28"] = (*_train(net, digits28, epochs=3, base_lr=0.03), digits28)
+
+    net = alexnet_mini(
+        input_shape=digits16.input_shape, num_classes=10, name="alexnet-mini"
+    ).build(0)
+    zoo["alexnet-mini"] = (*_train(net, digits16, epochs=2, base_lr=0.03), digits16)
+
+    net = vgg_mini(
+        input_shape=digits32.input_shape, num_classes=10,
+        scale=0.5, name="vgg-mini",
+    ).build(0)
+    zoo["vgg-mini"] = (*_train(net, digits32, epochs=2, base_lr=0.03), digits32)
+    return zoo
+
+
+@pytest.fixture(scope="session")
+def sd_repo(tmp_path_factory, faces16):
+    """The SD repository (Sec. V-A) at benchmark scale."""
+    from repro.lifecycle.auto_modeler import ModelerConfig, generate_sd
+
+    config = ModelerConfig(
+        num_versions=6,
+        snapshots_per_version=4,
+        base_epochs=2,
+        finetune_epochs=1,
+        model_scale=0.5,
+        seed=17,
+    )
+    path = tmp_path_factory.mktemp("sd-bench") / "repo"
+    return generate_sd(path, config, faces16)
+
+
+def percent(value: float, total: float) -> str:
+    return f"{100.0 * value / total:6.2f}%"

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+(PEP 660) cannot build an editable wheel.  ``python setup.py develop``
+installs the same editable package without needing wheel; all project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

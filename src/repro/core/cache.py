@@ -1,0 +1,129 @@
+"""LRU retrieval cache over a plan archive.
+
+PAS is *read-optimized*: the same snapshots — above all the latest
+snapshot of each version (Sec. IV-A's unbalanced access frequencies) —
+are retrieved over and over by testing, comparison, and exploration
+queries.  :class:`RetrievalCache` keeps recently recreated matrices in
+memory under a byte budget so repeated group-retrieval queries skip the
+decompress-and-apply-deltas work entirely.
+
+Cached arrays are returned read-only; callers that need to mutate must
+copy (this catches aliasing bugs instead of silently corrupting the
+cache).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.core.retrieval import PlanArchive, RecreationResult
+from repro.core.segmentation import NUM_PLANES
+from repro.core.storage_graph import RetrievalScheme
+
+
+class RetrievalCache:
+    """An LRU cache in front of a :class:`PlanArchive`.
+
+    Args:
+        archive: The archive to serve misses from.
+        max_bytes: Cache capacity; entries are evicted least-recently-used
+            once the total cached array bytes exceed it.
+    """
+
+    def __init__(self, archive: PlanArchive, max_bytes: int = 64 << 20) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.archive = archive
+        self.max_bytes = max_bytes
+        self._entries: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def cached_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+            "cached_bytes": self._bytes,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def invalidate(self, matrix_id: str) -> int:
+        """Drop all cached variants of one matrix (e.g. after re-archival)."""
+        removed = 0
+        for key in [k for k in self._entries if k[0] == matrix_id]:
+            self._bytes -= self._entries.pop(key).nbytes
+            removed += 1
+        return removed
+
+    def _admit(self, key: tuple[str, int], value: np.ndarray) -> None:
+        if value.nbytes > self.max_bytes:
+            return  # larger than the whole cache: serve without caching
+        self._entries[key] = value
+        self._bytes += value.nbytes
+        while self._bytes > self.max_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes
+            self.evictions += 1
+
+    # -- retrieval -------------------------------------------------------------
+
+    def recreate_matrix(
+        self, matrix_id: str, planes: int = NUM_PLANES
+    ) -> np.ndarray:
+        """Cached equivalent of :meth:`PlanArchive.recreate_matrix`."""
+        key = (matrix_id, planes)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        value = self.archive.recreate_matrix(matrix_id, planes)
+        value.setflags(write=False)
+        self._admit(key, value)
+        return value
+
+    def recreate_snapshot(
+        self,
+        snapshot_id: str,
+        scheme: RetrievalScheme = RetrievalScheme.INDEPENDENT,
+        planes: int = NUM_PLANES,
+    ) -> RecreationResult:
+        """Cached group retrieval: misses fall through per matrix.
+
+        The scheme argument is accepted for interface parity; cached
+        retrieval is sequential (each miss resolves independently).
+        """
+        import time
+
+        del scheme
+        members = self.archive._snapshots.get(snapshot_id)
+        if members is None:
+            raise KeyError(f"unknown snapshot {snapshot_id!r}")
+        start = time.perf_counter()
+        matrices = {
+            matrix_id: self.recreate_matrix(matrix_id, planes)
+            for matrix_id in members
+        }
+        elapsed = time.perf_counter() - start
+        return RecreationResult(matrices, elapsed, 0, planes)

@@ -1,0 +1,174 @@
+"""Content-addressed compressed chunk store.
+
+Every artifact PAS persists — encoded matrices, byte planes, deltas — is a
+blob.  Blobs are stored zlib-compressed under their SHA-256, which gives
+deduplication for free (identical matrices across versions share storage,
+a common outcome of fine-tuning with frozen layers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class ChunkStore:
+    """Filesystem-backed content-addressed store.
+
+    Blobs live at ``<root>/<sha[:2]>/<sha>`` compressed with zlib.  The
+    address is the SHA-256 of the *uncompressed* content, so integrity is
+    verifiable on read.
+    """
+
+    def __init__(self, root: str | Path, level: int = 6) -> None:
+        self.root = Path(root)
+        self.level = level
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, sha: str) -> Path:
+        return self.root / sha[:2] / sha
+
+    def put(self, data: bytes) -> str:
+        """Store a blob; returns its content address (idempotent)."""
+        sha = _digest(data)
+        path = self._path(sha)
+        if not path.exists():
+            path.parent.mkdir(exist_ok=True)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_bytes(zlib.compress(data, self.level))
+            os.replace(tmp, path)
+        return sha
+
+    def get(self, sha: str) -> bytes:
+        """Retrieve and verify a blob.
+
+        Raises:
+            KeyError: when the address is unknown.
+            ValueError: when the stored content fails integrity checking.
+        """
+        path = self._path(sha)
+        if not path.exists():
+            raise KeyError(f"no chunk {sha}")
+        data = zlib.decompress(path.read_bytes())
+        if _digest(data) != sha:
+            raise ValueError(f"chunk {sha} is corrupt")
+        return data
+
+    def __contains__(self, sha: str) -> bool:
+        return self._path(sha).exists()
+
+    def delete(self, sha: str) -> bool:
+        """Remove a blob; returns whether it existed."""
+        path = self._path(sha)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def stored_size(self, sha: str) -> int:
+        """On-disk (compressed) size of one blob."""
+        path = self._path(sha)
+        if not path.exists():
+            raise KeyError(f"no chunk {sha}")
+        return path.stat().st_size
+
+    def total_size(self) -> int:
+        """Total on-disk bytes across all blobs."""
+        return sum(p.stat().st_size for p in self.root.glob("*/*") if p.is_file())
+
+    def addresses(self) -> Iterator[str]:
+        """Iterate over every stored content address."""
+        for path in sorted(self.root.glob("*/*")):
+            if path.is_file():
+                yield path.name
+
+
+class LatencyStore:
+    """Wraps a chunk store with simulated per-operation latency.
+
+    Stands in for the paper's *remote storage* tier: PAS can offload the
+    low-order byte planes to slower, cheaper storage (Sec. IV-B), and the
+    archival optimizer can model such edges with higher recreation cost.
+    The latency is charged once per ``get``/``put`` — a fixed round trip.
+    """
+
+    def __init__(self, inner, get_latency: float = 0.0, put_latency: float = 0.0) -> None:
+        self.inner = inner
+        self.get_latency = get_latency
+        self.put_latency = put_latency
+        self.get_count = 0
+        self.put_count = 0
+
+    def _wait(self, seconds: float) -> None:
+        if seconds > 0:
+            import time
+
+            time.sleep(seconds)
+
+    def put(self, data: bytes) -> str:
+        self.put_count += 1
+        self._wait(self.put_latency)
+        return self.inner.put(data)
+
+    def get(self, sha: str) -> bytes:
+        self.get_count += 1
+        self._wait(self.get_latency)
+        return self.inner.get(sha)
+
+    def __contains__(self, sha: str) -> bool:
+        return sha in self.inner
+
+    def delete(self, sha: str) -> bool:
+        return self.inner.delete(sha)
+
+    def stored_size(self, sha: str) -> int:
+        return self.inner.stored_size(sha)
+
+    def total_size(self) -> int:
+        return self.inner.total_size()
+
+    def addresses(self) -> Iterator[str]:
+        return self.inner.addresses()
+
+
+class MemoryChunkStore:
+    """In-memory store with the same interface, for tests and benchmarks."""
+
+    def __init__(self, level: int = 6) -> None:
+        self.level = level
+        self._blobs: dict[str, bytes] = {}
+
+    def put(self, data: bytes) -> str:
+        sha = _digest(data)
+        if sha not in self._blobs:
+            self._blobs[sha] = zlib.compress(data, self.level)
+        return sha
+
+    def get(self, sha: str) -> bytes:
+        if sha not in self._blobs:
+            raise KeyError(f"no chunk {sha}")
+        return zlib.decompress(self._blobs[sha])
+
+    def __contains__(self, sha: str) -> bool:
+        return sha in self._blobs
+
+    def delete(self, sha: str) -> bool:
+        return self._blobs.pop(sha, None) is not None
+
+    def stored_size(self, sha: str) -> int:
+        if sha not in self._blobs:
+            raise KeyError(f"no chunk {sha}")
+        return len(self._blobs[sha])
+
+    def total_size(self) -> int:
+        return sum(len(b) for b in self._blobs.values())
+
+    def addresses(self) -> Iterator[str]:
+        return iter(sorted(self._blobs))

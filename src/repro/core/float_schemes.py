@@ -1,0 +1,289 @@
+"""Float representation schemes for archived parameter matrices.
+
+PAS offers a handful of float representations so the user can trade storage
+efficiency for lossyness per snapshot (Sec. IV-B of the paper):
+
+* ``float32`` — the IEEE 754 single precision the models are trained with
+  (lossless).
+* ``float16`` — IEEE half precision.
+* ``bfloat16`` — TensorFlow-style truncated 16 bits (the high half of the
+  float32 pattern).
+* ``fixed-k`` — fixed point with one global exponent per matrix and ``k``
+  bits of sign + mantissa; lossy, but drops the entropy considerably.
+* ``quant-k`` — ``k <= 8``-bit quantization (``2^k`` codes) with a coding
+  table, either ``uniform`` (bin centers of a uniform grid over the value
+  range) or ``random`` (codebook sampled from the matrix values); most
+  useful for snapshots kept only for fine-tuning initialization.
+
+Every scheme is a codec: ``encode`` produces an :class:`EncodedMatrix`
+(payload bytes + metadata) and ``decode`` reconstructs a float32 matrix
+(exactly for lossless schemes, approximately otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EncodedMatrix:
+    """An encoded parameter matrix.
+
+    Attributes:
+        scheme: Name of the scheme that produced the payload.
+        shape: Original matrix shape.
+        payload: Raw encoded bytes (not yet zlib-compressed).
+        meta: Scheme-specific metadata needed for decoding.
+    """
+
+    scheme: str
+    shape: tuple
+    payload: bytes
+    meta: dict
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
+
+    def compressed_size(self, level: int = 6) -> int:
+        """Size after zlib compression (the paper's storage cost metric)."""
+        return len(zlib.compress(self.payload, level))
+
+    def to_bytes(self) -> bytes:
+        """Self-describing serialization: header JSON + payload."""
+        header = json.dumps(
+            {"scheme": self.scheme, "shape": list(self.shape), "meta": self.meta}
+        ).encode()
+        return len(header).to_bytes(4, "big") + header + self.payload
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "EncodedMatrix":
+        hlen = int.from_bytes(blob[:4], "big")
+        header = json.loads(blob[4 : 4 + hlen])
+        return cls(
+            scheme=header["scheme"],
+            shape=tuple(header["shape"]),
+            payload=blob[4 + hlen :],
+            meta=header["meta"],
+        )
+
+
+class FloatScheme:
+    """Base codec interface."""
+
+    name: str = "base"
+    lossless: bool = False
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        raise NotImplementedError
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        raise NotImplementedError
+
+    def roundtrip(self, matrix: np.ndarray) -> np.ndarray:
+        """Encode then decode — the matrix a user gets back from PAS."""
+        return self.decode(self.encode(matrix))
+
+    def _check(self, encoded: EncodedMatrix) -> None:
+        if encoded.scheme != self.name:
+            raise ValueError(
+                f"scheme mismatch: payload is {encoded.scheme!r}, "
+                f"decoder is {self.name!r}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class Float32Scheme(FloatScheme):
+    """Lossless IEEE 754 single precision."""
+
+    name = "float32"
+    lossless = True
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        arr = np.ascontiguousarray(matrix, dtype="<f4")
+        return EncodedMatrix(self.name, arr.shape, arr.tobytes(), {})
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        self._check(encoded)
+        return np.frombuffer(encoded.payload, dtype="<f4").reshape(encoded.shape).copy()
+
+
+class Float16Scheme(FloatScheme):
+    """IEEE 754 half precision (the 16-bit proposal mentioned in Sec. IV-B)."""
+
+    name = "float16"
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        arr = np.ascontiguousarray(matrix, dtype="<f2")
+        return EncodedMatrix(self.name, arr.shape, arr.tobytes(), {})
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        self._check(encoded)
+        half = np.frombuffer(encoded.payload, dtype="<f2").reshape(encoded.shape)
+        return half.astype(np.float32)
+
+
+class BFloat16Scheme(FloatScheme):
+    """TensorFlow-style truncated 16 bits: the high half of the float32 bits."""
+
+    name = "bfloat16"
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        arr = np.ascontiguousarray(matrix, dtype="<f4")
+        bits = arr.view("<u4")
+        high = (bits >> 16).astype("<u2")
+        return EncodedMatrix(self.name, arr.shape, high.tobytes(), {})
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        self._check(encoded)
+        high = np.frombuffer(encoded.payload, dtype="<u2").reshape(encoded.shape)
+        bits = high.astype("<u4") << 16
+        return bits.view("<f4").copy()
+
+
+class FixedPointScheme(FloatScheme):
+    """Fixed point: one global exponent per matrix, ``k``-bit signed mantissas.
+
+    The matrix is scaled by its max magnitude and each value rounded to a
+    ``k``-bit signed integer, so at most ``2^k`` distinct values can be
+    expressed and tail positions are dropped — lossy, but the entropy of
+    the payload drops considerably, aiding compression (Sec. IV-B).
+    """
+
+    def __init__(self, bits: int = 8) -> None:
+        if bits not in (8, 16):
+            raise ValueError(f"fixed point supports 8 or 16 bits, got {bits}")
+        self.bits = bits
+        self.name = f"fixed{bits}"
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        arr = np.ascontiguousarray(matrix, dtype=np.float32)
+        if arr.size and not np.isfinite(arr).all():
+            raise ValueError(
+                "fixed point encoding requires finite values (found NaN/Inf)"
+            )
+        max_abs = float(np.max(np.abs(arr))) if arr.size else 0.0
+        if max_abs == 0.0:
+            exponent = 0
+        else:
+            exponent = int(math.ceil(math.log2(max_abs))) if max_abs > 0 else 0
+        scale = float(2.0**exponent)
+        qmax = 2 ** (self.bits - 1) - 1
+        dtype = "<i1" if self.bits == 8 else "<i2"
+        if scale == 0.0:
+            codes = np.zeros(arr.shape, dtype=dtype)
+        else:
+            codes = np.clip(
+                np.round(arr / scale * qmax), -qmax - 1, qmax
+            ).astype(dtype)
+        return EncodedMatrix(
+            self.name, arr.shape, codes.tobytes(),
+            {"exponent": exponent, "bits": self.bits},
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        self._check(encoded)
+        bits = encoded.meta["bits"]
+        dtype = "<i1" if bits == 8 else "<i2"
+        qmax = 2 ** (bits - 1) - 1
+        codes = np.frombuffer(encoded.payload, dtype=dtype).reshape(encoded.shape)
+        scale = float(2.0 ** encoded.meta["exponent"])
+        return (codes.astype(np.float32) / qmax * scale).astype(np.float32)
+
+
+class QuantizationScheme(FloatScheme):
+    """``k``-bit codebook quantization (``k <= 8``), uniform or random.
+
+    * ``uniform``: the codebook holds the centers of ``2^k`` equal-width
+      bins spanning the matrix's value range.
+    * ``random``: the codebook is a random sample of the matrix's own
+      values; each weight maps to the nearest code.  This mirrors the
+      paper's "random manner" quantization.
+    """
+
+    def __init__(self, bits: int = 8, method: str = "uniform", seed: int = 0) -> None:
+        if not 1 <= bits <= 8:
+            raise ValueError(f"quantization supports 1..8 bits, got {bits}")
+        if method not in ("uniform", "random"):
+            raise ValueError(f"method must be 'uniform' or 'random', got {method!r}")
+        self.bits = bits
+        self.method = method
+        self.seed = seed
+        self.name = f"quant{bits}-{method}"
+
+    def _codebook(self, flat: np.ndarray) -> np.ndarray:
+        levels = 2**self.bits
+        lo, hi = float(flat.min()), float(flat.max())
+        if self.method == "uniform" or lo == hi:
+            edges = np.linspace(lo, hi, levels + 1)
+            return ((edges[:-1] + edges[1:]) / 2.0).astype(np.float32)
+        rng = np.random.default_rng(self.seed)
+        sample = rng.choice(flat, size=min(levels * 64, flat.size), replace=False)
+        quantiles = np.linspace(0.0, 1.0, levels)
+        return np.quantile(sample, quantiles).astype(np.float32)
+
+    def encode(self, matrix: np.ndarray) -> EncodedMatrix:
+        arr = np.ascontiguousarray(matrix, dtype=np.float32)
+        if arr.size and not np.isfinite(arr).all():
+            raise ValueError(
+                "quantization requires finite values (found NaN/Inf)"
+            )
+        flat = arr.reshape(-1)
+        if flat.size == 0:
+            return EncodedMatrix(
+                self.name, arr.shape, b"", {"codebook": [], "bits": self.bits}
+            )
+        codebook = np.unique(self._codebook(flat))
+        # Nearest-code assignment via the midpoints between adjacent codes.
+        midpoints = (codebook[:-1] + codebook[1:]) / 2.0
+        codes = np.searchsorted(midpoints, flat).astype(np.uint8)
+        return EncodedMatrix(
+            self.name, arr.shape, codes.tobytes(),
+            {"codebook": codebook.tolist(), "bits": self.bits},
+        )
+
+    def decode(self, encoded: EncodedMatrix) -> np.ndarray:
+        self._check(encoded)
+        codebook = np.asarray(encoded.meta["codebook"], dtype=np.float32)
+        if codebook.size == 0:
+            return np.zeros(encoded.shape, dtype=np.float32)
+        codes = np.frombuffer(encoded.payload, dtype=np.uint8)
+        return codebook[codes].reshape(encoded.shape)
+
+
+_FIXED_SCHEMES = {
+    "float32": Float32Scheme,
+    "float16": Float16Scheme,
+    "bfloat16": BFloat16Scheme,
+}
+
+
+def get_scheme(name: str) -> FloatScheme:
+    """Look up a scheme by name.
+
+    Accepts ``float32``, ``float16``, ``bfloat16``, ``fixed8``, ``fixed16``,
+    ``quant<k>-uniform``, and ``quant<k>-random``.
+    """
+    if name in _FIXED_SCHEMES:
+        return _FIXED_SCHEMES[name]()
+    if name.startswith("fixed"):
+        return FixedPointScheme(bits=int(name[len("fixed") :]))
+    if name.startswith("quant"):
+        spec, _, method = name[len("quant") :].partition("-")
+        return QuantizationScheme(bits=int(spec), method=method or "uniform")
+    raise KeyError(f"unknown float scheme {name!r}")
+
+
+def compression_ratio(matrix: np.ndarray, scheme: FloatScheme, level: int = 6) -> float:
+    """Original float32 bytes divided by compressed encoded bytes."""
+    encoded = scheme.encode(matrix)
+    compressed = encoded.compressed_size(level)
+    original = matrix.size * 4
+    return original / max(compressed, 1)

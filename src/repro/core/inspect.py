@@ -1,0 +1,135 @@
+"""Parameter inspection from high-order segments only.
+
+The paper notes (end of Sec. IV-D) that exploration queries — matrix
+plots, summary statistics, visualizations, ``dlv desc`` / ``dlv diff`` —
+can often be executed without retrieving the lower-order bytes at all.
+This module implements those queries over a :class:`PlanArchive`: every
+statistic is computed from the midpoint estimate of the high-order-prefix
+interval, and reported together with a sound error bound derived from the
+interval width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.retrieval import PlanArchive
+
+
+def _estimate(archive: PlanArchive, matrix_id: str, planes: int):
+    """Midpoint estimate and half-width from ``planes`` high-order bytes."""
+    lo, hi = archive.matrix_bounds(matrix_id, planes)
+    mid = (lo + hi) / 2.0
+    half_width = (hi - lo) / 2.0
+    return mid, half_width
+
+
+def segment_stats(
+    archive: PlanArchive, matrix_id: str, planes: int = 2
+) -> dict:
+    """Summary statistics of an archived matrix from its segment prefix.
+
+    Returns mean/std/min/max/L2 of the midpoint estimate, plus
+    ``max_error`` — a sound bound on how far any reported elementwise
+    value can be from the true full-precision value.
+    """
+    mid, half_width = _estimate(archive, matrix_id, planes)
+    return {
+        "matrix_id": matrix_id,
+        "planes": planes,
+        "shape": list(mid.shape),
+        "mean": float(mid.mean()),
+        "std": float(mid.std()),
+        "min": float(mid.min()),
+        "max": float(mid.max()),
+        "l2": float(np.linalg.norm(mid)),
+        "max_error": float(half_width.max()),
+    }
+
+
+def segment_histogram(
+    archive: PlanArchive,
+    matrix_id: str,
+    bins: int = 10,
+    planes: int = 2,
+) -> dict:
+    """Histogram of an archived matrix from its segment prefix.
+
+    A bin count is *certain* when every value's interval falls inside a
+    single bin; the ``uncertain`` counter tallies values whose interval
+    straddles a bin edge (they are assigned by midpoint).
+    """
+    mid, half_width = _estimate(archive, matrix_id, planes)
+    counts, edges = np.histogram(mid, bins=bins)
+    # A value is uncertain if its interval crosses the edge of its bin.
+    bin_index = np.clip(
+        np.digitize(mid, edges[1:-1]), 0, bins - 1
+    )
+    left = edges[bin_index]
+    right = edges[bin_index + 1]
+    uncertain = int(
+        np.count_nonzero(
+            ((mid - half_width) < left) | ((mid + half_width) > right)
+        )
+    )
+    return {
+        "matrix_id": matrix_id,
+        "planes": planes,
+        "counts": counts.tolist(),
+        "edges": edges.tolist(),
+        "uncertain": uncertain,
+    }
+
+
+def segment_compare(
+    archive: PlanArchive,
+    matrix_id_a: str,
+    matrix_id_b: str,
+    planes: int = 2,
+) -> dict:
+    """Distance statistics between two archived matrices from prefixes.
+
+    The backbone of a partial-precision ``dlv diff``: relative L2 and max
+    absolute difference of the midpoint estimates, with a sound bound on
+    the estimation error of the reported max-abs difference.
+    """
+    mid_a, half_a = _estimate(archive, matrix_id_a, planes)
+    mid_b, half_b = _estimate(archive, matrix_id_b, planes)
+    if mid_a.shape != mid_b.shape:
+        return {
+            "a": matrix_id_a,
+            "b": matrix_id_b,
+            "comparable": False,
+            "shapes": [list(mid_a.shape), list(mid_b.shape)],
+        }
+    diff = mid_a - mid_b
+    norm_a = float(np.linalg.norm(mid_a))
+    return {
+        "a": matrix_id_a,
+        "b": matrix_id_b,
+        "comparable": True,
+        "planes": planes,
+        "relative_l2": float(np.linalg.norm(diff)) / (norm_a or 1.0),
+        "max_abs": float(np.abs(diff).max()) if diff.size else 0.0,
+        "max_error": float((half_a + half_b).max()) if diff.size else 0.0,
+    }
+
+
+def ascii_histogram(histogram: dict, width: int = 40) -> str:
+    """Render a :func:`segment_histogram` result as fixed-width text.
+
+    This is the terminal stand-in for the paper's HTML matrix plots.
+    """
+    counts = histogram["counts"]
+    edges = histogram["edges"]
+    peak = max(counts) or 1
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * max(int(round(width * count / peak)), 1 if count else 0)
+        lines.append(f"[{edges[i]:+.4f}, {edges[i + 1]:+.4f}) {bar} {count}")
+    if histogram["uncertain"]:
+        lines.append(
+            f"({histogram['uncertain']} values near bin edges are "
+            f"midpoint-assigned)"
+        )
+    return "\n".join(lines)

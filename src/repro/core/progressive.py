@@ -1,0 +1,238 @@
+"""Progressive query (inference) evaluation — Sec. IV-D of the paper.
+
+Given weights archived in byte-plane segments, an inference query first
+reads only the high-order planes.  Each weight is then known to lie in a
+range; the interval forward pass of :mod:`repro.dnn.interval` propagates
+those perturbations to the output, and Lemma 4 checks whether the
+predicted label is already determined.  Only the data points whose
+prediction is *not* determined trigger retrieval of the next plane,
+guaranteeing exactness for arbitrary inputs while reading a fraction of
+the stored bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.retrieval import PlanArchive
+from repro.core.segmentation import NUM_PLANES
+from repro.dnn.interval import Interval, argmax_determined, tight_intervals
+from repro.dnn.network import Network
+
+
+@dataclass
+class ProgressiveResult:
+    """Outcome of a progressive evaluation query.
+
+    Attributes:
+        predictions: Final predicted label per data point.
+        resolved_at_plane: For each data point, the number of byte planes
+            that were needed before Lemma 4 determined its prediction
+            (``NUM_PLANES`` means full precision was required).
+        determined_fraction: Per plane count ``k``, the fraction of points
+            whose prediction was determined using ``<= k`` planes.
+        bytes_fraction: Fraction of the archive's stored parameter bytes
+            that were retrieved to answer the query.
+    """
+
+    predictions: np.ndarray
+    resolved_at_plane: np.ndarray
+    determined_fraction: dict[int, float] = field(default_factory=dict)
+    bytes_fraction: float = 1.0
+
+
+def _weights_key(matrix_id: str) -> tuple[str, str]:
+    """Split ``"layer.param"`` matrix ids used by snapshot archives."""
+    layer, _, param = matrix_id.rpartition(".")
+    if not layer:
+        raise ValueError(
+            f"matrix id {matrix_id!r} is not of the form 'layer.param'"
+        )
+    return layer, param
+
+
+class ProgressiveEvaluator:
+    """Answers ``dlv eval`` queries progressively from a segmented archive.
+
+    Args:
+        net: A *built* network whose architecture matches the archived
+            snapshot (its current weights are irrelevant — they are
+            replaced by archive contents during evaluation).
+        archive: The :class:`PlanArchive` holding the snapshot.
+        snapshot_id: Which snapshot to evaluate; matrix ids inside the
+            snapshot must be ``"<layer>.<param>"``.
+        logits_node: Node whose output feeds the prediction; defaults to
+            the input of a trailing Softmax (or the sink itself).
+        tight: Use the tighter (costlier) interval products — pays off on
+            deep networks, where the default midpoint-radius bound
+            compounds layer by layer and rarely determines predictions.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        archive: PlanArchive,
+        snapshot_id: str,
+        logits_node: Optional[str] = None,
+        tight: bool = False,
+    ) -> None:
+        if not net.is_built:
+            raise RuntimeError("network must be built")
+        self.net = net
+        self.archive = archive
+        self.snapshot_id = snapshot_id
+        self.tight = tight
+        if logits_node is None:
+            sink = net.output_name
+            logits_node = (
+                net.predecessor(sink) if net[sink].kind == "SOFTMAX" else sink
+            )
+        self.logits_node = logits_node
+        snapshots = archive._snapshots
+        if snapshot_id not in snapshots:
+            raise KeyError(f"archive has no snapshot {snapshot_id!r}")
+        self._members = snapshots[snapshot_id]
+
+    # -- bounds ------------------------------------------------------------
+
+    def _param_bounds(self, planes: int) -> dict[str, dict[str, Interval]]:
+        """Interval bounds for every archived parameter at ``planes`` depth."""
+        bounds: dict[str, dict[str, Interval]] = {}
+        for matrix_id in self._members:
+            layer, param = _weights_key(matrix_id)
+            if planes >= NUM_PLANES:
+                exact = self.archive.recreate_matrix(matrix_id)
+                interval = Interval.exact(exact)
+            else:
+                lo, hi = self.archive.matrix_bounds(matrix_id, planes)
+                interval = Interval.from_bounds(lo, hi)
+            bounds.setdefault(layer, {})[param] = interval
+        return bounds
+
+    def _load_exact(self) -> None:
+        """Install the archive's full-precision weights into the network."""
+        weights: dict[str, dict[str, np.ndarray]] = {}
+        for matrix_id in self._members:
+            layer, param = _weights_key(matrix_id)
+            weights.setdefault(layer, {})[param] = self.archive.recreate_matrix(
+                matrix_id
+            )
+        self.net.set_weights(weights)
+
+    def _stored_plane_sizes(self) -> list[int]:
+        """Stored bytes per plane index across the snapshot's payload chains."""
+        sizes = [0] * NUM_PLANES
+        seen: set[str] = set()
+        for matrix_id in self._members:
+            current = matrix_id
+            while current != "v0":
+                if current in seen:
+                    break
+                seen.add(current)
+                entry = self.archive.manifest[current]
+                for i, sha in enumerate(entry.chunk_ids):
+                    sizes[i] += self.archive.plane_store(i).stored_size(sha)
+                current = entry.parent
+        return sizes
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(
+        self,
+        x: np.ndarray,
+        k: int = 1,
+        start_planes: int = 1,
+        batch: int = 256,
+    ) -> ProgressiveResult:
+        """Progressively predict labels for ``x`` with exactness guarantee.
+
+        Starts at ``start_planes`` high-order byte planes and escalates
+        only the undetermined points, plane by plane, finishing any
+        remainder at full precision.
+
+        Args:
+            x: Input batch `(N, ...)`.
+            k: Determine the top-``k`` label set (1 = plain argmax).
+            start_planes: Initial number of planes to read.
+            batch: Forward-pass batch size.
+        """
+        n = len(x)
+        predictions = np.full(n, -1, dtype=np.int64)
+        resolved_at = np.full(n, NUM_PLANES, dtype=np.int64)
+        unresolved = np.arange(n)
+        determined_fraction: dict[int, float] = {}
+        planes_used = start_planes
+
+        for planes in range(start_planes, NUM_PLANES):
+            if unresolved.size == 0:
+                determined_fraction[planes] = 1.0
+                continue
+            bounds = self._param_bounds(planes)
+            still_open = []
+            for start in range(0, unresolved.size, batch):
+                idx = unresolved[start : start + batch]
+                if self.tight:
+                    with tight_intervals():
+                        logit_iv = self.net.forward_interval(
+                            x[idx], bounds, upto=self.logits_node
+                        )
+                else:
+                    logit_iv = self.net.forward_interval(
+                        x[idx], bounds, upto=self.logits_node
+                    )
+                determined, labels = argmax_determined(logit_iv, k=k)
+                done = idx[determined]
+                predictions[done] = labels[determined]
+                resolved_at[done] = planes
+                still_open.extend(idx[~determined].tolist())
+            unresolved = np.asarray(still_open, dtype=np.int64)
+            determined_fraction[planes] = 1.0 - unresolved.size / n
+            planes_used = planes
+            if unresolved.size == 0:
+                break
+
+        if unresolved.size > 0:
+            self._load_exact()
+            planes_used = NUM_PLANES
+            for start in range(0, unresolved.size, batch):
+                idx = unresolved[start : start + batch]
+                out = self.net.forward(x[idx], upto=self.logits_node)
+                predictions[idx] = np.argmax(out, axis=1)
+                resolved_at[idx] = NUM_PLANES
+        determined_fraction[NUM_PLANES] = 1.0
+
+        plane_sizes = self._stored_plane_sizes()
+        total = sum(plane_sizes) or 1
+        read = sum(plane_sizes[:planes_used])
+        return ProgressiveResult(
+            predictions=predictions,
+            resolved_at_plane=resolved_at,
+            determined_fraction=determined_fraction,
+            bytes_fraction=read / total,
+        )
+
+    def evaluate_at_planes(
+        self, x: np.ndarray, planes: int, batch: int = 256
+    ) -> np.ndarray:
+        """Non-progressive baseline: predict from truncated weights.
+
+        Reads exactly ``planes`` high-order byte planes, installs the
+        truncated point estimates, and predicts — no error guarantee.
+        Used by the Fig. 6(d) benchmark to measure the raw error rate of
+        partial-precision evaluation.
+        """
+        weights: dict[str, dict[str, np.ndarray]] = {}
+        for matrix_id in self._members:
+            layer, param = _weights_key(matrix_id)
+            weights.setdefault(layer, {})[param] = self.archive.recreate_matrix(
+                matrix_id, planes=planes
+            )
+        self.net.set_weights(weights)
+        preds = []
+        for start in range(0, len(x), batch):
+            out = self.net.forward(x[start : start + batch], upto=self.logits_node)
+            preds.append(np.argmax(out, axis=1))
+        return np.concatenate(preds) if preds else np.empty(0, dtype=np.int64)

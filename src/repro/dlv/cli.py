@@ -1,0 +1,450 @@
+"""The ``dlv`` command line tool (Table II of the paper).
+
+Command groups:
+
+* model version management — ``init``, ``add``, ``commit``, ``copy``,
+  ``archive``;
+* model exploration — ``list``, ``desc``, ``diff``, ``eval``;
+* model enumeration — ``query`` (DQL);
+* remote interaction — ``publish``, ``search``, ``pull``.
+
+The CLI is a thin layer over :class:`repro.dlv.repository.Repository`,
+:mod:`repro.dql`, and :mod:`repro.hub`; all output is JSON so it can be
+piped into other tools (the paper renders HTML, which is out of scope).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.storage_graph import RetrievalScheme
+from repro.dlv.diff import diff_versions
+from repro.dlv.repository import Repository
+from repro.dlv import wrapper
+
+
+def _print(data) -> None:
+    json.dump(data, sys.stdout, indent=2, default=str)
+    sys.stdout.write("\n")
+
+
+def _open_repo(args) -> Repository:
+    return Repository.open(args.repo)
+
+
+def cmd_init(args) -> int:
+    Repository.init(args.repo)
+    _print({"initialized": str(Path(args.repo).resolve())})
+    return 0
+
+
+def cmd_add(args) -> int:
+    with _open_repo(args) as repo:
+        staged = repo.add_files(args.paths)
+    _print({"staged": staged})
+    return 0
+
+
+def cmd_commit(args) -> int:
+    with _open_repo(args) as repo:
+        net = wrapper.load_network(args.model_dir)
+        net.name = args.name
+        result = wrapper.load_train_result(args.model_dir)
+        config = wrapper.load_solver(args.model_dir)
+        version = repo.commit(
+            net,
+            name=args.name,
+            message=args.message,
+            parent=args.parent,
+            train_result=result,
+            hyperparams=config.to_dict() if config else None,
+            float_scheme=args.float_scheme,
+        )
+    _print({"committed": version.ref, "id": version.id})
+    return 0
+
+
+def cmd_copy(args) -> int:
+    with _open_repo(args) as repo:
+        version = repo.copy_version(args.source, args.name, args.message)
+    _print({"copied": version.ref})
+    return 0
+
+
+def cmd_convert(args) -> int:
+    with _open_repo(args) as repo:
+        report = repo.convert_snapshot_scheme(
+            args.ref, args.snapshot, args.float_scheme
+        )
+    _print(report)
+    return 0
+
+
+def cmd_archive(args) -> int:
+    with _open_repo(args) as repo:
+        report = repo.archive(
+            alpha=args.alpha,
+            scheme=RetrievalScheme(args.scheme),
+            algorithm=args.algorithm,
+        )
+    _print(report)
+    return 0
+
+
+def _write_html(path: str, content: str) -> None:
+    Path(path).write_text(content)
+    _print({"html": str(Path(path).resolve())})
+
+
+def cmd_list(args) -> int:
+    with _open_repo(args) as repo:
+        versions = repo.list_versions(args.pattern)
+        lineage = repo.lineage_edges()
+    version_rows = [
+        {
+            "id": v.id,
+            "name": v.name,
+            "created_at": v.created_at,
+            "snapshots": len(v.snapshots),
+            "accuracy": v.metadata.get("final_accuracy"),
+        }
+        for v in versions
+    ]
+    if args.html:
+        from repro.dlv.render import render_lineage
+
+        _write_html(args.html, render_lineage(version_rows, lineage))
+        return 0
+    _print(
+        {
+            "versions": version_rows,
+            "lineage": [
+                {"base": b, "derived": d, "message": m} for b, d, m in lineage
+            ],
+        }
+    )
+    return 0
+
+
+def cmd_desc(args) -> int:
+    with _open_repo(args) as repo:
+        description = repo.describe(args.ref)
+        if args.html:
+            from repro.dlv.render import render_describe
+
+            _write_html(
+                args.html,
+                render_describe(description, repo.training_log(args.ref)),
+            )
+            return 0
+        _print(description)
+    return 0
+
+
+def cmd_log(args) -> int:
+    with _open_repo(args) as repo:
+        _print(repo.training_log(args.ref))
+    return 0
+
+
+def cmd_gc(args) -> int:
+    with _open_repo(args) as repo:
+        removed = repo.gc()
+    _print({"chunks_removed": removed})
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.core.inspect import ascii_histogram
+
+    with _open_repo(args) as repo:
+        report = repo.inspect_matrix(
+            args.ref, args.layer, args.param,
+            snapshot_idx=args.snapshot, planes=args.planes, bins=args.bins,
+        )
+    _print(report["stats"])
+    print(ascii_histogram(report["histogram"]))
+    return 0
+
+
+def cmd_prune(args) -> int:
+    with _open_repo(args) as repo:
+        report = repo.prune_snapshots(
+            args.ref, keep_every=args.keep_every, keep_last=args.keep_last
+        )
+    _print(report)
+    return 0
+
+
+def cmd_export(args) -> int:
+    with _open_repo(args) as repo:
+        path = repo.export_model_dir(
+            args.ref, args.dest, snapshot_idx=args.snapshot
+        )
+    _print({"exported": str(path)})
+    return 0
+
+
+def cmd_verify(args) -> int:
+    with _open_repo(args) as repo:
+        report = repo.verify()
+    _print(report)
+    return 0 if report["ok"] else 1
+
+
+def cmd_diff(args) -> int:
+    with _open_repo(args) as repo:
+        a, b = repo.resolve(args.a), repo.resolve(args.b)
+        weights_a = weights_b = None
+        if args.parameters:
+            weights_a = repo.get_snapshot_weights(a)
+            weights_b = repo.get_snapshot_weights(b)
+        report = diff_versions(a, b, weights_a, weights_b)
+        if args.html:
+            from repro.dlv.render import render_diff
+
+            _write_html(args.html, render_diff(report))
+            return 0
+        _print(report)
+    return 0
+
+
+def cmd_eval(args) -> int:
+    with _open_repo(args) as repo:
+        with np.load(args.data) as data:
+            x = data["x"]
+            y = data["y"] if "y" in data else None
+        if args.progressive:
+            from repro.core.progressive import ProgressiveEvaluator
+
+            version = repo.resolve(args.ref)
+            snapshot = version.snapshots[args.snapshot]
+            net = repo.load_network(version, args.snapshot)
+            evaluator = ProgressiveEvaluator(
+                net, repo.archive_view(), snapshot.key
+            )
+            progressive = evaluator.evaluate(x)
+            out = {
+                "predictions": progressive.predictions.tolist(),
+                "bytes_fraction": progressive.bytes_fraction,
+                "determined_fraction": {
+                    str(k): v
+                    for k, v in progressive.determined_fraction.items()
+                },
+            }
+            if y is not None:
+                out["accuracy"] = float(
+                    (progressive.predictions == np.asarray(y)).mean()
+                )
+            _print(out)
+            return 0
+        result = repo.evaluate(args.ref, x, y, snapshot_idx=args.snapshot)
+    out = {"predictions": result["predictions"].tolist()}
+    if "accuracy" in result:
+        out["accuracy"] = result["accuracy"]
+    _print(out)
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.dql.executor import DQLExecutor
+
+    with _open_repo(args) as repo:
+        executor = DQLExecutor(repo)
+        result = executor.run(args.dql)
+    _print(result.to_dict())
+    return 0
+
+
+def cmd_publish(args) -> int:
+    from repro.hub.client import HubClient
+
+    client = HubClient(args.hub)
+    with _open_repo(args) as repo:
+        record = client.publish(repo, name=args.name, description=args.message)
+    _print({"published": record.name, "revision": record.revision})
+    return 0
+
+
+def cmd_search(args) -> int:
+    from repro.hub.client import HubClient
+
+    client = HubClient(args.hub)
+    _print(
+        [
+            {
+                "name": r.name,
+                "description": r.description,
+                "revision": r.revision,
+                "models": r.model_names,
+            }
+            for r in client.search(args.pattern)
+        ]
+    )
+    return 0
+
+
+def cmd_pull(args) -> int:
+    from repro.hub.client import HubClient
+
+    client = HubClient(args.hub)
+    path = client.pull(args.name, args.dest)
+    _print({"pulled": args.name, "path": str(path)})
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dlv", description="DLV model version control (ModelHub)"
+    )
+    parser.add_argument(
+        "--repo", default=".", help="repository directory (default: cwd)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="initialize a dlv repository")
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("add", help="stage files for the next commit")
+    p.add_argument("paths", nargs="+")
+    p.set_defaults(func=cmd_add)
+
+    p = sub.add_parser("commit", help="commit a model directory")
+    p.add_argument("--model-dir", required=True)
+    p.add_argument("--name", required=True)
+    p.add_argument("-m", "--message", default="")
+    p.add_argument("--parent", default=None)
+    p.add_argument("--float-scheme", default="float32")
+    p.set_defaults(func=cmd_commit)
+
+    p = sub.add_parser("copy", help="scaffold a model from an old one")
+    p.add_argument("source")
+    p.add_argument("name")
+    p.add_argument("-m", "--message", default="")
+    p.set_defaults(func=cmd_copy)
+
+    p = sub.add_parser(
+        "convert", help="re-encode a snapshot with a lossier float scheme"
+    )
+    p.add_argument("ref")
+    p.add_argument("--snapshot", type=int, default=-1)
+    p.add_argument("--float-scheme", required=True)
+    p.set_defaults(func=cmd_convert)
+
+    p = sub.add_parser("archive", help="re-optimize parameter storage")
+    p.add_argument("--alpha", type=float, default=2.0)
+    p.add_argument(
+        "--scheme",
+        choices=[s.value for s in RetrievalScheme],
+        default="independent",
+    )
+    p.add_argument(
+        "--algorithm",
+        choices=[
+            "best", "mst", "spt", "last", "pas-mt", "pas-pt", "spt-tighten",
+        ],
+        default="best",
+    )
+    p.set_defaults(func=cmd_archive)
+
+    p = sub.add_parser("list", help="list models and lineage")
+    p.add_argument("--pattern", default=None, help="SQL LIKE name filter")
+    p.add_argument("--html", default=None, help="write an HTML report here")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("desc", help="describe a model version")
+    p.add_argument("ref")
+    p.add_argument("--html", default=None, help="write an HTML report here")
+    p.set_defaults(func=cmd_desc)
+
+    p = sub.add_parser("log", help="print a version's training log")
+    p.add_argument("ref")
+    p.set_defaults(func=cmd_log)
+
+    p = sub.add_parser("gc", help="remove unreferenced parameter chunks")
+    p.set_defaults(func=cmd_gc)
+
+    p = sub.add_parser("verify", help="check repository integrity")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "inspect", help="segment-only stats/histogram of a parameter matrix"
+    )
+    p.add_argument("ref")
+    p.add_argument("--layer", required=True)
+    p.add_argument("--param", default="W")
+    p.add_argument("--snapshot", type=int, default=-1)
+    p.add_argument("--planes", type=int, default=2)
+    p.add_argument("--bins", type=int, default=10)
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("prune", help="drop intermediate checkpoints")
+    p.add_argument("ref")
+    p.add_argument("--keep-every", type=int, default=2)
+    p.add_argument("--keep-last", type=int, default=1)
+    p.set_defaults(func=cmd_prune)
+
+    p = sub.add_parser("export", help="write a model directory for a version")
+    p.add_argument("ref")
+    p.add_argument("dest")
+    p.add_argument("--snapshot", type=int, default=-1)
+    p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser("diff", help="compare two model versions")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--parameters", action="store_true")
+    p.add_argument("--html", default=None, help="write an HTML report here")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("eval", help="evaluate a model on an .npz dataset")
+    p.add_argument("ref")
+    p.add_argument("data", help=".npz with arrays x (and optionally y)")
+    p.add_argument("--snapshot", type=int, default=-1)
+    p.add_argument(
+        "--progressive", action="store_true",
+        help="answer from high-order byte segments with exactness guarantee",
+    )
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("query", help="run a DQL statement")
+    p.add_argument("dql")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("publish", help="publish this repository to a hub")
+    p.add_argument("--hub", required=True, help="hub directory")
+    p.add_argument("--name", required=True)
+    p.add_argument("-m", "--message", default="")
+    p.set_defaults(func=cmd_publish)
+
+    p = sub.add_parser("search", help="search a hub")
+    p.add_argument("--hub", required=True)
+    p.add_argument("pattern")
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("pull", help="pull a repository from a hub")
+    p.add_argument("--hub", required=True)
+    p.add_argument("name")
+    p.add_argument("dest")
+    p.set_defaults(func=cmd_pull)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError, FileNotFoundError, FileExistsError) as exc:
+        print(f"dlv: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Model comparison — the machinery behind ``dlv diff`` (Sec. III-B).
+
+Comparing models side by side covers three aspects the paper calls out:
+
+* *structure*: which layers were added, removed, or re-configured;
+* *metadata*: hyperparameters, accuracy, and other extracted measures;
+* *parameters*: distance statistics between shared weight matrices —
+  useful for judging whether delta encoding will pay off, and for
+  understanding how far a fine-tuned model drifted from its base.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dlv.objects import ModelVersion
+
+
+def _layer_specs(version: ModelVersion) -> dict[str, dict]:
+    return {
+        entry["layer"]["name"]: entry["layer"]
+        for entry in version.network.get("nodes", [])
+    }
+
+
+def diff_structure(a: ModelVersion, b: ModelVersion) -> dict:
+    """Structural diff of two network definitions.
+
+    Returns added/removed layer names and per-layer hyperparameter changes
+    for layers present in both.
+    """
+    layers_a, layers_b = _layer_specs(a), _layer_specs(b)
+    added = sorted(set(layers_b) - set(layers_a))
+    removed = sorted(set(layers_a) - set(layers_b))
+    changed = {}
+    for name in sorted(set(layers_a) & set(layers_b)):
+        spec_a, spec_b = layers_a[name], layers_b[name]
+        if spec_a["kind"] != spec_b["kind"]:
+            changed[name] = {"kind": (spec_a["kind"], spec_b["kind"])}
+            continue
+        hp_a = spec_a.get("hyperparams", {})
+        hp_b = spec_b.get("hyperparams", {})
+        delta = {
+            key: (hp_a.get(key), hp_b.get(key))
+            for key in set(hp_a) | set(hp_b)
+            if hp_a.get(key) != hp_b.get(key)
+        }
+        if delta:
+            changed[name] = delta
+    return {"added": added, "removed": removed, "changed": changed}
+
+
+def diff_metadata(a: ModelVersion, b: ModelVersion) -> dict:
+    """Metadata diff: keys whose values differ between the versions."""
+    keys = set(a.metadata) | set(b.metadata)
+    return {
+        key: (a.metadata.get(key), b.metadata.get(key))
+        for key in sorted(keys)
+        if a.metadata.get(key) != b.metadata.get(key)
+    }
+
+
+def diff_parameters(
+    weights_a: dict[str, dict[str, np.ndarray]],
+    weights_b: dict[str, dict[str, np.ndarray]],
+) -> dict:
+    """Parameter distance statistics for matrices shared by both versions.
+
+    For each shared ``layer.param`` with matching shapes, reports the
+    relative L2 distance and max absolute difference; shape mismatches and
+    one-sided matrices are listed separately.
+    """
+    stats: dict[str, dict] = {}
+    mismatched: list[str] = []
+    only_a: list[str] = []
+    only_b: list[str] = []
+    keys_a = {
+        f"{layer}.{param}": weights_a[layer][param]
+        for layer in weights_a
+        for param in weights_a[layer]
+    }
+    keys_b = {
+        f"{layer}.{param}": weights_b[layer][param]
+        for layer in weights_b
+        for param in weights_b[layer]
+    }
+    for key in sorted(set(keys_a) | set(keys_b)):
+        if key not in keys_a:
+            only_b.append(key)
+            continue
+        if key not in keys_b:
+            only_a.append(key)
+            continue
+        ma, mb = keys_a[key], keys_b[key]
+        if ma.shape != mb.shape:
+            mismatched.append(key)
+            continue
+        diff = ma.astype(np.float64) - mb.astype(np.float64)
+        norm_a = float(np.linalg.norm(ma))
+        stats[key] = {
+            "relative_l2": float(np.linalg.norm(diff)) / (norm_a or 1.0),
+            "max_abs": float(np.abs(diff).max()) if diff.size else 0.0,
+            "shape": list(ma.shape),
+        }
+    return {
+        "shared": stats,
+        "shape_mismatch": mismatched,
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+    }
+
+
+def diff_versions(
+    a: ModelVersion,
+    b: ModelVersion,
+    weights_a: Optional[dict] = None,
+    weights_b: Optional[dict] = None,
+) -> dict:
+    """Full ``dlv diff`` report between two versions."""
+    report = {
+        "a": a.ref,
+        "b": b.ref,
+        "structure": diff_structure(a, b),
+        "metadata": diff_metadata(a, b),
+    }
+    if weights_a is not None and weights_b is not None:
+        report["parameters"] = diff_parameters(weights_a, weights_b)
+    return report

@@ -1,0 +1,76 @@
+"""Value objects for the DLV data model (Sec. III-A).
+
+A *model version* is the relation ``model_version(name, id, N, W, M, F)``:
+a network definition ``N``, weight values ``W`` (a series of checkpointed
+snapshots, managed by PAS), extracted metadata ``M``, and associated files
+``F``.  Lineage between versions lives in the separate
+``parent(base, derived, commit)`` relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One checkpointed snapshot of a model version's weights.
+
+    Attributes:
+        version_id: Owning model version.
+        index: Position in the version's snapshot series (0-based); the
+            highest index is the *latest snapshot* ``s_v``.
+        iteration: Training iteration at checkpoint time.
+        float_scheme: The PAS float representation the snapshot was saved
+            with (``float32`` unless the user chose a lossy scheme).
+        created_at: ISO timestamp.
+    """
+
+    version_id: int
+    index: int
+    iteration: int
+    float_scheme: str = "float32"
+    created_at: str = ""
+
+    @property
+    def key(self) -> str:
+        """The PAS snapshot (co-usage group) identifier."""
+        return f"v{self.version_id}/s{self.index}"
+
+
+@dataclass
+class ModelVersion:
+    """A committed model version.
+
+    Attributes:
+        id: Auto-generated id distinguishing versions with the same name.
+        name: Human-readable name (required by the data model; reflects the
+            logical improvement series, e.g. ``"alexnet-avgv1"``).
+        message: Commit message.
+        created_at: ISO timestamp.
+        network: The network definition as a serialized spec (``N``).
+        metadata: Extracted key/value metadata (``M``): hyperparameters,
+            final accuracy/loss, execution footprint.
+        files: Associated file digests (``F``): ``{relative_path: sha}``.
+        snapshots: The checkpointed snapshot series (``W`` lives in PAS).
+    """
+
+    id: int
+    name: str
+    message: str = ""
+    created_at: str = ""
+    network: dict = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+    files: dict = field(default_factory=dict)
+    snapshots: list[Snapshot] = field(default_factory=list)
+
+    @property
+    def latest_snapshot(self) -> Optional[Snapshot]:
+        """The last checkpointed snapshot (``s_v`` in Sec. IV-A)."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    @property
+    def ref(self) -> str:
+        """Stable reference string ``name@id``."""
+        return f"{self.name}@{self.id}"

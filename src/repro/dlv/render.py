@@ -1,0 +1,186 @@
+"""HTML rendering of exploration query results.
+
+The paper renders model-exploration results (``dlv list`` / ``desc`` /
+``diff``) in an HTML front end (Sec. III-B).  These renderers are
+dependency-free: plain HTML strings with a small embedded stylesheet,
+written to a file the user opens in a browser.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Optional
+
+_STYLE = """
+<style>
+  body { font-family: sans-serif; margin: 2em; color: #222; }
+  h1 { font-size: 1.4em; border-bottom: 2px solid #446; padding-bottom: 4px; }
+  h2 { font-size: 1.1em; margin-top: 1.4em; }
+  table { border-collapse: collapse; margin: 0.6em 0; }
+  th, td { border: 1px solid #bbc; padding: 4px 10px; text-align: left; }
+  th { background: #eef; }
+  .kind { color: #668; font-size: 0.85em; }
+  .lineage { font-family: monospace; }
+  .delta-add { color: #060; }
+  .delta-del { color: #900; }
+  .bar { background: #88a; display: inline-block; height: 0.8em; }
+</style>
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value))
+
+
+def _page(title: str, body: str) -> str:
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{_esc(title)}</title>{_STYLE}</head>"
+        f"<body><h1>{_esc(title)}</h1>{body}</body></html>"
+    )
+
+
+def _table(headers: list[str], rows: list[list]) -> str:
+    head = "".join(f"<th>{_esc(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{_esc(cell)}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><tr>{head}</tr>{body}</table>"
+
+
+def render_describe(description: dict, log: Optional[list[dict]] = None) -> str:
+    """Render a ``dlv desc`` report (see ``Repository.describe``)."""
+    meta_rows = [
+        [key, value]
+        for key, value in sorted(description.get("metadata", {}).items())
+    ]
+    layers = "".join(
+        f"<li>{_esc(name)}</li>" for name in description.get("layers", [])
+    )
+    sections = [
+        _table(
+            ["field", "value"],
+            [
+                ["ref", description.get("ref")],
+                ["message", description.get("message")],
+                ["created_at", description.get("created_at")],
+                ["snapshots", description.get("num_snapshots")],
+                ["parents", description.get("parents")],
+                ["children", description.get("children")],
+            ],
+        ),
+        f"<h2>Metadata</h2>{_table(['key', 'value'], meta_rows)}",
+        f"<h2>Network</h2><ol class='kind'>{layers}</ol>",
+    ]
+    if log:
+        peak = max((e.get("loss") or 0.0) for e in log) or 1.0
+        rows = []
+        for entry in log:
+            loss = entry.get("loss") or 0.0
+            width = int(120 * loss / peak)
+            bar = f"<span class='bar' style='width:{width}px'></span>"
+            accuracy = entry.get("accuracy")
+            accuracy_cell = "" if accuracy is None else f"{accuracy:.3f}"
+            rows.append(
+                "<tr>"
+                f"<td>{entry.get('iteration')}</td>"
+                f"<td>{loss:.4f} {bar}</td>"
+                f"<td>{accuracy_cell}</td>"
+                f"<td>{entry.get('lr')}</td>"
+                "</tr>"
+            )
+        sections.append(
+            "<h2>Training log</h2><table>"
+            "<tr><th>iteration</th><th>loss</th><th>accuracy</th><th>lr</th></tr>"
+            + "".join(rows)
+            + "</table>"
+        )
+    return _page(f"dlv desc {description.get('ref', '')}", "".join(sections))
+
+
+def render_diff(report: dict) -> str:
+    """Render a ``dlv diff`` report (see ``repro.dlv.diff.diff_versions``)."""
+    structure = report.get("structure", {})
+    sections = [
+        f"<p>Comparing <b>{_esc(report.get('a'))}</b> vs "
+        f"<b>{_esc(report.get('b'))}</b></p>",
+        "<h2>Structure</h2>",
+        "<ul>"
+        + "".join(
+            f"<li class='delta-add'>+ {_esc(n)}</li>"
+            for n in structure.get("added", [])
+        )
+        + "".join(
+            f"<li class='delta-del'>- {_esc(n)}</li>"
+            for n in structure.get("removed", [])
+        )
+        + "".join(
+            f"<li>~ {_esc(n)}: {_esc(change)}</li>"
+            for n, change in structure.get("changed", {}).items()
+        )
+        + "</ul>",
+    ]
+    metadata = report.get("metadata", {})
+    if metadata:
+        sections.append(
+            "<h2>Metadata</h2>"
+            + _table(
+                ["key", report.get("a", "a"), report.get("b", "b")],
+                [[k, v[0], v[1]] for k, v in sorted(metadata.items())],
+            )
+        )
+    parameters = report.get("parameters")
+    if parameters:
+        rows = [
+            [key, f"{stats['relative_l2']:.4f}", f"{stats['max_abs']:.5f}"]
+            for key, stats in sorted(parameters.get("shared", {}).items())
+        ]
+        sections.append(
+            "<h2>Parameters</h2>"
+            + _table(["matrix", "relative L2", "max abs diff"], rows)
+        )
+        if parameters.get("shape_mismatch"):
+            sections.append(
+                "<p>Shape mismatches: "
+                f"{_esc(parameters['shape_mismatch'])}</p>"
+            )
+    return _page("dlv diff", "".join(sections))
+
+
+def render_lineage(
+    versions: list[dict], edges: list[tuple[int, int, str]]
+) -> str:
+    """Render a ``dlv list`` report: the version table plus lineage tree."""
+    rows = [
+        [
+            v.get("id"), v.get("name"), v.get("created_at"),
+            v.get("snapshots"), v.get("accuracy"),
+        ]
+        for v in versions
+    ]
+    children: dict[Optional[int], list[int]] = {}
+    names = {v["id"]: v["name"] for v in versions}
+    parent_of: dict[int, int] = {}
+    for base, derived, _ in edges:
+        parent_of[derived] = base
+        children.setdefault(base, []).append(derived)
+    roots = [v["id"] for v in versions if v["id"] not in parent_of]
+
+    lines: list[str] = []
+
+    def walk(version_id: int, depth: int) -> None:
+        indent = "&nbsp;" * 4 * depth + ("└─ " if depth else "")
+        label = f"{names.get(version_id, '?')}@{version_id}"
+        lines.append(f"<div class='lineage'>{indent}{_esc(label)}</div>")
+        for child in sorted(children.get(version_id, [])):
+            walk(child, depth + 1)
+
+    for root in sorted(roots):
+        walk(root, 0)
+    body = (
+        _table(["id", "name", "created", "snapshots", "accuracy"], rows)
+        + "<h2>Lineage</h2>"
+        + "".join(lines)
+    )
+    return _page("dlv list", body)

@@ -1,0 +1,828 @@
+"""The DLV repository: commit, explore, recreate, and archive models.
+
+A repository directory contains a ``.dlv`` folder with the sqlite3 catalog,
+the PAS chunk store, and content-addressed copies of associated files:
+
+.. code-block:: text
+
+    <repo>/.dlv/
+        catalog.db      relational catalog (repro.dlv.catalog)
+        chunks/         PAS byte-plane chunk store
+        files/          associated files, content addressed
+        stage.json      files staged by `dlv add` for the next commit
+
+Weights are written at commit time as materialized byte-plane payloads;
+``archive`` later re-optimizes the whole repository into a delta-encoded
+storage plan (Problem 1) and rewrites the payload table accordingly —
+queries are unaffected because retrieval always goes through the payload
+manifest.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import json
+import shutil
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.archival import alpha_constraints, solve
+from repro.core.chunkstore import ChunkStore
+from repro.core.delta import delta_sub_mismatched
+from repro.core.float_schemes import get_scheme
+from repro.core.retrieval import PlanArchive
+from repro.core.segmentation import segment_planes
+from repro.core.storage_graph import (
+    ROOT,
+    MatrixRef,
+    MatrixStorageGraph,
+    RetrievalScheme,
+    StorageEdge,
+)
+from repro.dlv.objects import ModelVersion, Snapshot
+from repro.dlv.catalog import Catalog
+from repro.dnn.network import Network
+from repro.dnn.training import TrainResult
+
+VersionLike = Union[int, str, ModelVersion]
+
+
+def _now() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
+
+
+def _compressed_planes_size(matrix: np.ndarray, level: int = 6) -> int:
+    import zlib
+
+    return sum(len(zlib.compress(p, level)) for p in segment_planes(matrix))
+
+
+class Repository:
+    """A local DLV repository (the object behind the ``dlv`` tool)."""
+
+    DLV_DIR = ".dlv"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.dlv_dir = self.root / self.DLV_DIR
+        if not self.dlv_dir.exists():
+            raise FileNotFoundError(
+                f"{self.root} is not a dlv repository (run Repository.init)"
+            )
+        self.catalog = Catalog(self.dlv_dir / "catalog.db")
+        self.store = ChunkStore(self.dlv_dir / "chunks")
+        self.files_dir = self.dlv_dir / "files"
+        self.files_dir.mkdir(exist_ok=True)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @classmethod
+    def init(cls, root: str | Path) -> "Repository":
+        """``dlv init``: create a repository at ``root``."""
+        root = Path(root)
+        dlv_dir = root / cls.DLV_DIR
+        if dlv_dir.exists():
+            raise FileExistsError(f"{root} already is a dlv repository")
+        dlv_dir.mkdir(parents=True)
+        (dlv_dir / "config.json").write_text(
+            json.dumps({"version": 1, "created_at": _now()}, indent=2)
+        )
+        return cls(root)
+
+    @classmethod
+    def open(cls, root: str | Path) -> "Repository":
+        """Open an existing repository (raises when absent)."""
+        return cls(root)
+
+    def close(self) -> None:
+        self.catalog.close()
+
+    def __enter__(self) -> "Repository":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- staging (`dlv add`) -----------------------------------------------------
+
+    @property
+    def _stage_path(self) -> Path:
+        return self.dlv_dir / "stage.json"
+
+    def add_files(self, paths: Sequence[str | Path]) -> list[str]:
+        """``dlv add``: stage files to associate with the next commit."""
+        staged = self.staged_files()
+        for path in paths:
+            path = Path(path)
+            if not path.exists():
+                raise FileNotFoundError(path)
+            staged.append(str(path))
+        unique = sorted(set(staged))
+        self._stage_path.write_text(json.dumps(unique, indent=2))
+        return unique
+
+    def staged_files(self) -> list[str]:
+        if self._stage_path.exists():
+            return json.loads(self._stage_path.read_text())
+        return []
+
+    def _store_file(self, path: Path) -> str:
+        data = path.read_bytes()
+        sha = hashlib.sha256(data).hexdigest()
+        dest = self.files_dir / sha
+        if not dest.exists():
+            shutil.copyfile(path, dest)
+        return sha
+
+    def get_file(self, sha: str) -> bytes:
+        """Read an associated file's content by digest."""
+        path = self.files_dir / sha
+        if not path.exists():
+            raise KeyError(f"no stored file {sha}")
+        return path.read_bytes()
+
+    # -- committing ----------------------------------------------------------------
+
+    def commit(
+        self,
+        network: Network,
+        name: str,
+        message: str = "",
+        parent: Optional[VersionLike] = None,
+        train_result: Optional[TrainResult] = None,
+        hyperparams: Optional[dict] = None,
+        metadata: Optional[dict] = None,
+        float_scheme: str = "float32",
+        include_staged: bool = True,
+    ) -> ModelVersion:
+        """``dlv commit``: record a model version.
+
+        Args:
+            network: Built network whose current weights become the latest
+                snapshot.
+            name: Model version name (required by the data model).
+            message: Commit message.
+            parent: Base version for the lineage relation (fine-tuning or
+                architectural derivation).
+            train_result: Optional training artifacts — its snapshots and
+                log are recorded (and the network's own weights are *not*
+                separately snapshotted when present, since the final
+                snapshot of the result equals them).
+            hyperparams: Optimization hyperparameters to record in ``M``.
+            metadata: Extra metadata key/values.
+            float_scheme: PAS float representation for the stored
+                snapshots.  Lossy schemes are applied before segmentation —
+                PAS archives the lossy values, as the paper's storage /
+                accuracy tradeoff intends.
+            include_staged: Associate and clear `dlv add`-staged files.
+
+        Returns:
+            The committed :class:`ModelVersion`.
+        """
+        if not network.is_built:
+            raise RuntimeError("commit requires a built network")
+        version_id = self.catalog.insert_version(
+            name, message, _now(), network.spec()
+        )
+
+        meta: dict = {"param_count": network.param_count()}
+        if hyperparams:
+            meta["hyperparams"] = hyperparams
+        if metadata:
+            meta.update(metadata)
+        if train_result is not None:
+            meta["final_accuracy"] = train_result.final_accuracy
+            meta["final_loss"] = train_result.final_loss
+            self.catalog.add_training_log(version_id, train_result.log)
+        self.catalog.set_metadata(version_id, meta)
+
+        if parent is not None:
+            base = self.resolve(parent)
+            self.catalog.add_lineage(base.id, version_id, message)
+
+        snapshots = (
+            train_result.snapshots
+            if train_result is not None
+            else [(0, network.get_weights())]
+        )
+        for index, (iteration, weights) in enumerate(snapshots):
+            self._store_snapshot(
+                version_id, index, iteration, weights, float_scheme
+            )
+
+        if include_staged:
+            stored = {}
+            for path in self.staged_files():
+                p = Path(path)
+                if p.exists():
+                    stored[p.name] = self._store_file(p)
+            if stored:
+                self.catalog.add_files(version_id, stored)
+            if self._stage_path.exists():
+                self._stage_path.unlink()
+
+        return self.catalog.get_version(version_id)
+
+    def _store_snapshot(
+        self,
+        version_id: int,
+        index: int,
+        iteration: int,
+        weights: dict[str, dict[str, np.ndarray]],
+        float_scheme: str,
+    ) -> None:
+        scheme = get_scheme(float_scheme)
+        snapshot = Snapshot(
+            version_id=version_id,
+            index=index,
+            iteration=iteration,
+            float_scheme=float_scheme,
+            created_at=_now(),
+        )
+        self.catalog.add_snapshot(snapshot)
+        for layer, params in weights.items():
+            for key, matrix in params.items():
+                stored = matrix if scheme.lossless else scheme.roundtrip(matrix)
+                matrix_id = f"v{version_id}/s{index}/{layer}.{key}"
+                self.catalog.add_matrix(
+                    matrix_id, version_id, index, layer, key,
+                    stored.shape, stored.nbytes,
+                )
+                chunks = [
+                    self.store.put(plane)
+                    for plane in segment_planes(stored)
+                ]
+                self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
+        self.catalog.commit()
+
+    # -- resolution & exploration ------------------------------------------------------
+
+    def resolve(self, ref: VersionLike) -> ModelVersion:
+        """Resolve an id, name, ``name@id`` string, or ModelVersion."""
+        if isinstance(ref, ModelVersion):
+            return ref
+        if isinstance(ref, int):
+            version = self.catalog.get_version(ref)
+            if version is None:
+                raise KeyError(f"no model version {ref}")
+            return version
+        text = str(ref)
+        if "@" in text:
+            _, _, id_part = text.rpartition("@")
+            return self.resolve(int(id_part))
+        matches = self.catalog.find_versions(text)
+        if not matches:
+            raise KeyError(f"no model version named {text!r}")
+        return matches[-1]
+
+    def list_versions(self, name_like: Optional[str] = None) -> list[ModelVersion]:
+        """``dlv list``: versions, optionally filtered by name pattern."""
+        return self.catalog.find_versions(name_like)
+
+    def lineage_edges(self) -> list[tuple[int, int, str]]:
+        """All `(base, derived, message)` lineage records."""
+        return self.catalog.all_lineage()
+
+    def ancestors(self, ref: VersionLike) -> list[ModelVersion]:
+        """Transitive bases of a version (nearest first)."""
+        version = self.resolve(ref)
+        seen: set[int] = set()
+        order: list[int] = []
+        frontier = [version.id]
+        while frontier:
+            current = frontier.pop(0)
+            for parent in self.catalog.get_parents(current):
+                if parent not in seen:
+                    seen.add(parent)
+                    order.append(parent)
+                    frontier.append(parent)
+        return [self.catalog.get_version(v) for v in order]
+
+    def descendants(self, ref: VersionLike) -> list[ModelVersion]:
+        """Transitive derived versions (nearest first)."""
+        version = self.resolve(ref)
+        seen: set[int] = set()
+        order: list[int] = []
+        frontier = [version.id]
+        while frontier:
+            current = frontier.pop(0)
+            for child in self.catalog.get_children(current):
+                if child not in seen:
+                    seen.add(child)
+                    order.append(child)
+                    frontier.append(child)
+        return [self.catalog.get_version(v) for v in order]
+
+    def verify(self) -> dict:
+        """Integrity check of the whole repository.
+
+        Verifies that every payload's chunks exist and decompress, that
+        every matrix recreates to its recorded shape, and that every
+        version's network spec parses.  Returns a report with any problems
+        found (an empty ``problems`` list means the repository is sound).
+        """
+        problems: list[str] = []
+        matrices_checked = 0
+        archive = self._plan_archive()
+        shapes = {
+            row["matrix_id"]: row["shape"]
+            for row in self.catalog.get_matrices()
+        }
+        for payload in self.catalog.all_payloads():
+            matrix_id = payload["matrix_id"]
+            for sha in payload["chunks"]:
+                if sha not in self.store:
+                    problems.append(f"{matrix_id}: missing chunk {sha[:12]}")
+            if any(sha not in self.store for sha in payload["chunks"]):
+                continue
+            try:
+                value = archive.recreate_matrix(matrix_id)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                problems.append(f"{matrix_id}: recreation failed ({exc})")
+                continue
+            if tuple(value.shape) != tuple(shapes.get(matrix_id, ())):
+                problems.append(
+                    f"{matrix_id}: shape {value.shape} != recorded "
+                    f"{shapes.get(matrix_id)}"
+                )
+            matrices_checked += 1
+        versions_checked = 0
+        for version in self.list_versions():
+            try:
+                Network.from_spec(version.network)
+                versions_checked += 1
+            except Exception as exc:  # noqa: BLE001
+                problems.append(f"{version.ref}: bad network spec ({exc})")
+        return {
+            "ok": not problems,
+            "matrices_checked": matrices_checked,
+            "versions_checked": versions_checked,
+            "problems": problems,
+        }
+
+    def describe(self, ref: VersionLike) -> dict:
+        """``dlv desc``: metadata, structure, and log summary of a version."""
+        version = self.resolve(ref)
+        log = self.catalog.get_training_log(version.id)
+        return {
+            "id": version.id,
+            "name": version.name,
+            "ref": version.ref,
+            "message": version.message,
+            "created_at": version.created_at,
+            "metadata": version.metadata,
+            "layers": [
+                entry["layer"]["name"] + ":" + entry["layer"]["kind"]
+                for entry in version.network.get("nodes", [])
+            ],
+            "num_snapshots": len(version.snapshots),
+            "parents": self.catalog.get_parents(version.id),
+            "children": self.catalog.get_children(version.id),
+            "files": version.files,
+            "log_entries": len(log),
+            "last_log": log[-1] if log else None,
+        }
+
+    def training_log(self, ref: VersionLike) -> list[dict]:
+        return self.catalog.get_training_log(self.resolve(ref).id)
+
+    # -- weights ---------------------------------------------------------------------
+
+    def _plan_archive(self) -> PlanArchive:
+        """Current physical layout as a :class:`PlanArchive`."""
+        snapshots: dict[str, list[str]] = {}
+        shapes: dict[str, tuple] = {}
+        for row in self.catalog.get_matrices():
+            key = f"v{row['version_id']}/s{row['snapshot_idx']}"
+            snapshots.setdefault(key, []).append(row["matrix_id"])
+            shapes[row["matrix_id"]] = row["shape"]
+        manifest = {
+            "snapshots": snapshots,
+            "payloads": {
+                p["matrix_id"]: {
+                    "parent": p["parent"],
+                    "kind": p["kind"],
+                    "shape": list(shapes[p["matrix_id"]]),
+                    "chunks": p["chunks"],
+                }
+                for p in self.catalog.all_payloads()
+            },
+        }
+        return PlanArchive.from_manifest_dict(self.store, manifest)
+
+    def archive_view(self) -> PlanArchive:
+        """Public accessor for the current PAS layout."""
+        return self._plan_archive()
+
+    def get_snapshot_weights(
+        self,
+        ref: VersionLike,
+        snapshot_idx: int = -1,
+        planes: int = 4,
+    ) -> dict[str, dict[str, np.ndarray]]:
+        """Recreate a snapshot's weights (approximate when ``planes < 4``)."""
+        version = self.resolve(ref)
+        if not version.snapshots:
+            raise ValueError(f"version {version.ref} has no snapshots")
+        snapshot = version.snapshots[snapshot_idx]
+        archive = self._plan_archive()
+        weights: dict[str, dict[str, np.ndarray]] = {}
+        for row in self.catalog.get_matrices(version.id, snapshot.index):
+            value = archive.recreate_matrix(row["matrix_id"], planes=planes)
+            weights.setdefault(row["layer"], {})[row["param"]] = value
+        return weights
+
+    def load_network(
+        self, ref: VersionLike, snapshot_idx: int = -1, seed: int = 0
+    ) -> Network:
+        """Reconstruct a built network with a snapshot's weights installed."""
+        version = self.resolve(ref)
+        net = Network.from_spec(version.network).build(seed)
+        net.set_weights(self.get_snapshot_weights(version, snapshot_idx))
+        return net
+
+    def matrix_id_for(
+        self, ref: VersionLike, layer: str, param: str = "W",
+        snapshot_idx: int = -1,
+    ) -> str:
+        """PAS matrix id of one parameter of a version's snapshot."""
+        version = self.resolve(ref)
+        snapshot = version.snapshots[snapshot_idx]
+        for row in self.catalog.get_matrices(version.id, snapshot.index):
+            if row["layer"] == layer and row["param"] == param:
+                return row["matrix_id"]
+        raise KeyError(
+            f"{version.ref} snapshot {snapshot.index} has no matrix "
+            f"{layer}.{param}"
+        )
+
+    def inspect_matrix(
+        self, ref: VersionLike, layer: str, param: str = "W",
+        snapshot_idx: int = -1, planes: int = 2, bins: int = 10,
+    ) -> dict:
+        """Segment-only stats + histogram of one archived parameter.
+
+        Answers ``dlv inspect`` without touching the low-order byte planes
+        (Sec. IV-D's exploration-query optimization).
+        """
+        from repro.core.inspect import segment_histogram, segment_stats
+
+        matrix_id = self.matrix_id_for(ref, layer, param, snapshot_idx)
+        archive = self._plan_archive()
+        return {
+            "stats": segment_stats(archive, matrix_id, planes),
+            "histogram": segment_histogram(archive, matrix_id, bins, planes),
+        }
+
+    def evaluate(
+        self, ref: VersionLike, x: np.ndarray, y: Optional[np.ndarray] = None,
+        snapshot_idx: int = -1,
+    ) -> dict:
+        """``dlv eval``: run the test phase of a managed model on data."""
+        net = self.load_network(ref, snapshot_idx)
+        predictions = net.predict(x)
+        result = {"predictions": predictions}
+        if y is not None:
+            result["accuracy"] = float((predictions == np.asarray(y)).mean())
+        return result
+
+    # -- archival (`dlv archive`) -----------------------------------------------------------
+
+    def build_storage_graph(
+        self,
+        delta_within_versions: bool = True,
+        delta_across_lineage: bool = True,
+        recreation_unit: float = 1e-6,
+    ) -> tuple[MatrixStorageGraph, dict[str, np.ndarray]]:
+        """Construct the matrix storage graph of the whole repository.
+
+        Delta edges follow the paper's Fig. 6(b) findings: between
+        *adjacent snapshots* of the same version, and between the *latest
+        snapshots* of lineage-related versions (fine-tuning).  Edge weights:
+        storage cost = compressed byte-plane size of the payload;
+        recreation cost = uncompressed bytes x ``recreation_unit`` per
+        payload applied (a proxy for decompress+apply time).
+
+        Returns the graph and the id -> array map needed to physically
+        archive it.
+        """
+        graph = MatrixStorageGraph()
+        matrices: dict[str, np.ndarray] = {}
+        arrays: dict[str, np.ndarray] = {}
+        rows_by_snapshot: dict[tuple[int, int], list[dict]] = {}
+        archive = self._plan_archive()
+        for row in self.catalog.get_matrices():
+            matrix_id = row["matrix_id"]
+            value = archive.recreate_matrix(matrix_id)
+            arrays[matrix_id] = value
+            snapshot_key = f"v{row['version_id']}/s{row['snapshot_idx']}"
+            graph.add_matrix(
+                MatrixRef(matrix_id, snapshot_key, value.nbytes)
+            )
+            graph.add_materialization(
+                matrix_id,
+                _compressed_planes_size(value),
+                value.nbytes * recreation_unit,
+            )
+            matrices[matrix_id] = value
+            rows_by_snapshot.setdefault(
+                (row["version_id"], row["snapshot_idx"]), []
+            ).append(row)
+
+        def add_delta_edges(
+            rows_a: list[dict], rows_b: list[dict]
+        ) -> None:
+            by_key_b = {(r["layer"], r["param"]): r for r in rows_b}
+            for row_a in rows_a:
+                row_b = by_key_b.get((row_a["layer"], row_a["param"]))
+                if row_b is None:
+                    continue
+                if len(row_a["shape"]) != len(row_b["shape"]):
+                    continue
+                a, b = arrays[row_a["matrix_id"]], arrays[row_b["matrix_id"]]
+                cost = _compressed_planes_size(delta_sub_mismatched(a, b))
+                graph.add_edge(
+                    StorageEdge(
+                        row_b["matrix_id"],
+                        row_a["matrix_id"],
+                        cost,
+                        a.nbytes * recreation_unit,
+                        kind="delta",
+                    )
+                )
+
+        if delta_within_versions:
+            by_version: dict[int, list[int]] = {}
+            for vid, idx in rows_by_snapshot:
+                by_version.setdefault(vid, []).append(idx)
+            for vid, indices in by_version.items():
+                indices.sort()
+                for prev, nxt in zip(indices, indices[1:]):
+                    add_delta_edges(
+                        rows_by_snapshot[(vid, nxt)],
+                        rows_by_snapshot[(vid, prev)],
+                    )
+
+        if delta_across_lineage:
+            for base, derived, _ in self.catalog.all_lineage():
+                base_version = self.catalog.get_version(base)
+                derived_version = self.catalog.get_version(derived)
+                if not base_version.snapshots or not derived_version.snapshots:
+                    continue
+                base_key = (base, base_version.snapshots[-1].index)
+                derived_key = (derived, derived_version.snapshots[-1].index)
+                if base_key in rows_by_snapshot and derived_key in rows_by_snapshot:
+                    add_delta_edges(
+                        rows_by_snapshot[derived_key],
+                        rows_by_snapshot[base_key],
+                    )
+
+        return graph, matrices
+
+    def archive(
+        self,
+        alpha: float = 2.0,
+        scheme: RetrievalScheme = RetrievalScheme.INDEPENDENT,
+        algorithm: str = "best",
+    ) -> dict:
+        """``dlv archive``: re-optimize the repository's parameter storage.
+
+        Solves Problem 1 with per-snapshot budgets ``alpha x Cr(SPT)``,
+        physically re-archives every matrix per the winning plan, and
+        updates the payload table.
+
+        Returns:
+            A report with storage cost before/after and plan statistics.
+        """
+        before = self.store.total_size()
+        graph, matrices = self.build_storage_graph()
+        constraints = alpha_constraints(graph, alpha, scheme)
+        plan = solve(graph, constraints, scheme, algorithm)
+        archive = PlanArchive.build(self.store, matrices, plan)
+        for matrix_id, entry in archive.manifest.items():
+            self.catalog.set_payload(
+                matrix_id, entry.parent, entry.kind, entry.chunk_ids
+            )
+        self.catalog.commit()
+        self.gc()
+        after = self.store.total_size()
+        report = {
+            "algorithm": algorithm,
+            "alpha": alpha,
+            "scheme": scheme.value,
+            "plan_storage_cost": plan.storage_cost(),
+            "bytes_before": before,
+            "bytes_after": after,
+            "snapshot_costs": plan.all_snapshot_costs(scheme),
+            "satisfied": plan.satisfies(constraints, scheme),
+            "archived_at": _now(),
+        }
+        self._record_archive_report(report)
+        return report
+
+    def _record_archive_report(self, report: dict) -> None:
+        """Append an archive run to the repository's provenance history."""
+        archives_dir = self.dlv_dir / "archives"
+        archives_dir.mkdir(exist_ok=True)
+        existing = sorted(archives_dir.glob("*.json"))
+        index = len(existing)
+        (archives_dir / f"{index:04d}.json").write_text(
+            json.dumps(report, indent=2, default=str)
+        )
+
+    def archive_history(self) -> list[dict]:
+        """All recorded ``dlv archive`` runs, oldest first."""
+        archives_dir = self.dlv_dir / "archives"
+        if not archives_dir.exists():
+            return []
+        return [
+            json.loads(path.read_text())
+            for path in sorted(archives_dir.glob("*.json"))
+        ]
+
+    def convert_snapshot_scheme(
+        self, ref: VersionLike, snapshot_idx: int, float_scheme: str
+    ) -> dict:
+        """Re-encode a stored snapshot with a (lossier) float scheme.
+
+        The paper's storage story (Sec. IV-B): rather than deleting old
+        checkpoints under resource pressure, the modeler demotes them to a
+        cheaper representation — e.g. ``fixed8`` for snapshots kept only
+        for debugging, ``quant8-uniform`` for fine-tuning initializers.
+        The snapshot's recorded scheme is updated; its matrices are
+        re-segmented from the lossy values and the old chunks become
+        garbage (collect with :meth:`gc`).
+
+        Returns:
+            ``{"bytes_before", "bytes_after"}`` stored-size accounting for
+            the affected matrices.
+        """
+        version = self.resolve(ref)
+        snapshot = version.snapshots[snapshot_idx]
+        scheme = get_scheme(float_scheme)
+        archive = self._plan_archive()
+        rows = self.catalog.get_matrices(version.id, snapshot.index)
+        converted_ids = {row["matrix_id"] for row in rows}
+        # Matrices stored as deltas off a converted matrix would recreate
+        # from lossy values — re-materialize them (exactly) first.
+        dependents = [
+            p["matrix_id"]
+            for p in self.catalog.all_payloads()
+            if p["parent"] in converted_ids
+            and p["matrix_id"] not in converted_ids
+        ]
+        exact_values = {
+            matrix_id: archive.recreate_matrix(matrix_id)
+            for matrix_id in (*converted_ids, *dependents)
+        }
+        for matrix_id in dependents:
+            chunks = [
+                self.store.put(plane)
+                for plane in segment_planes(exact_values[matrix_id])
+            ]
+            self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
+        before = 0
+        after = 0
+        for row in rows:
+            matrix_id = row["matrix_id"]
+            payload = self.catalog.get_payload(matrix_id)
+            for sha in payload["chunks"]:
+                before += self.store.stored_size(sha)
+            lossy = scheme.roundtrip(exact_values[matrix_id])
+            chunks = [self.store.put(plane) for plane in segment_planes(lossy)]
+            # Converted snapshots are re-materialized: a lossy matrix is no
+            # longer a valid delta base/target for its old neighbours.
+            self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
+            for sha in chunks:
+                after += self.store.stored_size(sha)
+        self.catalog._conn.execute(
+            "UPDATE snapshot SET float_scheme = ? "
+            "WHERE version_id = ? AND idx = ?",
+            (float_scheme, version.id, snapshot.index),
+        )
+        self.catalog.commit()
+        self.gc()
+        return {"bytes_before": before, "bytes_after": after}
+
+    def prune_snapshots(
+        self, ref: VersionLike, keep_every: int = 2, keep_last: int = 1
+    ) -> dict:
+        """Drop intermediate checkpoints of a version.
+
+        Keeps every ``keep_every``-th snapshot plus the last ``keep_last``
+        ones (the latest snapshot is never dropped — it serves most queries,
+        Sec. IV-A).  Matrices stored as deltas off a pruned snapshot are
+        re-materialized first so surviving data stays recreatable.
+
+        Returns:
+            ``{"kept": [...], "dropped": [...]}`` snapshot indices.
+        """
+        if keep_every < 1 or keep_last < 1:
+            raise ValueError("keep_every and keep_last must be >= 1")
+        version = self.resolve(ref)
+        indices = [s.index for s in version.snapshots]
+        protected = set(indices[-keep_last:])
+        kept = [
+            i for i in indices if i % keep_every == 0 or i in protected
+        ]
+        dropped = [i for i in indices if i not in kept]
+        if not dropped:
+            return {"kept": kept, "dropped": []}
+
+        dropped_matrix_ids = {
+            row["matrix_id"]
+            for idx in dropped
+            for row in self.catalog.get_matrices(version.id, idx)
+        }
+        archive = self._plan_archive()
+        # Rebase survivors that delta off dropped matrices.
+        for payload in self.catalog.all_payloads():
+            if (
+                payload["parent"] in dropped_matrix_ids
+                and payload["matrix_id"] not in dropped_matrix_ids
+            ):
+                exact = archive.recreate_matrix(payload["matrix_id"])
+                chunks = [
+                    self.store.put(plane) for plane in segment_planes(exact)
+                ]
+                self.catalog.set_payload(
+                    payload["matrix_id"], ROOT, "materialize", chunks
+                )
+        for matrix_id in dropped_matrix_ids:
+            self.catalog._conn.execute(
+                "DELETE FROM payload WHERE matrix_id = ?", (matrix_id,)
+            )
+            self.catalog._conn.execute(
+                "DELETE FROM matrix WHERE matrix_id = ?", (matrix_id,)
+            )
+        for idx in dropped:
+            self.catalog._conn.execute(
+                "DELETE FROM snapshot WHERE version_id = ? AND idx = ?",
+                (version.id, idx),
+            )
+        self.catalog.commit()
+        self.gc()
+        return {"kept": kept, "dropped": dropped}
+
+    def export_model_dir(
+        self, ref: VersionLike, path: str | Path, snapshot_idx: int = -1
+    ) -> Path:
+        """Inverse of ``dlv commit``: write a model directory for a version.
+
+        Produces the ``network.json`` / ``weights.npz`` / ``solver.json`` /
+        ``log.json`` exchange format so the model can be loaded back into
+        an external training system (see :mod:`repro.dlv.wrapper`).
+        """
+        from repro.dlv import wrapper
+        from repro.dnn.training import SGDConfig, TrainResult
+
+        version = self.resolve(ref)
+        net = self.load_network(version, snapshot_idx)
+        hyperparams = version.metadata.get("hyperparams")
+        config = None
+        if isinstance(hyperparams, dict):
+            known = {
+                k: v
+                for k, v in hyperparams.items()
+                if k in SGDConfig.__dataclass_fields__
+            }
+            config = SGDConfig(**known)
+        log = self.training_log(version)
+        result = TrainResult(log=log) if log else None
+        return wrapper.save_model_dir(path, net, config, result)
+
+    def gc(self) -> int:
+        """Delete chunks not referenced by any payload; returns count removed."""
+        referenced: set[str] = set()
+        for payload in self.catalog.all_payloads():
+            referenced.update(payload["chunks"])
+        removed = 0
+        for sha in list(self.store.addresses()):
+            if sha not in referenced:
+                self.store.delete(sha)
+                removed += 1
+        return removed
+
+    # -- copy (`dlv copy`) -----------------------------------------------------------------
+
+    def copy_version(
+        self, ref: VersionLike, new_name: str, message: str = ""
+    ) -> ModelVersion:
+        """``dlv copy``: scaffold a new version from an old one.
+
+        The new version shares the old one's architecture and latest
+        weights (stored deduplicated by content addressing) and records a
+        lineage edge — the starting point for fine-tuning.
+        """
+        base = self.resolve(ref)
+        net = self.load_network(base)
+        net.name = new_name
+        return self.commit(
+            net,
+            name=new_name,
+            message=message or f"copied from {base.ref}",
+            parent=base,
+        )

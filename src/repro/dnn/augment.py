@@ -1,0 +1,76 @@
+"""Data augmentation for image training batches.
+
+Simple, deterministic-by-seed augmentations applied per minibatch: random
+translation (the jitter the synthetic generators use), horizontal flips,
+and additive Gaussian noise.  An :class:`Augmenter` can be handed to the
+training loop to regularize the small synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class AugmentConfig:
+    """Augmentation strengths (0 disables each transform).
+
+    Attributes:
+        max_shift: Maximum absolute translation, in pixels, per axis.
+        flip_probability: Chance of a horizontal flip per example.
+        noise_std: Std of additive Gaussian pixel noise.
+        seed: RNG seed for the augmenter's own generator.
+    """
+
+    max_shift: int = 1
+    flip_probability: float = 0.0
+    noise_std: float = 0.0
+    seed: int = 0
+
+
+class Augmenter:
+    """Applies random augmentations to `(N, C, H, W)` batches."""
+
+    def __init__(self, config: AugmentConfig) -> None:
+        if config.max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        if not 0.0 <= config.flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in [0, 1]")
+        if config.noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def _shift(self, image: np.ndarray, dy: int, dx: int) -> np.ndarray:
+        if dy == 0 and dx == 0:
+            return image
+        out = np.zeros_like(image)
+        _, h, w = image.shape
+        ys = slice(max(dy, 0), h + min(dy, 0))
+        xs = slice(max(dx, 0), w + min(dx, 0))
+        ys_src = slice(max(-dy, 0), h + min(-dy, 0))
+        xs_src = slice(max(-dx, 0), w + min(-dx, 0))
+        out[:, ys, xs] = image[:, ys_src, xs_src]
+        return out
+
+    def __call__(self, batch: np.ndarray) -> np.ndarray:
+        """Return an augmented copy of the batch (the input is untouched)."""
+        cfg = self.config
+        out = batch.copy()
+        n = len(out)
+        if cfg.max_shift > 0:
+            shifts = self._rng.integers(
+                -cfg.max_shift, cfg.max_shift + 1, size=(n, 2)
+            )
+            for i in range(n):
+                out[i] = self._shift(out[i], int(shifts[i, 0]), int(shifts[i, 1]))
+        if cfg.flip_probability > 0:
+            flips = self._rng.random(n) < cfg.flip_probability
+            out[flips] = out[flips][:, :, :, ::-1]
+        if cfg.noise_std > 0:
+            out = out + self._rng.normal(
+                0.0, cfg.noise_std, size=out.shape
+            ).astype(out.dtype)
+        return out

@@ -1,0 +1,75 @@
+"""im2col / col2im utilities shared by the convolution and pooling layers.
+
+Convolutions are implemented by unrolling input patches into a matrix and
+multiplying by the (reshaped) weight matrix — the standard trick used by
+Caffe itself, which keeps the numpy implementation fast enough for the
+paper's laptop-scale experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"non-positive output size for input={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    x: np.ndarray, kernel: int, stride: int, pad: int
+) -> tuple[np.ndarray, int, int]:
+    """Unroll `(N, C, H, W)` input into `(N * oh * ow, C * k * k)` patches.
+
+    Returns the patch matrix together with the output spatial sizes.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, pad)
+    ow = conv_output_size(w, kernel, stride, pad)
+    if pad > 0:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+        )
+    cols = np.empty((n, c, kernel, kernel, oh, ow), dtype=x.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            cols[:, :, ky, kx, :, :] = x[:, :, ky:y_end:stride, kx:x_end:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        n * oh * ow, c * kernel * kernel
+    )
+    return cols, oh, ow
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patches back to `(N, C, H, W)`."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kernel, stride, pad)
+    ow = conv_output_size(w, kernel, stride, pad)
+    cols = cols.reshape(n, oh, ow, c, kernel, kernel).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_end = ky + stride * oh
+        for kx in range(kernel):
+            x_end = kx + stride * ow
+            padded[:, :, ky:y_end:stride, kx:x_end:stride] += cols[
+                :, :, ky, kx, :, :
+            ]
+    if pad > 0:
+        return padded[:, :, pad : pad + h, pad : pad + w]
+    return padded

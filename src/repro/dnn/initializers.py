@@ -1,0 +1,80 @@
+"""Weight initializers for DNN layers.
+
+Each initializer takes a shape and a :class:`numpy.random.Generator` and
+returns a float32 array.  Keeping initializers pluggable lets the synthetic
+auto-modeler (``repro.lifecycle``) reproduce the paper's "re-training with
+slightly different initializations" scenario deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+Initializer = Callable[[tuple, np.random.Generator], np.ndarray]
+
+
+def zeros(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialization (used for biases)."""
+    del rng
+    return np.zeros(shape, dtype=np.float32)
+
+
+def _fan_in_out(shape: tuple) -> tuple[int, int]:
+    """Compute fan-in / fan-out for a weight tensor.
+
+    Dense weights are ``(in, out)``; convolution weights are
+    ``(out_channels, in_channels, kh, kw)``.
+    """
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def he_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) normal initialization, suited to ReLU networks."""
+    fan_in, _ = _fan_in_out(shape)
+    std = math.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def gaussian(std: float) -> Initializer:
+    """Gaussian initializer with a fixed standard deviation (Caffe style)."""
+
+    def init(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+        return (rng.standard_normal(shape) * std).astype(np.float32)
+
+    return init
+
+
+INITIALIZERS: dict[str, Initializer] = {
+    "zeros": zeros,
+    "xavier": xavier_uniform,
+    "he": he_normal,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name.
+
+    Raises:
+        KeyError: if the name is unknown.
+    """
+    if name not in INITIALIZERS:
+        raise KeyError(
+            f"unknown initializer {name!r}; known: {sorted(INITIALIZERS)}"
+        )
+    return INITIALIZERS[name]

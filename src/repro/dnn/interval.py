@@ -1,0 +1,264 @@
+"""Interval arithmetic primitives for progressive query evaluation.
+
+PAS stores float matrices in byte-plane segments.  When only the high-order
+segments of the weights are retrieved, each weight is known to lie in a
+range ``[w_min, w_max]``.  Progressive evaluation (Sec. IV-D of the paper)
+propagates these parameter perturbations through the network and applies
+Lemma 4 to decide whether the prediction is already determined.
+
+This module provides the :class:`Interval` container and sound interval
+versions of the tensor operations used by the layers.  Linear operations
+(matmul, convolution) use the midpoint–radius formulation
+
+    |Y - Xc @ Wc|  <=  |Xc| @ Wr + Xr @ |Wc| + Xr @ Wr
+
+which is a sound outer bound and vectorises into four matrix products.
+When one operand is exact (radius zero) the bound is exact as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An elementwise interval ``[lo, hi]`` over an ndarray."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.lo.shape != self.hi.shape:
+            raise ValueError(
+                f"interval bound shapes differ: {self.lo.shape} vs {self.hi.shape}"
+            )
+
+    @classmethod
+    def exact(cls, value: np.ndarray) -> "Interval":
+        """Wrap an exact array as a degenerate interval."""
+        value = np.asarray(value, dtype=np.float64)
+        return cls(value, value.copy())
+
+    @classmethod
+    def from_bounds(cls, lo: np.ndarray, hi: np.ndarray) -> "Interval":
+        """Construct from explicit bounds, validating the ordering."""
+        lo = np.asarray(lo, dtype=np.float64)
+        hi = np.asarray(hi, dtype=np.float64)
+        if np.any(lo > hi + 1e-12):
+            raise ValueError("interval lower bound exceeds upper bound")
+        return cls(lo, np.maximum(lo, hi))
+
+    @property
+    def shape(self) -> tuple:
+        return self.lo.shape
+
+    @property
+    def mid(self) -> np.ndarray:
+        """Interval midpoint."""
+        return (self.lo + self.hi) / 2.0
+
+    @property
+    def rad(self) -> np.ndarray:
+        """Interval radius (half-width); always non-negative."""
+        return (self.hi - self.lo) / 2.0
+
+    @property
+    def width(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    def is_exact(self, atol: float = 0.0) -> bool:
+        """True when every element's width is within ``atol``."""
+        return bool(np.all(self.hi - self.lo <= atol))
+
+    def contains(self, value: np.ndarray, atol: float = 1e-9) -> bool:
+        """True when ``value`` lies inside the interval elementwise."""
+        value = np.asarray(value)
+        return bool(
+            np.all(value >= self.lo - atol) and np.all(value <= self.hi + atol)
+        )
+
+    def reshape(self, *shape) -> "Interval":
+        return Interval(self.lo.reshape(*shape), self.hi.reshape(*shape))
+
+    def __add__(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def __neg__(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def __sub__(self, other: "Interval") -> "Interval":
+        return self + (-other)
+
+
+#: When True, linear layers use the tighter (2-3x costlier) interval
+#: product.  Toggle with :func:`set_tight_mode` / :class:`tight_intervals`.
+_TIGHT_MODE = False
+
+
+def set_tight_mode(enabled: bool) -> bool:
+    """Enable/disable tight interval products globally; returns the old value."""
+    global _TIGHT_MODE
+    previous = _TIGHT_MODE
+    _TIGHT_MODE = bool(enabled)
+    return previous
+
+
+class tight_intervals:
+    """Context manager enabling tight interval products.
+
+    Progressive evaluation of deep networks benefits greatly: the default
+    midpoint-radius product over-approximates through every layer, while
+    the tight product is exact for the non-negative activation ranges that
+    follow ReLU/pooling layers.
+    """
+
+    def __enter__(self) -> "tight_intervals":
+        self._previous = set_tight_mode(True)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        set_tight_mode(self._previous)
+
+
+def _rump_matmul(x: Interval, w: Interval) -> Interval:
+    """Midpoint-radius bound: cheap (4 products), sound, often loose."""
+    xc, xr = x.mid, x.rad
+    wc, wr = w.mid, w.rad
+    center = xc @ wc
+    radius = np.abs(xc) @ wr + xr @ np.abs(wc) + xr @ wr
+    return Interval(center - radius, center + radius)
+
+
+def _nonneg_matmul(
+    lo: np.ndarray, hi: np.ndarray, w: Interval
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact interval product for a *non-negative* left operand.
+
+    For ``x in [lo, hi]`` with ``lo >= 0`` and ``w in [wl, wu]``, the
+    elementwise product is minimized at ``w = wl`` (then at ``x = lo`` when
+    ``wl >= 0`` else ``x = hi``), and symmetrically for the maximum —
+    which decomposes into four matrix products.
+    """
+    wl_pos = np.maximum(w.lo, 0.0)
+    wl_neg = np.minimum(w.lo, 0.0)
+    wu_pos = np.maximum(w.hi, 0.0)
+    wu_neg = np.minimum(w.hi, 0.0)
+    out_lo = lo @ wl_pos + hi @ wl_neg
+    out_hi = hi @ wu_pos + lo @ wu_neg
+    return out_lo, out_hi
+
+
+def _split_matmul(x: Interval, w: Interval) -> Interval:
+    """Positive/negative-split product: exact when ``x`` doesn't span zero.
+
+    ``x = x+ - x-`` with both parts non-negative intervals; each part
+    multiplies ``w`` exactly via :func:`_nonneg_matmul`.  Elements whose
+    interval straddles zero lose the correlation between the parts (a
+    sound over-approximation).
+    """
+    xp_lo = np.maximum(x.lo, 0.0)
+    xp_hi = np.maximum(x.hi, 0.0)
+    xn_lo = np.maximum(-x.hi, 0.0)
+    xn_hi = np.maximum(-x.lo, 0.0)
+    pos_lo, pos_hi = _nonneg_matmul(xp_lo, xp_hi, w)
+    neg_w = Interval(-w.hi, -w.lo)
+    neg_lo, neg_hi = _nonneg_matmul(xn_lo, xn_hi, neg_w)
+    return Interval(pos_lo + neg_lo, pos_hi + neg_hi)
+
+
+def interval_matmul(x: Interval, w: Interval) -> Interval:
+    """Sound interval matrix product ``x @ w``.
+
+    Default: the midpoint-radius bound (exact when either operand has zero
+    radius).  In tight mode the positive/negative-split product is
+    intersected with it — both are sound outer bounds, so their
+    intersection is sound and at least as tight as either.
+    """
+    rump = _rump_matmul(x, w)
+    if not _TIGHT_MODE:
+        return rump
+    split = _split_matmul(x, w)
+    return Interval(
+        np.maximum(rump.lo, split.lo), np.minimum(rump.hi, split.hi)
+    )
+
+
+def interval_add_bias(x: Interval, b: Interval) -> Interval:
+    """Add an interval bias (broadcast over the batch dimension)."""
+    return Interval(x.lo + b.lo, x.hi + b.hi)
+
+
+def apply_monotonic(x: Interval, fn) -> Interval:
+    """Apply a monotonically non-decreasing scalar function to an interval."""
+    return Interval(fn(x.lo), fn(x.hi))
+
+
+def interval_maximum(x: Interval, y: Interval) -> Interval:
+    """Elementwise max of two intervals."""
+    return Interval(np.maximum(x.lo, y.lo), np.maximum(x.hi, y.hi))
+
+
+def interval_relu(x: Interval) -> Interval:
+    return Interval(np.maximum(x.lo, 0.0), np.maximum(x.hi, 0.0))
+
+
+def interval_sigmoid(x: Interval) -> Interval:
+    def sigmoid(v: np.ndarray) -> np.ndarray:
+        out = np.empty_like(v, dtype=np.float64)
+        pos = v >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-v[pos]))
+        ev = np.exp(v[~pos])
+        out[~pos] = ev / (1.0 + ev)
+        return out
+
+    return apply_monotonic(x, sigmoid)
+
+
+def interval_tanh(x: Interval) -> Interval:
+    return apply_monotonic(x, np.tanh)
+
+
+def interval_scale(x: Interval, alpha: float) -> Interval:
+    """Multiply an interval by an exact scalar."""
+    if alpha >= 0:
+        return Interval(x.lo * alpha, x.hi * alpha)
+    return Interval(x.hi * alpha, x.lo * alpha)
+
+
+def argmax_determined(output: Interval, k: int = 1) -> tuple[bool, np.ndarray]:
+    """Apply Lemma 4 per row: is the top-``k`` label set determined?
+
+    For ``k = 1`` the paper's condition is: there exists an index whose lower
+    bound exceeds every other index's upper bound.  For general ``k`` we
+    check that the set of top-``k`` midpoints is separated: the ``k``-th
+    largest lower bound among the candidate set exceeds the maximum upper
+    bound outside it.
+
+    Returns:
+        A `(determined, labels)` pair where ``determined`` is a boolean array
+        of shape `(batch,)` and ``labels`` holds the argmax of the midpoint
+        (valid answers wherever ``determined`` is True; for k > 1 the labels
+        are the midpoint argmax — the full candidate set can be recovered
+        from the bounds).
+    """
+    lo, hi = output.lo, output.hi
+    if lo.ndim != 2:
+        raise ValueError("argmax determination expects a (batch, classes) output")
+    n, c = lo.shape
+    if not 1 <= k <= c:
+        raise ValueError(f"k={k} out of range for {c} classes")
+    mid = output.mid
+    order = np.argsort(-mid, axis=1)
+    rows = np.arange(n)[:, None]
+    top = order[:, :k]
+    rest = order[:, k:]
+    top_lo_min = lo[rows, top].min(axis=1)
+    if rest.shape[1] == 0:
+        determined = np.ones(n, dtype=bool)
+    else:
+        rest_hi_max = hi[rows, rest].max(axis=1)
+        determined = top_lo_min > rest_hi_max
+    return determined, order[:, 0]

@@ -1,0 +1,854 @@
+"""Layer implementations for the numpy DNN substrate.
+
+A layer follows the paper's formulation ``L_i : (W, H, X) -> Y`` — a
+function from an input tensor to an output tensor, with learnable
+parameters ``W`` and fixed hyperparameters ``H`` (Sec. II).  Layers are the
+unit of composition in ModelHub's data model: DQL selectors match layers by
+kind and name, and PAS archives each layer's parameter matrices
+independently.
+
+Every layer supports three evaluation modes:
+
+* ``forward`` — the ordinary float forward pass (training or inference);
+* ``backward`` — gradient computation for the trainer;
+* ``forward_interval`` — a sound interval forward pass given parameter
+  bounds, used by progressive query evaluation (Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dnn import initializers
+from repro.dnn.im2col import col2im, conv_output_size, im2col
+from repro.dnn.interval import (
+    Interval,
+    interval_add_bias,
+    interval_matmul,
+    interval_relu,
+    interval_sigmoid,
+    interval_tanh,
+)
+
+
+class Layer:
+    """Base class for all layers.
+
+    Attributes:
+        name: Unique node name within a network (e.g. ``"conv1"``).
+        kind: DQL template kind (``"CONV"``, ``"POOL"``, ``"FULL"``, ...).
+        hyperparams: The fixed hyperparameters ``H`` of the layer.
+        params: Learnable parameter arrays keyed by name (``"W"``, ``"b"``).
+        grads: Gradients of the last backward pass, same keys as ``params``.
+        multi_input: True for layers consuming several upstream tensors
+            (``Add``, ``Concat``); their ``forward`` takes a list and their
+            ``backward`` returns a list of input gradients.
+    """
+
+    kind: str = "LAYER"
+    multi_input: bool = False
+
+    def __init__(self, name: str, **hyperparams) -> None:
+        self.name = name
+        self.hyperparams: dict = dict(hyperparams)
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+        self.input_shape: Optional[tuple] = None
+        self.output_shape: Optional[tuple] = None
+        self._cache: dict = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        """Allocate parameters for ``input_shape`` and return the output shape.
+
+        Shapes exclude the batch dimension: ``(C, H, W)`` for images and
+        ``(D,)`` for flat features.
+        """
+        self.input_shape = tuple(input_shape)
+        self.output_shape = self._build(self.input_shape, rng)
+        return self.output_shape
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        del rng
+        return input_shape
+
+    @property
+    def is_parametric(self) -> bool:
+        """True when the layer has learnable weights (``W != {}``)."""
+        return bool(self.params)
+
+    def param_count(self) -> int:
+        """Total number of learnable scalars."""
+        return int(sum(p.size for p in self.params.values()))
+
+    # -- evaluation --------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        """Interval forward pass.
+
+        Args:
+            x: Interval over the input tensor.
+            params: Optional interval bounds per parameter name.  When
+                omitted, the layer's exact parameters are used (degenerate
+                intervals), which makes ``forward_interval`` agree with
+                ``forward`` up to float64 rounding.
+        """
+        raise NotImplementedError
+
+    def _param_interval(
+        self, key: str, params: Optional[dict[str, Interval]]
+    ) -> Interval:
+        if params is not None and key in params:
+            return params[key]
+        return Interval.exact(self.params[key])
+
+    # -- serialization -----------------------------------------------------
+
+    def spec(self) -> dict:
+        """JSON-serializable structural description (no weights)."""
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "hyperparams": dict(self.hyperparams),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hp = ", ".join(f"{k}={v}" for k, v in self.hyperparams.items())
+        return f"{type(self).__name__}({self.name!r}, {hp})"
+
+
+class Conv2D(Layer):
+    """2-D convolution over ``(N, C, H, W)`` inputs via im2col."""
+
+    kind = "CONV"
+
+    def __init__(
+        self,
+        name: str,
+        filters: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        init: str = "he",
+    ) -> None:
+        super().__init__(
+            name, filters=filters, kernel=kernel, stride=stride, pad=pad,
+            init=init,
+        )
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: Conv2D needs (C, H, W), got {input_shape}")
+        c, h, w = input_shape
+        hp = self.hyperparams
+        k, s, p = hp["kernel"], hp["stride"], hp["pad"]
+        oh = conv_output_size(h, k, s, p)
+        ow = conv_output_size(w, k, s, p)
+        w_shape = (hp["filters"], c, k, k)
+        # Preserve trained weights across re-builds (e.g. after a DQL
+        # mutation elsewhere in the DAG) as long as shapes still match.
+        if self.params.get("W") is None or self.params["W"].shape != w_shape:
+            init = initializers.get_initializer(hp["init"])
+            self.params["W"] = init(w_shape, rng)
+            self.params["b"] = initializers.zeros((hp["filters"],), rng)
+        return (hp["filters"], oh, ow)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        hp = self.hyperparams
+        k, s, p = hp["kernel"], hp["stride"], hp["pad"]
+        n = x.shape[0]
+        cols, oh, ow = im2col(x, k, s, p)
+        w_mat = self.params["W"].reshape(hp["filters"], -1)
+        out = cols @ w_mat.T + self.params["b"]
+        out = out.reshape(n, oh, ow, hp["filters"]).transpose(0, 3, 1, 2)
+        if training:
+            self._cache = {"cols": cols, "x_shape": x.shape, "oh": oh, "ow": ow}
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        hp = self.hyperparams
+        k, s, p = hp["kernel"], hp["stride"], hp["pad"]
+        cols = self._cache["cols"]
+        x_shape = self._cache["x_shape"]
+        n, f = grad.shape[0], hp["filters"]
+        grad_mat = grad.transpose(0, 2, 3, 1).reshape(-1, f)
+        w_mat = self.params["W"].reshape(f, -1)
+        self.grads["W"] = (grad_mat.T @ cols).reshape(self.params["W"].shape)
+        self.grads["b"] = grad_mat.sum(axis=0)
+        dcols = grad_mat @ w_mat
+        return col2im(dcols, x_shape, k, s, p)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        hp = self.hyperparams
+        k, s, p = hp["kernel"], hp["stride"], hp["pad"]
+        n = x.lo.shape[0]
+        cols_lo, oh, ow = im2col(x.lo, k, s, p)
+        cols_hi, _, _ = im2col(x.hi, k, s, p)
+        cols = Interval(cols_lo, cols_hi)
+        w = self._param_interval("W", params)
+        f = hp["filters"]
+        w_mat = Interval(
+            w.lo.reshape(f, -1).T, w.hi.reshape(f, -1).T
+        )
+        out = interval_matmul(cols, w_mat)
+        b = self._param_interval("b", params)
+        out = interval_add_bias(out, b)
+        lo = out.lo.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+        hi = out.hi.reshape(n, oh, ow, f).transpose(0, 3, 1, 2)
+        return Interval(lo, hi)
+
+
+class _Pool2D(Layer):
+    """Shared machinery for max/average pooling."""
+
+    def __init__(self, name: str, kernel: int, stride: Optional[int] = None) -> None:
+        super().__init__(
+            name, kernel=kernel, stride=stride if stride is not None else kernel
+        )
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        del rng
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: pooling needs (C, H, W), got {input_shape}")
+        c, h, w = input_shape
+        k, s = self.hyperparams["kernel"], self.hyperparams["stride"]
+        return (c, conv_output_size(h, k, s, 0), conv_output_size(w, k, s, 0))
+
+    def _patches(self, x: np.ndarray) -> tuple[np.ndarray, int, int, int, int]:
+        n, c, h, w = x.shape
+        k, s = self.hyperparams["kernel"], self.hyperparams["stride"]
+        cols, oh, ow = im2col(x.reshape(n * c, 1, h, w), k, s, 0)
+        return cols, n, c, oh, ow
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling; the DQL template for it is ``POOL("MAX")``."""
+
+    kind = "POOL"
+
+    def __init__(self, name: str, kernel: int, stride: Optional[int] = None) -> None:
+        super().__init__(name, kernel, stride)
+        self.hyperparams["mode"] = "MAX"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, n, c, oh, ow = self._patches(x)
+        arg = cols.argmax(axis=1)
+        out = cols[np.arange(cols.shape[0]), arg]
+        if training:
+            self._cache = {
+                "arg": arg, "cols_shape": cols.shape, "x_shape": x.shape,
+                "dims": (n, c, oh, ow),
+            }
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k, s = self.hyperparams["kernel"], self.hyperparams["stride"]
+        n, c, oh, ow = self._cache["dims"]
+        x_shape = self._cache["x_shape"]
+        dcols = np.zeros(self._cache["cols_shape"], dtype=grad.dtype)
+        dcols[np.arange(dcols.shape[0]), self._cache["arg"]] = grad.reshape(-1)
+        nn, cc, h, w = x_shape
+        dx = col2im(dcols, (nn * cc, 1, h, w), k, s, 0)
+        return dx.reshape(x_shape)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        cols_lo, n, c, oh, ow = self._patches(x.lo)
+        cols_hi, _, _, _, _ = self._patches(x.hi)
+        lo = cols_lo.max(axis=1).reshape(n, c, oh, ow)
+        hi = cols_hi.max(axis=1).reshape(n, c, oh, ow)
+        return Interval(lo, hi)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling; the DQL template for it is ``POOL("AVG")``."""
+
+    kind = "POOL"
+
+    def __init__(self, name: str, kernel: int, stride: Optional[int] = None) -> None:
+        super().__init__(name, kernel, stride)
+        self.hyperparams["mode"] = "AVG"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        cols, n, c, oh, ow = self._patches(x)
+        if training:
+            self._cache = {"x_shape": x.shape, "cols_shape": cols.shape,
+                           "dims": (n, c, oh, ow)}
+        return cols.mean(axis=1).reshape(n, c, oh, ow)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        k, s = self.hyperparams["kernel"], self.hyperparams["stride"]
+        x_shape = self._cache["x_shape"]
+        cols_shape = self._cache["cols_shape"]
+        dcols = np.repeat(
+            grad.reshape(-1, 1) / cols_shape[1], cols_shape[1], axis=1
+        )
+        nn, cc, h, w = x_shape
+        dx = col2im(dcols, (nn * cc, 1, h, w), k, s, 0)
+        return dx.reshape(x_shape)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        cols_lo, n, c, oh, ow = self._patches(x.lo)
+        cols_hi, _, _, _, _ = self._patches(x.hi)
+        lo = cols_lo.mean(axis=1).reshape(n, c, oh, ow)
+        hi = cols_hi.mean(axis=1).reshape(n, c, oh, ow)
+        return Interval(lo, hi)
+
+
+class Dense(Layer):
+    """Fully connected (inner product) layer; DQL template ``FULL``."""
+
+    kind = "FULL"
+
+    def __init__(self, name: str, units: int, init: str = "xavier") -> None:
+        super().__init__(name, units=units, init=init)
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        if len(input_shape) != 1:
+            raise ValueError(
+                f"{self.name}: Dense needs flat input (D,), got {input_shape}; "
+                "insert a Flatten layer"
+            )
+        units = self.hyperparams["units"]
+        w_shape = (input_shape[0], units)
+        # Preserve trained weights across re-builds when shapes still match.
+        if self.params.get("W") is None or self.params["W"].shape != w_shape:
+            init = initializers.get_initializer(self.hyperparams["init"])
+            self.params["W"] = init(w_shape, rng)
+            self.params["b"] = initializers.zeros((units,), rng)
+        return (units,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"x": x}
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._cache["x"]
+        self.grads["W"] = x.T @ grad
+        self.grads["b"] = grad.sum(axis=0)
+        return grad @ self.params["W"].T
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        w = self._param_interval("W", params)
+        b = self._param_interval("b", params)
+        return interval_add_bias(interval_matmul(x, w), b)
+
+
+class Flatten(Layer):
+    """Reshape image tensors to flat feature vectors."""
+
+    kind = "FLATTEN"
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        del rng
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"x_shape": x.shape}
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._cache["x_shape"])
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        n = x.lo.shape[0]
+        return x.reshape(n, -1)
+
+
+class ReLU(Layer):
+    """Rectified linear activation; DQL template ``RELU``."""
+
+    kind = "RELU"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"mask": x > 0}
+        return np.maximum(x, 0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._cache["mask"]
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        return interval_relu(x)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    kind = "SIGMOID"
+
+    @staticmethod
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        out = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        return out.astype(x.dtype)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = self._sigmoid(x)
+        if training:
+            self._cache = {"y": y}
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        y = self._cache["y"]
+        return grad * y * (1.0 - y)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        return interval_sigmoid(x)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    kind = "TANH"
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.tanh(x)
+        if training:
+            self._cache = {"y": y}
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        y = self._cache["y"]
+        return grad * (1.0 - y * y)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        return interval_tanh(x)
+
+
+class Softmax(Layer):
+    """Softmax over the class dimension.
+
+    Networks typically end with this layer; the trainer fuses it with the
+    cross-entropy loss for a numerically stable gradient, and progressive
+    evaluation works on its (order-preserving) input logits.
+    """
+
+    kind = "SOFTMAX"
+
+    @staticmethod
+    def _softmax(x: np.ndarray) -> np.ndarray:
+        shifted = x - x.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = self._softmax(x)
+        if training:
+            self._cache = {"y": y}
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        y = self._cache["y"]
+        dot = (grad * y).sum(axis=1, keepdims=True)
+        return y * (grad - dot)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        # Sound bounds: y_i is minimised when x_i is at its lower bound and
+        # every other logit at its upper bound (and vice versa).
+        lo_e = np.exp(x.lo - x.hi.max(axis=1, keepdims=True))
+        hi_e = np.exp(x.hi - x.hi.max(axis=1, keepdims=True))
+        sum_hi = hi_e.sum(axis=1, keepdims=True)
+        sum_lo = lo_e.sum(axis=1, keepdims=True)
+        y_lo = lo_e / (lo_e + (sum_hi - hi_e))
+        y_hi = hi_e / (hi_e + (sum_lo - lo_e))
+        return Interval(y_lo, np.maximum(y_lo, y_hi))
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    kind = "DROPOUT"
+
+    def __init__(self, name: str, rate: float = 0.5, seed: int = 0) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        super().__init__(name, rate=rate, seed=seed)
+        self._rng = np.random.default_rng(seed)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        rate = self.hyperparams["rate"]
+        if not training or rate == 0.0:
+            return x
+        mask = (self._rng.random(x.shape) >= rate) / (1.0 - rate)
+        self._cache = {"mask": mask}
+        return x * mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._cache["mask"]
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        return x
+
+
+class LocalResponseNorm(Layer):
+    """AlexNet-style local response normalization across channels."""
+
+    kind = "LRN"
+
+    def __init__(
+        self,
+        name: str,
+        size: int = 5,
+        alpha: float = 1e-4,
+        beta: float = 0.75,
+        k: float = 2.0,
+    ) -> None:
+        super().__init__(name, size=size, alpha=alpha, beta=beta, k=k)
+
+    def _window_sum(self, sq: np.ndarray) -> np.ndarray:
+        """Sliding-window sum of ``sq`` along the channel axis."""
+        size = self.hyperparams["size"]
+        half = size // 2
+        c = sq.shape[1]
+        padded = np.pad(sq, ((0, 0), (half, half), (0, 0), (0, 0)))
+        cumsum = np.cumsum(padded, axis=1)
+        cumsum = np.concatenate(
+            [np.zeros_like(cumsum[:, :1]), cumsum], axis=1
+        )
+        return cumsum[:, size:] - cumsum[:, : c + 2 * half - size + 1]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        hp = self.hyperparams
+        scale = hp["k"] + (hp["alpha"] / hp["size"]) * self._window_sum(x * x)
+        y = x * np.power(scale, -hp["beta"])
+        if training:
+            self._cache = {"x": x, "scale": scale, "y": y}
+        return y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        hp = self.hyperparams
+        x, scale, y = self._cache["x"], self._cache["scale"], self._cache["y"]
+        direct = grad * np.power(scale, -hp["beta"])
+        inner = grad * y / scale
+        cross = self._window_sum(inner)
+        return direct - (2.0 * hp["alpha"] * hp["beta"] / hp["size"]) * x * cross
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        del params
+        hp = self.hyperparams
+        # Bounds on the squared activations.
+        sq_hi = np.maximum(x.lo * x.lo, x.hi * x.hi)
+        spans_zero = (x.lo <= 0) & (x.hi >= 0)
+        sq_lo = np.where(spans_zero, 0.0, np.minimum(x.lo * x.lo, x.hi * x.hi))
+        coef = hp["alpha"] / hp["size"]
+        scale_lo = hp["k"] + coef * self._window_sum(sq_lo)
+        scale_hi = hp["k"] + coef * self._window_sum(sq_hi)
+        # scale > 0 everywhere, so scale^-beta is in [scale_hi^-b, scale_lo^-b].
+        inv_lo = np.power(scale_hi, -hp["beta"])
+        inv_hi = np.power(scale_lo, -hp["beta"])
+        # y = x * s where s in [inv_lo, inv_hi] > 0: four-candidate product.
+        cands = np.stack(
+            [x.lo * inv_lo, x.lo * inv_hi, x.hi * inv_lo, x.hi * inv_hi]
+        )
+        return Interval(cands.min(axis=0), cands.max(axis=0))
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the channel axis.
+
+    Normalizes with batch statistics during training (maintaining running
+    estimates) and with the running estimates at inference, followed by a
+    learned per-channel affine ``gamma * x + beta``.  Works on both
+    ``(N, C, H, W)`` and ``(N, D)`` inputs.
+    """
+
+    kind = "BNORM"
+
+    def __init__(self, name: str, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__(name, momentum=momentum, eps=eps)
+        self.running_mean: Optional[np.ndarray] = None
+        self.running_var: Optional[np.ndarray] = None
+
+    def _build(self, input_shape: tuple, rng: np.random.Generator) -> tuple:
+        del rng
+        channels = input_shape[0]
+        if self.params.get("gamma") is None or self.params[
+            "gamma"
+        ].shape != (channels,):
+            self.params["gamma"] = np.ones(channels, dtype=np.float32)
+            self.params["beta"] = np.zeros(channels, dtype=np.float32)
+        if self.running_mean is None or self.running_mean.shape != (channels,):
+            self.running_mean = np.zeros(channels, dtype=np.float32)
+            self.running_var = np.ones(channels, dtype=np.float32)
+        return input_shape
+
+    def _axes(self, x: np.ndarray) -> tuple:
+        return (0,) if x.ndim == 2 else (0, 2, 3)
+
+    def _shape_for(self, x: np.ndarray, vec: np.ndarray) -> np.ndarray:
+        if x.ndim == 2:
+            return vec
+        return vec.reshape(1, -1, 1, 1)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        hp = self.hyperparams
+        axes = self._axes(x)
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = hp["momentum"]
+            self.running_mean = (
+                m * self.running_mean + (1 - m) * mean
+            ).astype(np.float32)
+            self.running_var = (
+                m * self.running_var + (1 - m) * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + hp["eps"])
+        x_hat = (x - self._shape_for(x, mean)) * self._shape_for(x, inv_std)
+        out = (
+            x_hat * self._shape_for(x, self.params["gamma"])
+            + self._shape_for(x, self.params["beta"])
+        )
+        if training:
+            self._cache = {
+                "x_hat": x_hat, "inv_std": inv_std, "axes": axes,
+                "count": x.size // x.shape[1] if x.ndim == 4 else x.shape[0],
+            }
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x_hat = self._cache["x_hat"]
+        inv_std = self._cache["inv_std"]
+        axes = self._cache["axes"]
+        count = self._cache["count"]
+        self.grads["gamma"] = (grad * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad.sum(axis=axes)
+        gamma = self._shape_for(grad, self.params["gamma"])
+        dx_hat = grad * gamma
+        # Standard batch-norm input gradient.
+        term1 = dx_hat
+        term2 = self._shape_for(grad, dx_hat.sum(axis=axes) / count)
+        term3 = x_hat * self._shape_for(
+            grad, (dx_hat * x_hat).sum(axis=axes) / count
+        )
+        return (term1 - term2 - term3) * self._shape_for(grad, inv_std)
+
+    def forward_interval(
+        self, x: Interval, params: Optional[dict[str, Interval]] = None
+    ) -> Interval:
+        """Inference-mode bounds: a per-channel affine map with interval
+        gamma/beta and exact running statistics."""
+        hp = self.hyperparams
+        gamma = self._param_interval("gamma", params)
+        beta = self._param_interval("beta", params)
+        inv_std = 1.0 / np.sqrt(self.running_var + hp["eps"])
+        mean = self.running_mean
+        scale_lo = self._shape_for(x.lo, gamma.lo * inv_std)
+        scale_hi = self._shape_for(x.lo, gamma.hi * inv_std)
+        centered = Interval(
+            x.lo - self._shape_for(x.lo, mean),
+            x.hi - self._shape_for(x.hi, mean),
+        )
+        # Product of interval (centered) with interval scale: 4 candidates.
+        cands = np.stack([
+            centered.lo * scale_lo, centered.lo * scale_hi,
+            centered.hi * scale_lo, centered.hi * scale_hi,
+        ])
+        lo = cands.min(axis=0) + self._shape_for(x.lo, beta.lo)
+        hi = cands.max(axis=0) + self._shape_for(x.hi, beta.hi)
+        return Interval(lo, hi)
+
+    def spec(self) -> dict:
+        base = super().spec()
+        if self.running_mean is not None:
+            base["hyperparams"]["running_mean"] = self.running_mean.tolist()
+            base["hyperparams"]["running_var"] = self.running_var.tolist()
+        return base
+
+
+class Add(Layer):
+    """Elementwise sum of several inputs — the residual (skip) connection."""
+
+    kind = "ADD"
+    multi_input = True
+
+    def _build(self, input_shape, rng: np.random.Generator) -> tuple:
+        del rng
+        shapes = input_shape  # list of shapes for multi-input layers
+        if len(shapes) < 2:
+            raise ValueError(f"{self.name}: Add needs >= 2 inputs")
+        first = tuple(shapes[0])
+        for shape in shapes[1:]:
+            if tuple(shape) != first:
+                raise ValueError(
+                    f"{self.name}: Add inputs must share a shape, got {shapes}"
+                )
+        return first
+
+    def forward(self, xs: list, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"n": len(xs)}
+        total = xs[0]
+        for x in xs[1:]:
+            total = total + x
+        return total
+
+    def backward(self, grad: np.ndarray) -> list:
+        return [grad] * self._cache["n"]
+
+    def forward_interval(self, xs: list, params=None) -> Interval:
+        del params
+        lo = xs[0].lo
+        hi = xs[0].hi
+        for x in xs[1:]:
+            lo = lo + x.lo
+            hi = hi + x.hi
+        return Interval(lo, hi)
+
+
+class Concat(Layer):
+    """Concatenation along the channel axis (axis 1)."""
+
+    kind = "CONCAT"
+    multi_input = True
+
+    def _build(self, input_shape, rng: np.random.Generator) -> tuple:
+        del rng
+        shapes = [tuple(s) for s in input_shape]
+        if len(shapes) < 2:
+            raise ValueError(f"{self.name}: Concat needs >= 2 inputs")
+        tails = {shape[1:] for shape in shapes}
+        if len(tails) != 1:
+            raise ValueError(
+                f"{self.name}: Concat inputs must agree beyond the channel "
+                f"axis, got {shapes}"
+            )
+        channels = sum(shape[0] for shape in shapes)
+        self._split_sizes = [shape[0] for shape in shapes]
+        return (channels, *shapes[0][1:])
+
+    def forward(self, xs: list, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"sizes": [x.shape[1] for x in xs]}
+        return np.concatenate(xs, axis=1)
+
+    def backward(self, grad: np.ndarray) -> list:
+        sizes = self._cache["sizes"]
+        pieces = []
+        start = 0
+        for size in sizes:
+            pieces.append(grad[:, start : start + size])
+            start += size
+        return pieces
+
+    def forward_interval(self, xs: list, params=None) -> Interval:
+        del params
+        return Interval(
+            np.concatenate([x.lo for x in xs], axis=1),
+            np.concatenate([x.hi for x in xs], axis=1),
+        )
+
+
+LAYER_TYPES: dict[str, type] = {
+    "CONV": Conv2D,
+    "FULL": Dense,
+    "FLATTEN": Flatten,
+    "RELU": ReLU,
+    "SIGMOID": Sigmoid,
+    "TANH": Tanh,
+    "SOFTMAX": Softmax,
+    "DROPOUT": Dropout,
+    "LRN": LocalResponseNorm,
+    "BNORM": BatchNorm,
+    "ADD": Add,
+    "CONCAT": Concat,
+}
+
+
+def layer_from_spec(spec: dict) -> Layer:
+    """Reconstruct a layer from its :meth:`Layer.spec` description."""
+    kind = spec["kind"]
+    name = spec["name"]
+    hyperparams = dict(spec.get("hyperparams", {}))
+    if kind == "POOL":
+        mode = hyperparams.pop("mode", "MAX")
+        cls = MaxPool2D if mode == "MAX" else AvgPool2D
+        return cls(name, kernel=hyperparams["kernel"], stride=hyperparams["stride"])
+    if kind not in LAYER_TYPES:
+        raise KeyError(f"unknown layer kind {kind!r}")
+    cls = LAYER_TYPES[kind]
+    if kind == "CONV":
+        return Conv2D(
+            name,
+            filters=hyperparams["filters"],
+            kernel=hyperparams["kernel"],
+            stride=hyperparams.get("stride", 1),
+            pad=hyperparams.get("pad", 0),
+            init=hyperparams.get("init", "he"),
+        )
+    if kind == "FULL":
+        return Dense(name, units=hyperparams["units"], init=hyperparams.get("init", "xavier"))
+    if kind == "DROPOUT":
+        return Dropout(name, rate=hyperparams.get("rate", 0.5), seed=hyperparams.get("seed", 0))
+    if kind == "LRN":
+        return LocalResponseNorm(
+            name,
+            size=hyperparams.get("size", 5),
+            alpha=hyperparams.get("alpha", 1e-4),
+            beta=hyperparams.get("beta", 0.75),
+            k=hyperparams.get("k", 2.0),
+        )
+    if kind == "BNORM":
+        layer = BatchNorm(
+            name,
+            momentum=hyperparams.get("momentum", 0.9),
+            eps=hyperparams.get("eps", 1e-5),
+        )
+        if "running_mean" in hyperparams:
+            layer.running_mean = np.asarray(
+                hyperparams["running_mean"], dtype=np.float32
+            )
+            layer.running_var = np.asarray(
+                hyperparams["running_var"], dtype=np.float32
+            )
+        return layer
+    return cls(name)

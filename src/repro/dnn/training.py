@@ -1,0 +1,362 @@
+"""Training loop with checkpointing.
+
+The modeling lifecycle (Fig. 1 of the paper) repeatedly trains models and
+checkpoints snapshots because the training phase is expensive.  The
+:class:`Trainer` here reproduces that behaviour at laptop scale: SGD with
+momentum and learning-rate schedules, softmax cross-entropy loss, periodic
+accuracy/loss measurements (the metadata DLV extracts from training logs),
+and periodic weight snapshots (the artifacts PAS archives).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.dnn.network import Network
+
+
+@dataclass
+class SGDConfig:
+    """Hyperparameters of the optimization algorithm.
+
+    These are the quantities that DLV records in the metadata relation and
+    that DQL ``evaluate ... vary`` queries sweep over.
+    """
+
+    base_lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    batch_size: int = 32
+    epochs: int = 5
+    lr_policy: str = "fixed"  # "fixed" | "step" | "inv"
+    lr_step: int = 10
+    lr_gamma: float = 0.5
+    seed: int = 0
+    snapshot_every: int = 0  # iterations between snapshots; 0 = epoch ends only
+    #: Per-layer learning-rate multipliers, keyed by layer name or glob
+    #: pattern (DQL's ``config.net["conv*"].lr``).  0 freezes a layer.
+    lr_multipliers: dict = field(default_factory=dict)
+    #: Nesterov accelerated gradient instead of classical momentum.
+    nesterov: bool = False
+    #: Clip each parameter's gradient to this max L2 norm (0 disables).
+    grad_clip: float = 0.0
+    #: Optimization algorithm: "sgd" (momentum) or "adam".
+    optimizer: str = "sgd"
+    #: Adam moment decay rates and epsilon.
+    adam_beta1: float = 0.9
+    adam_beta2: float = 0.999
+    adam_eps: float = 1e-8
+
+    def layer_lr_scale(self, layer_name: str) -> float:
+        """Multiplier for a layer: exact name match wins over glob patterns."""
+        if layer_name in self.lr_multipliers:
+            return float(self.lr_multipliers[layer_name])
+        for pattern, scale in self.lr_multipliers.items():
+            if fnmatch.fnmatch(layer_name, pattern):
+                return float(scale)
+        return 1.0
+
+    def learning_rate(self, iteration: int) -> float:
+        """Learning rate at a given iteration under the configured policy."""
+        if self.lr_policy == "fixed":
+            return self.base_lr
+        if self.lr_policy == "step":
+            return self.base_lr * self.lr_gamma ** (iteration // self.lr_step)
+        if self.lr_policy == "inv":
+            return self.base_lr / (1.0 + 1e-3 * iteration)
+        raise ValueError(f"unknown lr_policy {self.lr_policy!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "base_lr": self.base_lr,
+            "momentum": self.momentum,
+            "weight_decay": self.weight_decay,
+            "batch_size": self.batch_size,
+            "epochs": self.epochs,
+            "lr_policy": self.lr_policy,
+            "lr_step": self.lr_step,
+            "lr_gamma": self.lr_gamma,
+            "seed": self.seed,
+            "snapshot_every": self.snapshot_every,
+            "lr_multipliers": dict(self.lr_multipliers),
+            "nesterov": self.nesterov,
+            "grad_clip": self.grad_clip,
+            "optimizer": self.optimizer,
+            "adam_beta1": self.adam_beta1,
+            "adam_beta2": self.adam_beta2,
+            "adam_eps": self.adam_eps,
+        }
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(
+                f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}"
+            )
+
+
+@dataclass
+class TrainResult:
+    """Artifacts of a training run.
+
+    Attributes:
+        snapshots: Checkpointed weights, ``[(iteration, weights_dict), ...]``
+            with the final weights always last.
+        log: Per-measurement records ``{iteration, loss, accuracy, lr}`` —
+            the "training log" DLV's wrapper extracts into metadata.
+        final_accuracy: Test accuracy of the final weights.
+        final_loss: Last measured training loss.
+    """
+
+    snapshots: list[tuple[int, dict]] = field(default_factory=list)
+    log: list[dict] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    final_loss: float = math.inf
+
+    def loss_at(self, iteration: int) -> float:
+        """Latest logged loss at or before ``iteration`` (inf when none)."""
+        best = math.inf
+        for entry in self.log:
+            if entry["iteration"] <= iteration:
+                best = entry["loss"]
+        return best
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Fused softmax + cross-entropy: returns `(mean_loss, dlogits)`."""
+    n = logits.shape[0]
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    log_probs = shifted - log_z
+    loss = -float(log_probs[np.arange(n), labels].mean())
+    probs = np.exp(log_probs)
+    dlogits = probs
+    dlogits[np.arange(n), labels] -= 1.0
+    return loss, dlogits / n
+
+
+def accuracy(net: Network, x: np.ndarray, y: np.ndarray, batch: int = 256) -> float:
+    """Top-1 accuracy of ``net`` on `(x, y)`, evaluated in batches."""
+    correct = 0
+    for start in range(0, len(x), batch):
+        preds = net.predict(x[start : start + batch])
+        correct += int((preds == y[start : start + batch]).sum())
+    return correct / max(len(x), 1)
+
+
+def confusion_matrix(
+    net: Network, x: np.ndarray, y: np.ndarray, num_classes: int,
+    batch: int = 256,
+) -> np.ndarray:
+    """Confusion matrix ``C[true, predicted]`` of ``net`` on `(x, y)`."""
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    for start in range(0, len(x), batch):
+        preds = net.predict(x[start : start + batch])
+        for true, pred in zip(y[start : start + batch], preds):
+            matrix[int(true), int(pred)] += 1
+    return matrix
+
+
+def per_class_accuracy(
+    net: Network, x: np.ndarray, y: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Recall per class (NaN-free: empty classes report 0)."""
+    matrix = confusion_matrix(net, x, y, num_classes)
+    totals = matrix.sum(axis=1)
+    return np.divide(
+        np.diag(matrix), totals,
+        out=np.zeros(num_classes, dtype=np.float64),
+        where=totals > 0,
+    )
+
+
+def top_k_accuracy(
+    net: Network, x: np.ndarray, y: np.ndarray, k: int = 5, batch: int = 256
+) -> float:
+    """Top-``k`` accuracy of ``net`` on `(x, y)`."""
+    correct = 0
+    for start in range(0, len(x), batch):
+        out = net.forward(x[start : start + batch])
+        topk = np.argsort(-out, axis=1)[:, :k]
+        labels = y[start : start + batch][:, None]
+        correct += int((topk == labels).any(axis=1).sum())
+    return correct / max(len(x), 1)
+
+
+class Trainer:
+    """Minibatch SGD trainer with momentum, weight decay, and snapshots.
+
+    The trainer treats the network's final Softmax layer specially: the loss
+    is computed on the logits feeding it (fused softmax cross-entropy), and
+    gradients flow from there, mirroring Caffe's SoftmaxWithLoss.
+    """
+
+    def __init__(self, net: Network, config: SGDConfig) -> None:
+        if not net.is_built:
+            raise RuntimeError("build the network before training")
+        self.net = net
+        self.config = config
+        self._velocity: dict[tuple[str, str], np.ndarray] = {}
+        self._adam_m: dict[tuple[str, str], np.ndarray] = {}
+        self._adam_v: dict[tuple[str, str], np.ndarray] = {}
+        self._adam_t = 0
+
+    def _logits_node(self) -> tuple[str, bool]:
+        """Name of the node whose output the loss consumes.
+
+        Returns `(node_name, ends_with_softmax)`.
+        """
+        output = self.net.output_name
+        if self.net[output].kind == "SOFTMAX":
+            return self.net.predecessor(output), True
+        return output, False
+
+    def train_step(self, x: np.ndarray, y: np.ndarray, iteration: int) -> float:
+        """One SGD step; returns the minibatch loss."""
+        cfg = self.config
+        logits_node, _ = self._logits_node()
+        logits = self.net.forward(x, training=True, upto=logits_node)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        self._backward_from(logits_node, dlogits)
+        lr = cfg.learning_rate(iteration)
+        if cfg.optimizer == "adam":
+            self._adam_t += 1
+        for layer in self.net.parametric_layers():
+            layer_lr = lr * cfg.layer_lr_scale(layer.name)
+            if layer_lr == 0.0:
+                continue
+            for key, param in layer.params.items():
+                grad = layer.grads.get(key)
+                if grad is None:
+                    continue
+                if cfg.weight_decay and key == "W":
+                    grad = grad + cfg.weight_decay * param
+                if cfg.grad_clip > 0.0:
+                    norm = float(np.linalg.norm(grad))
+                    if norm > cfg.grad_clip:
+                        grad = grad * (cfg.grad_clip / norm)
+                vkey = (layer.name, key)
+                if cfg.optimizer == "adam":
+                    step = self._adam_step(vkey, grad, layer_lr, param)
+                else:
+                    step = self._sgd_step(vkey, grad, layer_lr, param)
+                layer.params[key] = (param + step).astype(np.float32)
+        return loss
+
+    def _sgd_step(
+        self,
+        vkey: tuple[str, str],
+        grad: np.ndarray,
+        layer_lr: float,
+        param: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        vel = self._velocity.get(vkey)
+        if vel is None:
+            vel = np.zeros_like(param)
+        vel = cfg.momentum * vel - layer_lr * grad
+        self._velocity[vkey] = vel
+        if cfg.nesterov:
+            return cfg.momentum * vel - layer_lr * grad
+        return vel
+
+    def _adam_step(
+        self,
+        vkey: tuple[str, str],
+        grad: np.ndarray,
+        layer_lr: float,
+        param: np.ndarray,
+    ) -> np.ndarray:
+        cfg = self.config
+        m = self._adam_m.get(vkey)
+        v = self._adam_v.get(vkey)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = cfg.adam_beta1 * m + (1 - cfg.adam_beta1) * grad
+        v = cfg.adam_beta2 * v + (1 - cfg.adam_beta2) * (grad * grad)
+        self._adam_m[vkey] = m
+        self._adam_v[vkey] = v
+        m_hat = m / (1 - cfg.adam_beta1**self._adam_t)
+        v_hat = v / (1 - cfg.adam_beta2**self._adam_t)
+        return -layer_lr * m_hat / (np.sqrt(v_hat) + cfg.adam_eps)
+
+    def _backward_from(self, node_name: str, grad: np.ndarray) -> None:
+        """Backpropagate ``grad`` from ``node_name`` to the input.
+
+        Delegates to the network's reverse-topological backward, which
+        accumulates gradients correctly through fan-out and multi-input
+        layers (residual Add, Concat).
+        """
+        self.net.backward(grad, from_node=node_name)
+
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: Optional[np.ndarray] = None,
+        y_test: Optional[np.ndarray] = None,
+        measure_every: int = 20,
+        callback: Optional[Callable[[int, float], bool]] = None,
+        augmenter: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> TrainResult:
+        """Train for ``config.epochs`` epochs.
+
+        Args:
+            measure_every: Iterations between log records.
+            callback: Optional ``f(iteration, loss) -> stop`` early-stopping
+                hook (used by DQL ``keep`` clauses).
+            augmenter: Optional per-minibatch transform (see
+                :mod:`repro.dnn.augment`).
+
+        Returns:
+            A :class:`TrainResult` with snapshots, the training log, and the
+            final accuracy (when a test split is provided).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        result = TrainResult()
+        iteration = 0
+        stop = False
+        last_loss = math.inf
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(len(x_train))
+            for start in range(0, len(order), cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                batch = x_train[idx]
+                if augmenter is not None:
+                    batch = augmenter(batch)
+                loss = self.train_step(batch, y_train[idx], iteration)
+                last_loss = float(loss)
+                if iteration % measure_every == 0:
+                    entry = {
+                        "iteration": iteration,
+                        "loss": float(loss),
+                        "lr": cfg.learning_rate(iteration),
+                        "epoch": epoch,
+                    }
+                    if x_test is not None:
+                        entry["accuracy"] = accuracy(self.net, x_test, y_test)
+                    result.log.append(entry)
+                if cfg.snapshot_every and iteration % cfg.snapshot_every == 0:
+                    result.snapshots.append((iteration, self.net.get_weights()))
+                iteration += 1
+                if callback is not None and callback(iteration, float(loss)):
+                    stop = True
+                    break
+            if not cfg.snapshot_every:
+                result.snapshots.append((iteration, self.net.get_weights()))
+            if stop:
+                break
+        if not result.snapshots or result.snapshots[-1][0] != iteration:
+            result.snapshots.append((iteration, self.net.get_weights()))
+        result.final_loss = last_loss
+        if x_test is not None:
+            result.final_accuracy = accuracy(self.net, x_test, y_test)
+        return result

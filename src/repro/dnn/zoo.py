@@ -1,0 +1,269 @@
+"""Model zoo: architecture factories mirroring Table I of the paper.
+
+Table I describes the popular object-recognition CNNs by layer-grammar
+regular expressions:
+
+    LeNet    (LconvLpool){2}Lip{2}                            4.31e5 flops
+    AlexNet  (LconvLpool){2}(Lconv{2}Lpool){2}Lip{3}          6e7    flops
+    VGG      (Lconv{2}Lpool){2}(Lconv{4}Lpool){3}Lip{3}       1.96e10 flops
+    ResNet   (LconvLpool)(Lconv){150}LpoolLip                 1.13e10 flops
+
+The factories here build networks with the same layer grammar.  LeNet is
+built at (near) paper scale; AlexNet and VGG are scaled down so the full
+experiment suite runs on a laptop — the paper-vs-built substitution is
+recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.layers import (
+    Add,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from repro.dnn.network import Network
+
+#: Table I of the paper: architecture grammar and parameter counts.
+ZOO_ARCHITECTURES: dict[str, dict] = {
+    "LeNet": {
+        "regex": "(LconvLpool){2}Lip{2}",
+        "params": 4.31e5,
+        "reference": "LeCun et al., NIPS 1990",
+    },
+    "AlexNet": {
+        "regex": "(LconvLpool){2}(Lconv{2}Lpool){2}Lip{3}",
+        "params": 6e7,
+        "reference": "Krizhevsky et al., NIPS 2012",
+    },
+    "VGG": {
+        "regex": "(Lconv{2}Lpool){2}(Lconv{4}Lpool){3}Lip{3}",
+        "params": 1.96e10,
+        "reference": "Simonyan & Zisserman, 2014",
+    },
+    "ResNet": {
+        "regex": "(LconvLpool)(Lconv){150}LpoolLip",
+        "params": 1.13e10,
+        "reference": "He et al., CVPR 2016",
+    },
+}
+
+
+def lenet(
+    input_shape: tuple = (1, 12, 12),
+    num_classes: int = 10,
+    scale: float = 1.0,
+    name: str = "lenet",
+) -> Network:
+    """LeNet: (conv pool){2} ip relu ip softmax.
+
+    With the default 12x12 input the kernels shrink from 5x5 to 3x3 so the
+    spatial dimensions stay valid; a 28x28 input reproduces the classic
+    431K-parameter configuration of Fig. 2.
+    """
+    height = input_shape[1]
+    kernel = 5 if height >= 20 else 3
+    c1 = max(int(20 * scale), 2)
+    c2 = max(int(50 * scale), 2)
+    fc = max(int(500 * scale), 8)
+    net = Network(input_shape, name=name)
+    net.add(Conv2D("conv1", filters=c1, kernel=kernel))
+    net.add(MaxPool2D("pool1", kernel=2))
+    net.add(Conv2D("conv2", filters=c2, kernel=kernel))
+    net.add(MaxPool2D("pool2", kernel=2))
+    net.add(Flatten("flat"))
+    net.add(Dense("ip1", units=fc))
+    net.add(ReLU("relu1"))
+    net.add(Dense("ip2", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+def alexnet_mini(
+    input_shape: tuple = (1, 16, 16),
+    num_classes: int = 10,
+    scale: float = 1.0,
+    name: str = "alexnet-mini",
+) -> Network:
+    """Scaled-down AlexNet: (conv pool){2} (conv conv pool){2} ip{3}.
+
+    Follows Table I's grammar with ReLU activations after every convolution
+    and the first two fully connected layers.  Channel counts are scaled to
+    fit a 16x16 input.
+    """
+    c = [max(int(f * scale), 2) for f in (12, 24, 32, 32)]
+    fc = max(int(128 * scale), 8)
+    net = Network(input_shape, name=name)
+    net.add(Conv2D("conv1", filters=c[0], kernel=3, pad=1))
+    net.add(ReLU("relu1"))
+    net.add(MaxPool2D("pool1", kernel=2))
+    net.add(Conv2D("conv2", filters=c[1], kernel=3, pad=1))
+    net.add(ReLU("relu2"))
+    net.add(MaxPool2D("pool2", kernel=2))
+    net.add(Conv2D("conv3", filters=c[2], kernel=3, pad=1))
+    net.add(ReLU("relu3"))
+    net.add(Conv2D("conv4", filters=c[2], kernel=3, pad=1))
+    net.add(ReLU("relu4"))
+    net.add(MaxPool2D("pool3", kernel=2))
+    net.add(Conv2D("conv5", filters=c[3], kernel=3, pad=1))
+    net.add(ReLU("relu5"))
+    net.add(Conv2D("conv6", filters=c[3], kernel=3, pad=1))
+    net.add(ReLU("relu6"))
+    net.add(MaxPool2D("pool4", kernel=2))
+    net.add(Flatten("flat"))
+    net.add(Dense("fc6", units=fc))
+    net.add(ReLU("relu7"))
+    net.add(Dense("fc7", units=fc))
+    net.add(ReLU("relu8"))
+    net.add(Dense("fc8", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+def vgg_mini(
+    input_shape: tuple = (1, 32, 32),
+    num_classes: int = 10,
+    scale: float = 1.0,
+    name: str = "vgg-mini",
+) -> Network:
+    """Scaled-down VGG-16: (conv{2} pool){2} (conv{4} pool)... ip{3}.
+
+    Uses three double-conv blocks instead of the full five-block stack so a
+    32x32 input suffices, preserving VGG's defining 3x3-pad-1 stacking and
+    three fully connected layers.
+    """
+    channels = [max(int(f * scale), 2) for f in (8, 16, 32)]
+    fc = max(int(128 * scale), 8)
+    net = Network(input_shape, name=name)
+    idx = 1
+    for block, ch in enumerate(channels, start=1):
+        convs = 2 if block <= 2 else 4
+        for _ in range(convs):
+            net.add(Conv2D(f"conv{idx}", filters=ch, kernel=3, pad=1))
+            net.add(ReLU(f"relu{idx}"))
+            idx += 1
+        net.add(MaxPool2D(f"pool{block}", kernel=2))
+    net.add(Flatten("flat"))
+    net.add(Dense("fc1", units=fc))
+    net.add(ReLU(f"relu{idx}"))
+    net.add(Dense("fc2", units=fc))
+    net.add(ReLU(f"relu{idx + 1}"))
+    net.add(Dense("fc3", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+def resnet_mini(
+    input_shape: tuple = (1, 16, 16),
+    num_classes: int = 10,
+    depth: int = 12,
+    scale: float = 1.0,
+    name: str = "resnet-mini",
+) -> Network:
+    """Scaled-down ResNet per Table I's grammar: (conv pool)(conv){n} pool ip.
+
+    Table I describes ResNet-152 as ``(LconvLpool)(Lconv){150}LpoolLip`` —
+    a long conv chain between two pools with a single prediction layer.
+    (The table's grammar omits the residual shortcuts, and so do we; the
+    layer-sequence statistics PAS cares about are unaffected.)
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be positive, got {depth}")
+    channels = max(int(16 * scale), 2)
+    net = Network(input_shape, name=name)
+    net.add(Conv2D("conv0", filters=channels, kernel=3, pad=1))
+    net.add(ReLU("relu0"))
+    net.add(MaxPool2D("pool0", kernel=2))
+    for i in range(1, depth + 1):
+        net.add(Conv2D(f"conv{i}", filters=channels, kernel=3, pad=1))
+        net.add(ReLU(f"relu{i}"))
+    net.add(MaxPool2D("pool1", kernel=2))
+    net.add(Flatten("flat"))
+    net.add(Dense("ip", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+def resnet_residual(
+    input_shape: tuple = (1, 16, 16),
+    num_classes: int = 10,
+    blocks: int = 3,
+    scale: float = 1.0,
+    name: str = "resnet-residual",
+) -> Network:
+    """A small ResNet *with* residual skip connections.
+
+    Each block is ``x + conv(relu(conv(x)))`` via an ``Add`` node — the
+    identity-shortcut structure of He et al. that Table I's flat grammar
+    omits.  Exercises the DAG substrate's multi-input fan-in.
+    """
+    if blocks < 1:
+        raise ValueError(f"blocks must be positive, got {blocks}")
+    channels = max(int(16 * scale), 2)
+    net = Network(input_shape, name=name)
+    net.add(Conv2D("conv0", filters=channels, kernel=3, pad=1))
+    net.add(ReLU("relu0"))
+    previous = "relu0"
+    for b in range(1, blocks + 1):
+        net.add(Conv2D(f"conv{b}a", filters=channels, kernel=3, pad=1), previous)
+        net.add(ReLU(f"relu{b}a"))
+        net.add(Conv2D(f"conv{b}b", filters=channels, kernel=3, pad=1))
+        net.add(Add(f"add{b}"), f"conv{b}b", extra_inputs=[previous])
+        net.add(ReLU(f"relu{b}b"))
+        previous = f"relu{b}b"
+    net.add(MaxPool2D("pool", kernel=2), previous)
+    net.add(Flatten("flat"))
+    net.add(Dense("ip", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+def tiny_mlp(
+    input_shape: tuple = (1, 8, 8),
+    num_classes: int = 4,
+    hidden: int = 16,
+    name: str = "tiny-mlp",
+) -> Network:
+    """A minimal flatten/dense/softmax model for fast unit tests."""
+    net = Network(input_shape, name=name)
+    net.add(Flatten("flat"))
+    net.add(Dense("fc1", units=hidden))
+    net.add(ReLU("relu1"))
+    net.add(Dense("fc2", units=num_classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+MODEL_FACTORIES = {
+    "lenet": lenet,
+    "alexnet-mini": alexnet_mini,
+    "vgg-mini": vgg_mini,
+    "resnet-mini": resnet_mini,
+    "resnet-residual": resnet_residual,
+    "tiny-mlp": tiny_mlp,
+}
+
+
+def build_model(factory_name: str, seed: int = 0, **kwargs) -> Network:
+    """Construct and build a zoo model by factory name."""
+    if factory_name not in MODEL_FACTORIES:
+        raise KeyError(
+            f"unknown model {factory_name!r}; known: {sorted(MODEL_FACTORIES)}"
+        )
+    return MODEL_FACTORIES[factory_name](**kwargs).build(seed)
+
+
+__all__ = [
+    "ZOO_ARCHITECTURES",
+    "MODEL_FACTORIES",
+    "alexnet_mini",
+    "build_model",
+    "lenet",
+    "resnet_mini",
+    "resnet_residual",
+    "tiny_mlp",
+    "vgg_mini",
+]

@@ -1,0 +1,24 @@
+"""DQL — the model enumeration domain specific language (Sec. III-B.2).
+
+DQL raises the abstraction level of the repetitive "adjust / tune / train /
+compare" loop.  It has four key operations, mirroring the paper's
+Queries 1-4:
+
+* ``select``    — filter model versions by metadata and graph conditions;
+* ``slice``     — extract a reusable sub-network between two nodes;
+* ``construct`` — derive new architectures by inserting/deleting layers at
+  selector-matched positions;
+* ``evaluate``  — train enumerated candidates over hyperparameter
+  combinations (``with`` / ``vary``) and keep the best (``keep``).
+
+The implementation is a classic pipeline: :mod:`repro.dql.lexer` tokenizes,
+:mod:`repro.dql.parser` builds the AST of :mod:`repro.dql.ast_nodes`,
+and :mod:`repro.dql.executor` runs it against a DLV repository, with
+:mod:`repro.dql.selector` handling the regexp-style node selectors and
+layer templates.
+"""
+
+from repro.dql.executor import DQLExecutor, QueryResult
+from repro.dql.parser import parse
+
+__all__ = ["DQLExecutor", "QueryResult", "parse"]

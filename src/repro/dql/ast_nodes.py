@@ -1,0 +1,173 @@
+"""Abstract syntax tree for DQL statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class Path:
+    """A dotted/selected reference like ``m1["conv*($1)"].next``.
+
+    Attributes:
+        var: The bound model variable (``m1``).
+        selector: Optional node-selector pattern (the bracketed string).
+        attrs: Attribute accesses in order (``next``, ``prev``, ``name``,
+            ``input``, ``output``, metadata keys, ...).
+        selector_pos: How many attrs precede the selector — 0 for
+            ``m1["conv1"].next``, 1 for ``config.net["conv*"].lr``.
+    """
+
+    var: str
+    selector: Optional[str] = None
+    attrs: tuple[str, ...] = ()
+    selector_pos: int = 0
+
+
+@dataclass(frozen=True)
+class Template:
+    """A layer template like ``POOL("MAX")`` or ``RELU("relu$1")``.
+
+    ``arg`` is the single string argument; its meaning depends on context —
+    a matching condition (pool mode) in ``has`` clauses, a new node name
+    (possibly with ``$k`` capture substitutions) in mutations.
+    """
+
+    kind: str
+    arg: Optional[str] = None
+    int_arg: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``path <op> literal`` — op in {like, =, !=, <, <=, >, >=}."""
+
+    path: Path
+    op: str
+    value: object
+
+
+@dataclass(frozen=True)
+class HasClause:
+    """``path has TEMPLATE`` — graph-traversal containment condition."""
+
+    path: Path
+    template: Template
+
+
+@dataclass(frozen=True)
+class BoolOp:
+    """``and`` / ``or`` over sub-conditions."""
+
+    op: str
+    operands: tuple
+
+
+Condition = Union[Comparison, HasClause, BoolOp]
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """``select m1 where <cond>`` (Query 1)."""
+
+    var: str
+    where: Optional[Condition]
+
+
+@dataclass(frozen=True)
+class SliceQuery:
+    """``slice m2 from m1 where <cond> mutate m2.input = ... and m2.output = ...``.
+
+    ``source_query`` is set when the ``from`` clause is a nested query
+    (``slice m2 from (select m1 where ...) ...``); the outer ``where``
+    then filters the nested result.
+    """
+
+    new_var: str
+    source_var: str
+    where: Optional[Condition]
+    input_path: Path
+    output_path: Path
+    source_query: Optional["Query"] = None
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One ``mutate`` action of a construct query.
+
+    ``action`` is ``insert`` or ``delete``; ``anchor`` selects the nodes
+    the action applies to; ``template`` is the inserted layer (or the
+    downstream-kind condition for deletes when given).
+    """
+
+    anchor: Path
+    action: str
+    template: Optional[Template]
+
+
+@dataclass(frozen=True)
+class ConstructQuery:
+    """``construct m2 from m1 [where <cond>] mutate <mutations>`` (Query 3).
+
+    ``source_query`` supports the nested form
+    ``construct m2 from (select ...) mutate ...``.
+    """
+
+    new_var: str
+    source_var: str
+    where: Optional[Condition]
+    mutations: tuple[Mutation, ...]
+    source_query: Optional["Query"] = None
+
+
+@dataclass(frozen=True)
+class VaryClause:
+    """One dimension of the hyperparameter sweep.
+
+    ``target`` is the config path (e.g. ``("base_lr",)`` or
+    ``("net", "conv*", "lr")``); ``values`` is the explicit grid, or
+    ``None`` with ``auto=True`` for the default search strategy.
+    """
+
+    target: tuple[str, ...]
+    values: Optional[tuple] = None
+    auto: bool = False
+
+
+@dataclass(frozen=True)
+class KeepClause:
+    """Early-stopping / selection rule.
+
+    ``top(k, metric, iterations)``: keep the best ``k`` candidates by
+    ``metric`` measured at ``iterations``.  Threshold form: keep
+    candidates whose metric satisfies the comparison.
+    """
+
+    mode: str  # "top" | "threshold"
+    k: Optional[int] = None
+    metric: Optional[Path] = None
+    iterations: Optional[int] = None
+    op: Optional[str] = None
+    value: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class EvaluateQuery:
+    """``evaluate m from <source> with config = "..." vary ... keep ...`` (Query 4)."""
+
+    var: str
+    source: Union[str, "Query"]  # named result set / subquery
+    config_ref: str
+    vary: tuple[VaryClause, ...] = ()
+    keep: Optional[KeepClause] = None
+
+
+Query = Union[SelectQuery, SliceQuery, ConstructQuery, EvaluateQuery]
+
+
+@dataclass
+class ParsedProgram:
+    """A sequence of DQL statements (queries can be chained by name)."""
+
+    statements: list = field(default_factory=list)

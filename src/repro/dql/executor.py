@@ -1,0 +1,463 @@
+"""Execution engine for DQL queries against a DLV repository.
+
+The executor binds query variables to model versions, evaluates the mixed
+relational/graph conditions, performs slice/construct mutations on network
+DAGs, and drives the train-and-keep loop of ``evaluate`` queries.  Query
+results can be registered under a name so later queries can reference them
+(the paper's ``evaluate m from "query3"``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.dlv.objects import ModelVersion
+from repro.dlv.repository import Repository
+from repro.dnn.network import Network
+from repro.dnn.training import Trainer, TrainResult, accuracy
+from repro.dql import hyperparams as hp
+from repro.dql.ast_nodes import (
+    BoolOp,
+    Comparison,
+    Condition,
+    ConstructQuery,
+    EvaluateQuery,
+    HasClause,
+    Path,
+    Query,
+    SelectQuery,
+    SliceQuery,
+)
+from repro.dql.parser import parse
+from repro.dql.selector import (
+    SelectorError,
+    instantiate_template,
+    resolve_single_node,
+    select_nodes,
+    template_matches,
+    traverse,
+)
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a semantically invalid query is executed."""
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one DQL statement.
+
+    Attributes:
+        kind: The query verb (``select``/``slice``/``construct``/``evaluate``).
+        versions: Matched model versions (select queries).
+        networks: Derived candidate networks (slice/construct/evaluate).
+        evaluations: Per-candidate training measurements (evaluate queries).
+    """
+
+    kind: str
+    versions: list[ModelVersion] = field(default_factory=list)
+    networks: list[Network] = field(default_factory=list)
+    evaluations: list[dict] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (used by ``dlv query``)."""
+        return {
+            "kind": self.kind,
+            "versions": [
+                {
+                    "id": v.id,
+                    "name": v.name,
+                    "created_at": v.created_at,
+                    "accuracy": v.metadata.get("final_accuracy"),
+                }
+                for v in self.versions
+            ],
+            "networks": [
+                {
+                    "name": n.name,
+                    "layers": n.node_names(),
+                    "signature": n.architecture_signature(),
+                }
+                for n in self.networks
+            ],
+            "evaluations": [
+                {k: v for k, v in e.items() if k != "network"}
+                for e in self.evaluations
+            ],
+        }
+
+
+class DQLExecutor:
+    """Runs DQL statements against one repository.
+
+    Args:
+        repo: The DLV repository queried / mutated.
+        commit_kept: When True, candidates surviving an evaluate query's
+            ``keep`` clause are committed back into the repository ("save
+            and work with", Sec. III-B).
+    """
+
+    def __init__(self, repo: Repository, commit_kept: bool = False) -> None:
+        self.repo = repo
+        self.commit_kept = commit_kept
+        self.results: dict[str, QueryResult] = {}
+        self.configs: dict[str, dict] = {}
+
+    def register_config(self, name: str, config: dict) -> None:
+        """Make a tuning config available to ``with config = "<name>"``."""
+        self.configs[name] = dict(config)
+
+    def register_result(self, name: str, result: QueryResult) -> None:
+        """Store a result so later queries can reference it by name."""
+        self.results[name] = result
+
+    # -- entry -------------------------------------------------------------
+
+    def run(self, query: Union[str, Query], name: Optional[str] = None) -> QueryResult:
+        """Execute one statement; optionally register the result by name."""
+        ast = parse(query) if isinstance(query, str) else query
+        if isinstance(ast, SelectQuery):
+            result = self._run_select(ast)
+        elif isinstance(ast, SliceQuery):
+            result = self._run_slice(ast)
+        elif isinstance(ast, ConstructQuery):
+            result = self._run_construct(ast)
+        elif isinstance(ast, EvaluateQuery):
+            result = self._run_evaluate(ast)
+        else:  # pragma: no cover - parser produces only the above
+            raise ExecutionError(f"unsupported query {type(ast).__name__}")
+        if name is not None:
+            self.results[name] = result
+        return result
+
+    # -- condition evaluation ---------------------------------------------------
+
+    def _matching_versions(
+        self, var: str, where: Optional[Condition]
+    ) -> list[ModelVersion]:
+        matches = []
+        for version in self.repo.list_versions():
+            if where is None or self._eval_condition(where, var, version):
+                matches.append(version)
+        return matches
+
+    def _source_versions(
+        self, var: str, where: Optional[Condition], source_query
+    ) -> list[ModelVersion]:
+        """Versions bound by slice/construct — whole repo, or a subquery."""
+        if source_query is None:
+            return self._matching_versions(var, where)
+        nested = self.run(source_query)
+        return [
+            version
+            for version in nested.versions
+            if where is None or self._eval_condition(where, var, version)
+        ]
+
+    def _eval_condition(
+        self, cond: Condition, var: str, version: ModelVersion,
+        net: Optional[Network] = None,
+    ) -> bool:
+        if isinstance(cond, BoolOp):
+            if cond.op == "not":
+                return not self._eval_condition(
+                    cond.operands[0], var, version, net
+                )
+            results = (
+                self._eval_condition(op, var, version, net)
+                for op in cond.operands
+            )
+            return all(results) if cond.op == "and" else any(results)
+        if isinstance(cond, Comparison):
+            return self._eval_comparison(cond, var, version)
+        if isinstance(cond, HasClause):
+            return self._eval_has(cond, var, version, net)
+        raise ExecutionError(f"unknown condition {cond!r}")
+
+    def _eval_comparison(
+        self, cond: Comparison, var: str, version: ModelVersion
+    ) -> bool:
+        if cond.path.var != var:
+            raise ExecutionError(
+                f"unbound variable {cond.path.var!r} (bound: {var!r})"
+            )
+        value = self._attribute(version, cond.path)
+        if value is None:
+            return False
+        if cond.op == "like":
+            return fnmatch.fnmatch(
+                str(value),
+                str(cond.value).replace("%", "*").replace("_", "?"),
+            )
+        if isinstance(cond.value, (int, float)) and not isinstance(value, str):
+            left, right = float(value), float(cond.value)
+        else:
+            left, right = str(value), str(cond.value)
+        ops = {
+            "=": lambda a, b: a == b,
+            "!=": lambda a, b: a != b,
+            "<": lambda a, b: a < b,
+            "<=": lambda a, b: a <= b,
+            ">": lambda a, b: a > b,
+            ">=": lambda a, b: a >= b,
+        }
+        if cond.op not in ops:
+            raise ExecutionError(f"unknown comparison operator {cond.op!r}")
+        return ops[cond.op](left, right)
+
+    @staticmethod
+    def _attribute(version: ModelVersion, path: Path) -> object:
+        if not path.attrs:
+            raise ExecutionError("comparison path needs an attribute")
+        attr = path.attrs[0]
+        if attr == "name":
+            return version.name
+        if attr in ("creation_time", "created_at"):
+            return version.created_at
+        if attr == "id":
+            return version.id
+        if attr in ("accuracy", "final_accuracy"):
+            return version.metadata.get("final_accuracy")
+        if attr in ("loss", "final_loss"):
+            return version.metadata.get("final_loss")
+        return version.metadata.get(attr)
+
+    def _network_for(self, version: ModelVersion) -> Network:
+        return Network.from_spec(version.network)
+
+    def _eval_has(
+        self, cond: HasClause, var: str, version: ModelVersion,
+        net: Optional[Network] = None,
+    ) -> bool:
+        if cond.path.var != var:
+            raise ExecutionError(
+                f"unbound variable {cond.path.var!r} (bound: {var!r})"
+            )
+        if cond.path.selector is None:
+            raise ExecutionError('"has" conditions need a node selector')
+        network = net if net is not None else self._network_for(version)
+        names = [n for n, _ in select_nodes(network, cond.path.selector)]
+        for attr in cond.path.attrs:
+            if attr in ("next", "prev"):
+                names = traverse(network, names, attr)
+            else:
+                raise ExecutionError(
+                    f"unsupported traversal attribute {attr!r}"
+                )
+        return any(
+            template_matches(network[name], cond.template) for name in names
+        )
+
+    # -- select -----------------------------------------------------------------
+
+    def _run_select(self, query: SelectQuery) -> QueryResult:
+        versions = self._matching_versions(query.var, query.where)
+        return QueryResult("select", versions=versions)
+
+    # -- slice ------------------------------------------------------------------
+
+    def _run_slice(self, query: SliceQuery) -> QueryResult:
+        if (
+            query.input_path.var != query.source_var
+            or query.output_path.var != query.source_var
+        ):
+            raise ExecutionError(
+                "slice endpoints must select nodes of the source variable"
+            )
+        versions = self._source_versions(
+            query.source_var, query.where, query.source_query
+        )
+        networks = []
+        for version in versions:
+            net = self.repo.load_network(version)
+            try:
+                start = resolve_single_node(
+                    net, query.input_path.selector, "slice input"
+                )
+                end = resolve_single_node(
+                    net, query.output_path.selector, "slice output"
+                )
+                sliced = net.slice_between(
+                    start, end, name=f"{version.name}-{query.new_var}"
+                )
+            except (SelectorError, ValueError, KeyError):
+                continue
+            networks.append(sliced)
+        return QueryResult("slice", versions=versions, networks=networks)
+
+    # -- construct -----------------------------------------------------------------
+
+    def _anchor_conditions(
+        self, where: Optional[Condition], var: str, selector: str
+    ) -> list[HasClause]:
+        """``has`` conditions in the where clause sharing a mutation's selector.
+
+        Query 3 reads: *models whose* ``conv*`` *is followed by an AVG pool*
+        — and the insert applies to exactly those convolutions.  We honour
+        that by re-checking shared-selector has-conditions per anchor node.
+        """
+        found: list[HasClause] = []
+
+        def walk(cond: Optional[Condition]) -> None:
+            if cond is None:
+                return
+            if isinstance(cond, BoolOp):
+                for op in cond.operands:
+                    walk(op)
+            elif isinstance(cond, HasClause):
+                if cond.path.var == var and cond.path.selector == selector:
+                    found.append(cond)
+
+        walk(where)
+        return found
+
+    def _anchor_satisfies(
+        self, net: Network, node: str, clauses: list[HasClause]
+    ) -> bool:
+        for clause in clauses:
+            names = [node]
+            for attr in clause.path.attrs:
+                if attr in ("next", "prev"):
+                    names = traverse(net, names, attr)
+            if not any(
+                template_matches(net[n], clause.template) for n in names
+            ):
+                return False
+        return True
+
+    def _run_construct(self, query: ConstructQuery) -> QueryResult:
+        versions = self._source_versions(
+            query.source_var, query.where, query.source_query
+        )
+        networks = []
+        for version in versions:
+            net = self.repo.load_network(version)
+            derived = net.clone(name=f"{version.name}-{query.new_var}")
+            mutated = False
+            for mutation in query.mutations:
+                if mutation.anchor.selector is None:
+                    raise ExecutionError("mutation anchors need a selector")
+                anchor_filter = self._anchor_conditions(
+                    query.where, query.source_var, mutation.anchor.selector
+                )
+                for node, captures in select_nodes(
+                    derived, mutation.anchor.selector
+                ):
+                    if not self._anchor_satisfies(derived, node, anchor_filter):
+                        continue
+                    if mutation.action == "insert":
+                        layer = instantiate_template(
+                            mutation.template, captures, derived[node]
+                        )
+                        if layer.name in derived:
+                            continue
+                        derived.insert_after(node, layer)
+                        mutated = True
+                    else:  # delete
+                        if mutation.template is None:
+                            derived.delete_node(node)
+                            mutated = True
+                        else:
+                            for downstream in list(derived.consumers(node)):
+                                if template_matches(
+                                    derived[downstream], mutation.template
+                                ):
+                                    derived.delete_node(downstream)
+                                    mutated = True
+            if mutated:
+                derived.build(seed=0)
+                networks.append(derived)
+        return QueryResult("construct", versions=versions, networks=networks)
+
+    # -- evaluate -------------------------------------------------------------------
+
+    def _candidate_networks(self, source) -> list[Network]:
+        if isinstance(source, str):
+            if source in self.results:
+                result = self.results[source]
+                if result.networks:
+                    return [n.clone() for n in result.networks]
+                return [self.repo.load_network(v) for v in result.versions]
+            # Fall back to a name pattern over the repository.
+            versions = self.repo.list_versions(source)
+            if not versions:
+                raise ExecutionError(
+                    f"evaluate source {source!r} is neither a registered "
+                    "result nor a model name pattern"
+                )
+            return [self.repo.load_network(v) for v in versions]
+        nested = self.run(source)
+        if nested.networks:
+            return nested.networks
+        return [self.repo.load_network(v) for v in nested.versions]
+
+    def _run_evaluate(self, query: EvaluateQuery) -> QueryResult:
+        candidates = self._candidate_networks(query.source)
+        base_config = hp.load_config(query.config_ref, self.configs)
+        configs = hp.expand_vary(base_config, query.vary)
+        max_iterations = (
+            query.keep.iterations
+            if query.keep is not None and query.keep.mode == "top"
+            else None
+        )
+        evaluations: list[dict] = []
+        for net in candidates:
+            for config in configs:
+                candidate = net.clone()
+                if not candidate.is_built:
+                    candidate.build(seed=int(config.get("seed", 0)))
+                dataset = hp.dataset_from_config(config)
+                if tuple(dataset.input_shape) != tuple(candidate.input_shape):
+                    raise ExecutionError(
+                        f"config input_data shape {dataset.input_shape} does "
+                        f"not match model {candidate.name!r} input "
+                        f"{candidate.input_shape}; set data_size or use a "
+                        "matching .npz"
+                    )
+                solver = hp.solver_from_config(config)
+                trainer = Trainer(candidate, solver)
+                stop_cb = None
+                if max_iterations is not None:
+                    stop_cb = lambda it, loss: it >= max_iterations  # noqa: E731
+                result: TrainResult = trainer.fit(
+                    dataset.x_train,
+                    dataset.y_train,
+                    dataset.x_test,
+                    dataset.y_test,
+                    callback=stop_cb,
+                )
+                evaluations.append(
+                    {
+                        "model": candidate.name,
+                        "overrides": config.get("_overrides", {}),
+                        "loss": result.final_loss,
+                        "accuracy": accuracy(
+                            candidate, dataset.x_test, dataset.y_test
+                        ),
+                        "iterations": (
+                            result.log[-1]["iteration"] if result.log else 0
+                        ),
+                        "network": candidate,
+                    }
+                )
+        kept = hp.apply_keep(evaluations, query.keep)
+        if self.commit_kept:
+            for index, row in enumerate(kept):
+                network = row["network"]
+                self.repo.commit(
+                    network,
+                    name=f"{network.name}-kept{index}",
+                    message=f"kept by DQL evaluate ({row['overrides']})",
+                    metadata={
+                        "final_accuracy": row["accuracy"],
+                        "final_loss": row["loss"],
+                        "dql_overrides": row["overrides"],
+                    },
+                )
+        return QueryResult(
+            "evaluate",
+            networks=[row["network"] for row in kept],
+            evaluations=kept,
+        )

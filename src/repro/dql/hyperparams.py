@@ -1,0 +1,194 @@
+"""Hyperparameter enumeration for DQL ``evaluate`` queries.
+
+The paper separates network enumeration from hyperparameter tuning: the
+``with`` operator binds a tuning config template, ``vary`` expresses the
+multi-dimensional combinations to activate, ``auto`` applies a default
+search strategy (grid search), and ``keep`` controls early stopping
+(Sec. III-B, Query 4).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.dnn.data import Dataset, synthetic_digits, synthetic_faces
+from repro.dnn.training import SGDConfig
+from repro.dql.ast_nodes import KeepClause, VaryClause
+
+#: Default grids for `vary ... auto` (grid search, per the paper's current
+#: implementation), keyed by the last path component.
+AUTO_GRIDS: dict[str, tuple] = {
+    "base_lr": (0.1, 0.01, 0.001),
+    "lr": (1.0, 0.1),
+    "momentum": (0.9, 0.5),
+    "batch_size": (16, 32),
+}
+
+#: Config keys that map straight onto SGDConfig fields.
+_SOLVER_KEYS = {
+    "base_lr", "momentum", "weight_decay", "batch_size", "epochs",
+    "lr_policy", "lr_step", "lr_gamma", "seed", "snapshot_every",
+}
+
+_BUILTIN_DATASETS = {
+    "synthetic-digits": synthetic_digits,
+    "synthetic-faces": synthetic_faces,
+}
+
+
+class ConfigError(ValueError):
+    """Raised for unusable tuning configs."""
+
+
+def load_config(ref: str, registry: Optional[dict[str, dict]] = None) -> dict:
+    """Resolve a ``with config = "..."`` reference.
+
+    The reference is either a name registered on the executor or a path to
+    a JSON file.
+    """
+    if registry and ref in registry:
+        return dict(registry[ref])
+    path = Path(ref)
+    if path.exists():
+        return json.loads(path.read_text())
+    raise ConfigError(
+        f"config {ref!r} is neither a registered name nor a JSON file"
+    )
+
+
+def _apply_dimension(config: dict, target: tuple[str, ...], value: object) -> dict:
+    """Return a copy of ``config`` with one vary dimension set."""
+    out = dict(config)
+    if len(target) == 1:
+        out[target[0]] = value
+        return out
+    if target[0] == "net" and len(target) == 3 and target[2] == "lr":
+        multipliers = dict(out.get("lr_multipliers", {}))
+        multipliers[target[1]] = value
+        out["lr_multipliers"] = multipliers
+        return out
+    raise ConfigError(f"unsupported vary target config.{'.'.join(target)}")
+
+
+def _grid_for(clause: VaryClause) -> tuple:
+    if clause.values is not None:
+        return tuple(clause.values)
+    if clause.auto:
+        key = clause.target[-1]
+        if key not in AUTO_GRIDS:
+            raise ConfigError(f"no auto grid for config.{'.'.join(clause.target)}")
+        return AUTO_GRIDS[key]
+    raise ConfigError("vary clause has neither values nor auto")
+
+
+def expand_vary(config: dict, clauses: tuple[VaryClause, ...]) -> list[dict]:
+    """Cartesian product of all vary dimensions over the base config.
+
+    Each returned config carries an ``_overrides`` entry recording the
+    dimension values that produced it (for reporting).
+    """
+    if not clauses:
+        base = dict(config)
+        base["_overrides"] = {}
+        return [base]
+    grids = [_grid_for(clause) for clause in clauses]
+    expanded = []
+    for combo in itertools.product(*grids):
+        candidate = dict(config)
+        overrides = {}
+        for clause, value in zip(clauses, combo):
+            candidate = _apply_dimension(candidate, clause.target, value)
+            overrides["config." + ".".join(clause.target)] = value
+        candidate["_overrides"] = overrides
+        expanded.append(candidate)
+    return expanded
+
+
+def solver_from_config(config: dict) -> SGDConfig:
+    """Build the optimizer config from the tuning-config dict."""
+    kwargs = {k: config[k] for k in _SOLVER_KEYS if k in config}
+    solver = SGDConfig(**kwargs)
+    if "lr_multipliers" in config:
+        solver.lr_multipliers = dict(config["lr_multipliers"])
+    return solver
+
+
+def dataset_from_config(config: dict) -> Dataset:
+    """Resolve ``input_data``: a builtin dataset name or an .npz path.
+
+    Builtin names (``synthetic-digits`` / ``synthetic-faces``) honour the
+    optional ``data_size`` and ``data_classes`` config keys.  An ``.npz``
+    file must contain ``x_train``, ``y_train``, ``x_test``, ``y_test``.
+    """
+    ref = config.get("input_data", "synthetic-digits")
+    if ref in _BUILTIN_DATASETS:
+        kwargs = {}
+        if "data_size" in config:
+            kwargs["size"] = int(config["data_size"])
+        if "data_classes" in config:
+            kwargs["num_classes"] = int(config["data_classes"])
+        return _BUILTIN_DATASETS[ref](**kwargs)
+    path = Path(ref)
+    if path.exists():
+        import numpy as np
+
+        with np.load(path) as data:
+            required = ("x_train", "y_train", "x_test", "y_test")
+            missing = [k for k in required if k not in data]
+            if missing:
+                raise ConfigError(f"{ref}: missing arrays {missing}")
+            return Dataset(
+                name=path.stem,
+                x_train=data["x_train"],
+                y_train=data["y_train"],
+                x_test=data["x_test"],
+                y_test=data["y_test"],
+                num_classes=int(data["y_train"].max()) + 1,
+            )
+    raise ConfigError(f"unknown input_data {ref!r}")
+
+
+def metric_name(keep: KeepClause) -> str:
+    """The metric a keep clause ranks by (from ``m["loss"]``-style paths)."""
+    if keep.metric is None:
+        return "loss"
+    if keep.metric.selector:
+        return keep.metric.selector
+    if keep.metric.attrs:
+        return keep.metric.attrs[-1]
+    return "loss"
+
+
+def apply_keep(evaluations: list[dict], keep: Optional[KeepClause]) -> list[dict]:
+    """Filter candidate evaluations per the keep clause.
+
+    ``top(k, metric, iters)`` keeps the best ``k`` (loss ascends, anything
+    else descends); threshold mode keeps rows satisfying the comparison.
+    """
+    if keep is None or not evaluations:
+        return evaluations
+    metric = metric_name(keep)
+    if keep.mode == "top":
+        reverse = metric != "loss"
+        ranked = sorted(
+            evaluations,
+            key=lambda e: e.get(metric, float("inf") if not reverse else 0.0),
+            reverse=reverse,
+        )
+        return ranked[: keep.k]
+    ops = {
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+    }
+    compare = ops[keep.op]
+    return [
+        e for e in evaluations
+        if metric in e and compare(e[metric], keep.value)
+    ]

@@ -1,0 +1,89 @@
+"""Tokenizer for DQL.
+
+DQL adopts standard SQL-ish syntax (Sec. III-B): keywords, identifiers,
+string/number literals, selector brackets, attribute dots, comparison
+operators, and list brackets for ``vary ... in [...]`` clauses.  Keywords
+are case-insensitive; identifiers and string contents are not.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+KEYWORDS = {
+    "select", "slice", "construct", "evaluate",
+    "from", "where", "mutate", "with", "vary", "keep",
+    "and", "or", "not", "has", "like", "in", "auto", "top",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<op><=|>=|!=|=|<|>)
+  | (?P<lbracket>\[)
+  | (?P<rbracket>\])
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_\-]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of ``keyword``, ``ident``, ``string``, ``number``,
+    ``op``, ``lbracket``, ``rbracket``, ``lparen``, ``rparen``, ``comma``,
+    ``dot``, or ``eof``; ``value`` is the normalized payload (keywords
+    lowercased, strings unquoted, numbers as float/int).
+    """
+
+    kind: str
+    value: object
+    position: int
+
+
+class LexError(ValueError):
+    """Raised on input DQL text that cannot be tokenized."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize DQL text; appends a trailing ``eof`` token."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            snippet = text[pos : pos + 20]
+            raise LexError(f"cannot tokenize at offset {pos}: {snippet!r}")
+        kind = match.lastgroup
+        value = match.group()
+        pos = match.end()
+        if kind == "ws":
+            continue
+        if kind == "string":
+            value = value[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+        elif kind == "number":
+            value = float(value) if any(c in value for c in ".eE") else int(value)
+        elif kind == "ident":
+            lowered = value.lower()
+            if lowered in KEYWORDS:
+                kind, value = "keyword", lowered
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("eof", None, len(text)))
+    return tokens
+
+
+def iter_significant(tokens: list[Token]) -> Iterator[Token]:
+    """All tokens except the trailing EOF (convenience for tests)."""
+    for token in tokens:
+        if token.kind != "eof":
+            yield token

@@ -1,0 +1,351 @@
+"""Recursive-descent parser for DQL.
+
+Grammar (keywords case-insensitive)::
+
+    query      := select_q | slice_q | construct_q | evaluate_q
+    select_q   := "select" IDENT ["where" cond]
+    slice_q    := "slice" IDENT "from" IDENT ["where" cond]
+                  "mutate" IDENT "." "input" "=" path "and"
+                           IDENT "." "output" "=" path
+    construct_q:= "construct" IDENT "from" IDENT ["where" cond]
+                  "mutate" mutation ("and" mutation)*
+    mutation   := path "." ("insert" | "delete") ["=" template]
+    evaluate_q := "evaluate" IDENT "from" source
+                  "with" "config" "=" STRING
+                  ["vary" vary ("and" vary)*]
+                  ["keep" keep]
+    source     := STRING | "(" query ")"
+    cond       := and_expr ("or" and_expr)*
+    and_expr   := primary ("and" primary)*
+    primary    := "(" cond ")" | path ("has" template | OP literal)
+    path       := IDENT ("[" STRING "]")? ("." IDENT)*
+    template   := IDENT "(" [STRING | NUMBER] ")"
+    vary       := path ("in" "[" literal ("," literal)* "]" | "auto")
+    keep       := "top" "(" NUMBER "," path "," NUMBER ")"
+                | path OP NUMBER
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dql.ast_nodes import (
+    BoolOp,
+    Comparison,
+    Condition,
+    ConstructQuery,
+    EvaluateQuery,
+    HasClause,
+    KeepClause,
+    Mutation,
+    Path,
+    Query,
+    SelectQuery,
+    SliceQuery,
+    Template,
+    VaryClause,
+)
+from repro.dql.lexer import Token, tokenize
+
+
+class ParseError(ValueError):
+    """Raised on syntactically invalid DQL."""
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, value: Optional[object] = None) -> bool:
+        token = self.current
+        if token.kind != kind:
+            return False
+        return value is None or token.value == value
+
+    def accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        if self.check(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: Optional[object] = None) -> Token:
+        if not self.check(kind, value):
+            token = self.current
+            want = f"{kind}" + (f" {value!r}" if value is not None else "")
+            raise ParseError(
+                f"expected {want} at offset {token.position}, "
+                f"found {token.kind} {token.value!r}"
+            )
+        return self.advance()
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        token = self.current
+        if token.kind != "keyword":
+            raise ParseError(
+                f"query must start with a verb, found {token.value!r}"
+            )
+        if token.value == "select":
+            return self._select()
+        if token.value == "slice":
+            return self._slice()
+        if token.value == "construct":
+            return self._construct()
+        if token.value == "evaluate":
+            return self._evaluate()
+        raise ParseError(f"unknown query verb {token.value!r}")
+
+    # -- statements -----------------------------------------------------------
+
+    def _select(self) -> SelectQuery:
+        self.expect("keyword", "select")
+        var = self.expect("ident").value
+        where = None
+        if self.accept("keyword", "where"):
+            where = self._condition()
+        return SelectQuery(var, where)
+
+    def _source(self) -> tuple[str, Optional[Query]]:
+        """The ``from`` clause of slice/construct: a variable or a subquery."""
+        if self.accept("lparen"):
+            nested = self.parse_query()
+            self.expect("rparen")
+            var = getattr(nested, "var", None) or getattr(
+                nested, "new_var", "m"
+            )
+            return var, nested
+        return self.expect("ident").value, None
+
+    def _slice(self) -> SliceQuery:
+        self.expect("keyword", "slice")
+        new_var = self.expect("ident").value
+        self.expect("keyword", "from")
+        source_var, source_query = self._source()
+        where = None
+        if self.accept("keyword", "where"):
+            where = self._condition()
+        self.expect("keyword", "mutate")
+        assignments: dict[str, Path] = {}
+        while True:
+            var = self.expect("ident").value
+            self.expect("dot")
+            endpoint = self.expect("ident").value
+            if endpoint not in ("input", "output"):
+                raise ParseError(
+                    f"slice mutate assigns input/output, got {endpoint!r}"
+                )
+            if var != new_var:
+                raise ParseError(
+                    f"slice mutate must assign to {new_var!r}, got {var!r}"
+                )
+            self.expect("op", "=")
+            assignments[endpoint] = self._path()
+            if not self.accept("keyword", "and"):
+                break
+        missing = {"input", "output"} - set(assignments)
+        if missing:
+            raise ParseError(f"slice mutate is missing {sorted(missing)}")
+        return SliceQuery(
+            new_var, source_var, where,
+            assignments["input"], assignments["output"],
+            source_query,
+        )
+
+    def _construct(self) -> ConstructQuery:
+        self.expect("keyword", "construct")
+        new_var = self.expect("ident").value
+        self.expect("keyword", "from")
+        source_var, source_query = self._source()
+        where = None
+        if self.accept("keyword", "where"):
+            where = self._condition()
+        self.expect("keyword", "mutate")
+        mutations = [self._mutation()]
+        while self.accept("keyword", "and"):
+            mutations.append(self._mutation())
+        return ConstructQuery(
+            new_var, source_var, where, tuple(mutations), source_query
+        )
+
+    def _mutation(self) -> Mutation:
+        path = self._path()
+        if not path.attrs or path.attrs[-1] not in ("insert", "delete"):
+            raise ParseError(
+                "construct mutations must end in .insert or .delete"
+            )
+        action = path.attrs[-1]
+        anchor = Path(path.var, path.selector, path.attrs[:-1])
+        template = None
+        if self.accept("op", "="):
+            template = self._template()
+        if action == "insert" and template is None:
+            raise ParseError(".insert requires a layer template")
+        return Mutation(anchor, action, template)
+
+    def _evaluate(self) -> EvaluateQuery:
+        self.expect("keyword", "evaluate")
+        var = self.expect("ident").value
+        self.expect("keyword", "from")
+        if self.check("string"):
+            source: object = self.advance().value
+        elif self.accept("lparen"):
+            source = self.parse_query()
+            self.expect("rparen")
+        else:
+            raise ParseError(
+                'evaluate "from" takes a quoted result-set name or a '
+                "parenthesized subquery"
+            )
+        self.expect("keyword", "with")
+        config_word = self.expect("ident")
+        if config_word.value != "config":
+            raise ParseError('expected "config" after with')
+        self.expect("op", "=")
+        config_ref = self.expect("string").value
+        vary: list[VaryClause] = []
+        if self.accept("keyword", "vary"):
+            vary.append(self._vary())
+            while self.accept("keyword", "and"):
+                vary.append(self._vary())
+        keep = None
+        if self.accept("keyword", "keep"):
+            keep = self._keep()
+        return EvaluateQuery(var, source, config_ref, tuple(vary), keep)
+
+    # -- clauses --------------------------------------------------------------
+
+    def _vary(self) -> VaryClause:
+        path = self._path()
+        target = self._vary_target(path)
+        if self.accept("keyword", "auto"):
+            return VaryClause(target, auto=True)
+        self.expect("keyword", "in")
+        self.expect("lbracket")
+        values = [self._literal()]
+        while self.accept("comma"):
+            values.append(self._literal())
+        self.expect("rbracket")
+        return VaryClause(target, tuple(values))
+
+    @staticmethod
+    def _vary_target(path: Path) -> tuple[str, ...]:
+        if path.var != "config":
+            raise ParseError(
+                f"vary dimensions live under config.*, got {path.var!r}"
+            )
+        parts: list[str] = list(path.attrs)
+        if path.selector is not None:
+            # config.net["conv*"].lr — selector slots in at its position.
+            parts.insert(path.selector_pos, path.selector)
+        return tuple(parts)
+
+    def _keep(self) -> KeepClause:
+        if self.accept("keyword", "top"):
+            self.expect("lparen")
+            k = int(self.expect("number").value)
+            self.expect("comma")
+            metric = self._path()
+            self.expect("comma")
+            iterations = int(self.expect("number").value)
+            self.expect("rparen")
+            return KeepClause("top", k=k, metric=metric, iterations=iterations)
+        metric = self._path()
+        op = self.expect("op").value
+        value = float(self.expect("number").value)
+        return KeepClause("threshold", metric=metric, op=op, value=value)
+
+    def _condition(self) -> Condition:
+        left = self._and_expr()
+        operands = [left]
+        while self.accept("keyword", "or"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return left
+        return BoolOp("or", tuple(operands))
+
+    def _and_expr(self) -> Condition:
+        left = self._primary()
+        operands = [left]
+        while self.accept("keyword", "and"):
+            operands.append(self._primary())
+        if len(operands) == 1:
+            return left
+        return BoolOp("and", tuple(operands))
+
+    def _primary(self) -> Condition:
+        if self.accept("keyword", "not"):
+            return BoolOp("not", (self._primary(),))
+        if self.accept("lparen"):
+            inner = self._condition()
+            self.expect("rparen")
+            return inner
+        path = self._path()
+        if self.accept("keyword", "has"):
+            return HasClause(path, self._template())
+        if self.accept("keyword", "like"):
+            value = self.expect("string").value
+            return Comparison(path, "like", value)
+        op = self.expect("op").value
+        value = self._literal()
+        return Comparison(path, op, value)
+
+    def _path(self) -> Path:
+        var = self.expect("ident").value
+        selector = None
+        selector_pos = 0
+        attrs: list[str] = []
+        while True:
+            if self.check("lbracket") and selector is None:
+                self.advance()
+                selector = self.expect("string").value
+                self.expect("rbracket")
+                selector_pos = len(attrs)
+                continue
+            if self.accept("dot"):
+                attrs.append(self.expect("ident").value)
+                continue
+            break
+        return Path(var, selector, tuple(attrs), selector_pos)
+
+    def _template(self) -> Template:
+        kind = self.expect("ident").value.upper()
+        self.expect("lparen")
+        arg = None
+        int_arg = None
+        if self.check("string"):
+            arg = self.advance().value
+        elif self.check("number"):
+            int_arg = int(self.advance().value)
+        self.expect("rparen")
+        return Template(kind, arg, int_arg)
+
+    def _literal(self) -> object:
+        if self.check("string"):
+            return self.advance().value
+        if self.check("number"):
+            return self.advance().value
+        token = self.current
+        raise ParseError(
+            f"expected a literal at offset {token.position}, "
+            f"found {token.kind} {token.value!r}"
+        )
+
+
+def parse(text: str) -> Query:
+    """Parse one DQL statement; raises :class:`ParseError` on bad input."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect("eof")
+    return query

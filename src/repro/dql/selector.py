@@ -1,0 +1,196 @@
+"""Regexp-style node selectors and layer templates (Sec. III-B).
+
+The selector operator ``m1["conv[1,3,5]"]`` filters the nodes of a model
+version's DAG by name pattern; ``prev``/``next`` attributes then allow
+1-hop traversal.  Patterns support:
+
+* literal characters (matched exactly);
+* ``[...]`` character classes (passed through to the regex engine, so
+  ``conv[1,3,5]`` matches ``conv1``/``conv3``/``conv5``);
+* ``*`` — any substring;
+* ``*($k)`` — any substring, captured as ``$k`` for substitution into new
+  node names (``m1["conv*($1)"]`` + ``RELU("relu$1")`` names the inserted
+  layer after the convolution it follows);
+* ``?`` — any single character.
+
+Layer templates such as ``POOL("MAX")`` serve two roles: as *conditions*
+(``has POOL("MAX")``) they test a node's kind (and pool mode), and as
+*constructors* in mutations they instantiate new layers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.dnn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+from repro.dnn.network import INPUT, Network
+from repro.dql.ast_nodes import Template
+
+
+class SelectorError(ValueError):
+    """Raised for malformed selector patterns or unusable templates."""
+
+
+def compile_selector(pattern: str) -> re.Pattern:
+    """Translate a DQL selector pattern into an anchored regex."""
+    out: list[str] = []
+    i = 0
+    group = 0
+    while i < len(pattern):
+        ch = pattern[i]
+        if ch == "*":
+            capture = re.match(r"\*\(\$(\d+)\)", pattern[i:])
+            if capture:
+                out.append(f"(?P<cap{capture.group(1)}>.*)")
+                i += capture.end()
+            else:
+                group += 1
+                out.append(".*")
+                i += 1
+            continue
+        if ch == "?":
+            out.append(".")
+            i += 1
+            continue
+        if ch == "[":
+            end = pattern.find("]", i)
+            if end < 0:
+                raise SelectorError(f"unclosed character class in {pattern!r}")
+            out.append(pattern[i : end + 1])
+            i = end + 1
+            continue
+        out.append(re.escape(ch))
+        i += 1
+    try:
+        return re.compile("^" + "".join(out) + "$")
+    except re.error as exc:
+        raise SelectorError(f"bad selector {pattern!r}: {exc}") from exc
+
+
+def select_nodes(net: Network, pattern: str) -> list[tuple[str, dict[str, str]]]:
+    """Nodes of ``net`` matching the pattern.
+
+    Returns `(node_name, captures)` pairs in topological order, where
+    ``captures`` maps ``"$k"`` to the captured substring.
+    """
+    regex = compile_selector(pattern)
+    matches: list[tuple[str, dict[str, str]]] = []
+    for name in net.topological_order():
+        match = regex.match(name)
+        if match:
+            captures = {
+                "$" + key[len("cap") :]: value
+                for key, value in match.groupdict().items()
+                if key.startswith("cap")
+            }
+            matches.append((name, captures))
+    return matches
+
+
+def traverse(net: Network, names: list[str], direction: str) -> list[str]:
+    """1-hop ``next``/``prev`` traversal from a node set."""
+    result: list[str] = []
+    seen: set[str] = set()
+    for name in names:
+        if direction == "next":
+            hops = net.consumers(name)
+        elif direction == "prev":
+            upstream = net.predecessor(name)
+            hops = [] if upstream == INPUT else [upstream]
+        else:
+            raise SelectorError(f"unknown traversal {direction!r}")
+        for hop in hops:
+            if hop not in seen:
+                seen.add(hop)
+                result.append(hop)
+    return result
+
+
+def template_matches(layer: Layer, template: Template) -> bool:
+    """Does a layer satisfy a template condition like ``POOL("MAX")``?"""
+    if layer.kind != template.kind:
+        return False
+    if template.arg is None:
+        return True
+    if template.kind == "POOL":
+        return layer.hyperparams.get("mode") == template.arg.upper()
+    # For other kinds the argument is interpreted as a name pattern.
+    return compile_selector(template.arg).match(layer.name) is not None
+
+
+def substitute(text: str, captures: dict[str, str]) -> str:
+    """Replace ``$k`` capture references inside a template argument."""
+    # Longest keys first so $10 is not clobbered by $1.
+    for key in sorted(captures, key=len, reverse=True):
+        text = text.replace(key, captures[key])
+    return text
+
+
+def instantiate_template(
+    template: Template, captures: dict[str, str], anchor_layer: Layer
+) -> Layer:
+    """Create a new layer from a mutation template.
+
+    The template's string argument (after ``$k`` substitution) becomes the
+    new node's name; layers needing structural hyperparameters (CONV, FULL,
+    POOL) inherit sensible values from the anchor when not derivable.
+    """
+    name = substitute(template.arg or template.kind.lower(), captures)
+    kind = template.kind
+    if kind == "RELU":
+        return ReLU(name)
+    if kind == "SIGMOID":
+        return Sigmoid(name)
+    if kind == "TANH":
+        return Tanh(name)
+    if kind == "SOFTMAX":
+        return Softmax(name)
+    if kind == "FLATTEN":
+        return Flatten(name)
+    if kind == "DROPOUT":
+        return Dropout(name, rate=0.5)
+    if kind == "LRN":
+        return LocalResponseNorm(name)
+    if kind == "POOL":
+        mode = "MAX"
+        if template.arg and template.arg.upper() in ("MAX", "AVG"):
+            mode = template.arg.upper()
+            name = mode.lower() + "pool"
+        cls = MaxPool2D if mode == "MAX" else AvgPool2D
+        return cls(name, kernel=2)
+    if kind == "CONV":
+        filters = template.int_arg or anchor_layer.hyperparams.get("filters", 8)
+        return Conv2D(name, filters=filters, kernel=3, pad=1)
+    if kind == "FULL":
+        units = template.int_arg or anchor_layer.hyperparams.get("units", 64)
+        return Dense(name, units=units)
+    raise SelectorError(f"cannot instantiate template kind {kind!r}")
+
+
+def resolve_single_node(
+    net: Network, pattern: Optional[str], description: str
+) -> str:
+    """Resolve a selector expected to match exactly one node (slice endpoints)."""
+    if pattern is None:
+        raise SelectorError(f"{description} requires a node selector")
+    matches = select_nodes(net, pattern)
+    if len(matches) != 1:
+        raise SelectorError(
+            f"{description} selector {pattern!r} matched "
+            f"{len(matches)} nodes; need exactly 1"
+        )
+    return matches[0][0]

@@ -1,0 +1,16 @@
+"""ModelHub sharing service: publish, search, and pull DLV repositories.
+
+The paper hosts DLV repositories in an online service playing the role
+GitHub plays for code (Sec. III-C).  Networking is out of scope offline,
+so the hub here is a *directory-backed* service with the same API surface:
+a :class:`~repro.hub.server.HubServer` owning a hub directory, and a
+:class:`~repro.hub.client.HubClient` that publishes whole repositories,
+searches their metadata, and pulls them back as working local
+repositories.  Because a DLV repository is standalone (catalog + chunk
+store), hosting it whole is exactly the paper's design.
+"""
+
+from repro.hub.client import HubClient
+from repro.hub.server import HubRecord, HubServer
+
+__all__ = ["HubClient", "HubRecord", "HubServer"]

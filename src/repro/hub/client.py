@@ -1,0 +1,60 @@
+"""Hub client: the ``dlv publish`` / ``dlv search`` / ``dlv pull`` verbs."""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+from typing import Optional
+
+from repro.dlv.repository import Repository
+from repro.hub.server import HubRecord, HubServer
+
+
+class HubClient:
+    """Client API over a (directory-backed) hub.
+
+    Args:
+        hub: Hub directory path or an existing :class:`HubServer`.
+    """
+
+    def __init__(self, hub: str | Path | HubServer) -> None:
+        self.server = hub if isinstance(hub, HubServer) else HubServer(hub)
+
+    def publish(
+        self, repo: Repository, name: str, description: str = ""
+    ) -> HubRecord:
+        """``dlv publish``: push a whole repository to the hub."""
+        model_names = sorted({v.name for v in repo.list_versions()})
+        return self.server.publish(
+            name, repo.dlv_dir, description=description, model_names=model_names
+        )
+
+    def search(self, pattern: str = "*") -> list[HubRecord]:
+        """``dlv search``: find published repositories."""
+        return self.server.search(pattern)
+
+    def pull(
+        self,
+        name: str,
+        dest: str | Path,
+        revision: Optional[int] = None,
+    ) -> Path:
+        """``dlv pull``: materialize a published repository locally.
+
+        Returns the destination path, which is a ready-to-open DLV
+        repository.
+        """
+        dest = Path(dest)
+        source = self.server.get(name, revision)
+        target = dest / Repository.DLV_DIR
+        if target.exists():
+            raise FileExistsError(f"{dest} already contains a dlv repository")
+        dest.mkdir(parents=True, exist_ok=True)
+        shutil.copytree(source, target)
+        return dest
+
+    def pull_repository(
+        self, name: str, dest: str | Path, revision: Optional[int] = None
+    ) -> Repository:
+        """Pull and open in one step."""
+        return Repository.open(self.pull(name, dest, revision))

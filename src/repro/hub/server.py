@@ -1,0 +1,148 @@
+"""Directory-backed hub server.
+
+Hub layout::
+
+    <hub-root>/
+        index.json                     name -> record
+        repos/<name>/<revision>/       full copies of published .dlv trees
+
+Revisions are monotonically increasing integers per name, so repeated
+publishes never clobber history — collaborators can pull any revision.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+
+@dataclass
+class HubRecord:
+    """Index entry for one published repository."""
+
+    name: str
+    description: str = ""
+    revision: int = 1
+    published_at: str = ""
+    model_names: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "revision": self.revision,
+            "published_at": self.published_at,
+            "model_names": list(self.model_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HubRecord":
+        return cls(
+            name=data["name"],
+            description=data.get("description", ""),
+            revision=data.get("revision", 1),
+            published_at=data.get("published_at", ""),
+            model_names=list(data.get("model_names", [])),
+        )
+
+
+class HubServer:
+    """Owns a hub directory: the index plus published repository trees."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "repos").mkdir(exist_ok=True)
+
+    @property
+    def _index_path(self) -> Path:
+        return self.root / "index.json"
+
+    def _load_index(self) -> dict[str, dict]:
+        if self._index_path.exists():
+            return json.loads(self._index_path.read_text())
+        return {}
+
+    def _save_index(self, index: dict[str, dict]) -> None:
+        self._index_path.write_text(json.dumps(index, indent=2))
+
+    def publish(
+        self,
+        name: str,
+        dlv_dir: Path,
+        description: str = "",
+        model_names: Optional[list[str]] = None,
+    ) -> HubRecord:
+        """Store a copy of a repository's ``.dlv`` tree under ``name``."""
+        index = self._load_index()
+        revision = index.get(name, {}).get("revision", 0) + 1
+        dest = self.root / "repos" / name / str(revision)
+        if dest.exists():
+            shutil.rmtree(dest)
+        shutil.copytree(dlv_dir, dest)
+        record = HubRecord(
+            name=name,
+            description=description,
+            revision=revision,
+            published_at=datetime.datetime.now(
+                datetime.timezone.utc
+            ).isoformat(),
+            model_names=model_names or [],
+        )
+        index[name] = record.to_dict()
+        self._save_index(index)
+        return record
+
+    def search(self, pattern: str = "*") -> list[HubRecord]:
+        """Match records by glob pattern on name, description, or models."""
+        import fnmatch
+
+        records = [
+            HubRecord.from_dict(d) for d in self._load_index().values()
+        ]
+        if pattern in ("", "*"):
+            return sorted(records, key=lambda r: r.name)
+        matched = []
+        for record in records:
+            haystacks = [record.name, record.description, *record.model_names]
+            if any(fnmatch.fnmatch(h, pattern) for h in haystacks):
+                matched.append(record)
+        return sorted(matched, key=lambda r: r.name)
+
+    def get(self, name: str, revision: Optional[int] = None) -> Path:
+        """Path of a published repository tree.
+
+        Raises:
+            KeyError: unknown name or revision.
+        """
+        index = self._load_index()
+        if name not in index:
+            raise KeyError(f"hub has no repository {name!r}")
+        revision = revision or index[name]["revision"]
+        path = self.root / "repos" / name / str(revision)
+        if not path.exists():
+            raise KeyError(f"{name!r} has no revision {revision}")
+        return path
+
+    def revisions(self, name: str) -> list[int]:
+        """All stored revisions of a repository."""
+        base = self.root / "repos" / name
+        if not base.exists():
+            return []
+        return sorted(int(p.name) for p in base.iterdir() if p.is_dir())
+
+    def delete(self, name: str) -> bool:
+        """Remove a repository (all revisions) from the hub."""
+        index = self._load_index()
+        if name not in index:
+            return False
+        del index[name]
+        self._save_index(index)
+        tree = self.root / "repos" / name
+        if tree.exists():
+            shutil.rmtree(tree)
+        return True

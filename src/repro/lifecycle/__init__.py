@@ -1,0 +1,26 @@
+"""Synthetic modeling-lifecycle generators (Sec. V-A of the paper).
+
+The paper lacks sufficiently fine-grained real-world repositories, so it
+drives the archival experiments with an *automatic modeler*: a state
+machine that mimics real modeling practice — fine-tuning a trained network
+for a new (face recognition) task, sweeping hyperparameters, and tweaking
+the architecture — producing the SD dataset (similar DNNs with relatively
+similar parameters), and a family of derived repositories (RD) that vary
+delta ratios, group sizes, and model counts.
+
+* :mod:`repro.lifecycle.auto_modeler` trains real (scaled-down) models and
+  commits them into a DLV repository — the SD equivalent.
+* :mod:`repro.lifecycle.synthetic_graph` builds matrix storage graphs
+  directly with controlled cost structure — the RD equivalent, used to
+  scale the Fig. 6(c) sweeps without training.
+"""
+
+from repro.lifecycle.auto_modeler import AutoModeler, ModelerConfig, generate_sd
+from repro.lifecycle.synthetic_graph import synthetic_storage_graph
+
+__all__ = [
+    "AutoModeler",
+    "ModelerConfig",
+    "generate_sd",
+    "synthetic_storage_graph",
+]

@@ -1,0 +1,215 @@
+"""The automatic modeler: generate an SD-style repository by simulated practice.
+
+The paper's SD dataset simulates "a modeler who is enumerating models to
+solve a face recognition task, fine-tuning a trained VGG": the base
+network's prediction layer is swapped for the new label space, and a state
+machine applies real-world modeling moves — fine-tune only the last layer,
+fine-tune everything with a small learning rate, sweep hyperparameters,
+tweak the architecture — committing every variant (with its checkpointed
+snapshots and lineage) into a DLV repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.dlv.repository import Repository
+from repro.dnn.data import Dataset, synthetic_faces
+from repro.dnn.layers import Dense, Dropout
+from repro.dnn.network import Network
+from repro.dnn.training import SGDConfig, Trainer
+from repro.dnn.zoo import vgg_mini
+
+
+@dataclass
+class ModelerConfig:
+    """Knobs of the automatic modeler.
+
+    Defaults are laptop-scale versions of the paper's 54-version,
+    10-snapshot SD dataset.
+    """
+
+    num_versions: int = 8
+    snapshots_per_version: int = 4
+    base_epochs: int = 2
+    finetune_epochs: int = 1
+    model_scale: float = 0.5
+    seed: int = 42
+    #: Relative frequency of each modeling move.
+    actions: dict = field(
+        default_factory=lambda: {
+            "finetune-last": 0.3,
+            "finetune-all": 0.3,
+            "hyperparam": 0.25,
+            "arch-tweak": 0.15,
+        }
+    )
+
+
+class AutoModeler:
+    """State machine that populates a repository with related model versions."""
+
+    def __init__(
+        self,
+        repo: Repository,
+        dataset: Optional[Dataset] = None,
+        config: Optional[ModelerConfig] = None,
+    ) -> None:
+        self.repo = repo
+        self.config = config or ModelerConfig()
+        self.dataset = dataset or synthetic_faces(size=16)
+        self.rng = np.random.default_rng(self.config.seed)
+        self._versions: list = []
+
+    # -- helpers ------------------------------------------------------------
+
+    def _snapshot_interval(self, dataset_size: int, epochs: int, batch: int) -> int:
+        iterations = max(1, (dataset_size // batch) * epochs)
+        return max(1, iterations // self.config.snapshots_per_version)
+
+    def _train_and_commit(
+        self,
+        net: Network,
+        name: str,
+        solver: SGDConfig,
+        message: str,
+        parent=None,
+    ):
+        trainer = Trainer(net, solver)
+        result = trainer.fit(
+            self.dataset.x_train,
+            self.dataset.y_train,
+            self.dataset.x_test,
+            self.dataset.y_test,
+        )
+        # Cap the snapshot series at the configured length (latest kept).
+        if len(result.snapshots) > self.config.snapshots_per_version:
+            result.snapshots = result.snapshots[
+                -self.config.snapshots_per_version :
+            ]
+        version = self.repo.commit(
+            net,
+            name=name,
+            message=message,
+            parent=parent,
+            train_result=result,
+            hyperparams=solver.to_dict(),
+        )
+        self._versions.append(version)
+        return version
+
+    def _base_solver(self, epochs: int) -> SGDConfig:
+        batch = 32
+        return SGDConfig(
+            epochs=epochs,
+            base_lr=0.05,
+            batch_size=batch,
+            seed=int(self.rng.integers(0, 2**31)),
+            snapshot_every=self._snapshot_interval(
+                len(self.dataset.x_train), epochs, batch
+            ),
+        )
+
+    # -- modeling moves --------------------------------------------------------
+
+    def train_base(self) -> None:
+        """Train and commit the base model (the 'trained VGG' stand-in)."""
+        cfg = self.config
+        net = vgg_mini(
+            input_shape=self.dataset.input_shape,
+            num_classes=self.dataset.num_classes,
+            scale=cfg.model_scale,
+            name="sd-base",
+        ).build(cfg.seed)
+        self._train_and_commit(
+            net, "sd-base", self._base_solver(cfg.base_epochs),
+            "base model for face task",
+        )
+
+    def _pick_parent(self):
+        """Recent versions are likelier parents (modelers iterate forward)."""
+        weights = np.arange(1, len(self._versions) + 1, dtype=np.float64)
+        weights /= weights.sum()
+        index = int(self.rng.choice(len(self._versions), p=weights))
+        return self._versions[index]
+
+    def _pick_action(self) -> str:
+        names = list(self.config.actions)
+        probs = np.asarray(
+            [self.config.actions[n] for n in names], dtype=np.float64
+        )
+        probs /= probs.sum()
+        return str(names[int(self.rng.choice(len(names), p=probs))])
+
+    def step(self, index: int) -> None:
+        """One modeling move: derive, train, and commit a new version."""
+        parent = self._pick_parent()
+        action = self._pick_action()
+        net = self.repo.load_network(parent)
+        solver = self._base_solver(self.config.finetune_epochs)
+        name = f"sd-{action}-{index}"
+        net.name = name
+
+        if action == "finetune-last":
+            # Freeze everything but the prediction layer.
+            last_dense = [
+                layer.name for layer in net.layers() if layer.kind == "FULL"
+            ][-1]
+            solver.lr_multipliers = {"*": 0.0, last_dense: 1.0}
+            solver.base_lr = 0.02
+        elif action == "finetune-all":
+            solver.base_lr = 0.005
+        elif action == "hyperparam":
+            solver.base_lr = float(self.rng.choice([0.1, 0.02, 0.01]))
+            solver.momentum = float(self.rng.choice([0.9, 0.5]))
+        else:  # arch-tweak: insert dropout before the classifier, re-init it.
+            dense_layers = [
+                layer.name for layer in net.layers() if layer.kind == "FULL"
+            ]
+            anchor = net.predecessor(dense_layers[-1])
+            drop_name = f"drop{index}"
+            if drop_name not in net:
+                net.insert_after(anchor, Dropout(drop_name, rate=0.3))
+            # Replace the classifier to simulate a task tweak.
+            classifier = dense_layers[-1]
+            upstream = net.predecessor(classifier)
+            consumers = net.consumers(classifier)
+            net.delete_node(classifier)
+            new_dense = Dense(classifier, units=self.dataset.num_classes)
+            net.insert_after(upstream, new_dense)
+            del consumers
+            net.build(seed=int(self.rng.integers(0, 2**31)))
+            solver.base_lr = 0.02
+
+        self._train_and_commit(
+            net, name, solver, f"{action} from {parent.ref}", parent=parent
+        )
+
+    def run(self) -> list:
+        """Generate the full repository; returns the committed versions."""
+        self.train_base()
+        for index in range(1, self.config.num_versions):
+            self.step(index)
+        return list(self._versions)
+
+
+def generate_sd(
+    path: str | Path,
+    config: Optional[ModelerConfig] = None,
+    dataset: Optional[Dataset] = None,
+) -> Repository:
+    """Create (or reuse) an SD repository at ``path``.
+
+    When ``path`` already holds a repository it is opened as-is, making
+    benchmark invocations idempotent.
+    """
+    path = Path(path)
+    if (path / Repository.DLV_DIR).exists():
+        return Repository.open(path)
+    repo = Repository.init(path)
+    AutoModeler(repo, dataset=dataset, config=config).run()
+    return repo

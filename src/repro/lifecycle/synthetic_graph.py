@@ -1,0 +1,124 @@
+"""Synthetic matrix storage graphs — the RD repositories of Sec. V-A.
+
+The paper derives a collection of repositories from SD by varying the
+delta ratios, group sizes, and number of models.  Training real models at
+every size would dominate benchmark time, so this generator builds
+:class:`~repro.core.storage_graph.MatrixStorageGraph` instances directly
+with the same structure a trained repository produces:
+
+* each model version is a chain of snapshots; adjacent snapshots are
+  connected by cheap delta edges (``delta_ratio`` x the materialization
+  storage cost);
+* versions form a lineage tree; the latest snapshots of related versions
+  are connected by slightly costlier fine-tuning delta edges;
+* every matrix has a materialization edge whose recreation cost is the
+  cheapest possible (direct fetch).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.storage_graph import (
+    MatrixRef,
+    MatrixStorageGraph,
+    StorageEdge,
+)
+
+
+def synthetic_storage_graph(
+    num_versions: int = 6,
+    snapshots_per_version: int = 5,
+    matrices_per_snapshot: int = 8,
+    delta_ratio: float = 0.4,
+    lineage_delta_ratio: float = 0.6,
+    matrix_kb: float = 256.0,
+    size_spread: float = 0.5,
+    recreation_unit: float = 1e-6,
+    seed: int = 7,
+) -> MatrixStorageGraph:
+    """Build an RD-style matrix storage graph.
+
+    Args:
+        num_versions: Model versions in the repository.
+        snapshots_per_version: Checkpointed snapshots per version.
+        matrices_per_snapshot: Parameter matrices per snapshot (the paper's
+            SD has 16 parametric layers).
+        delta_ratio: Storage cost of an adjacent-snapshot delta relative to
+            materialization (smaller = more compressible deltas).
+        lineage_delta_ratio: Same, for fine-tuning deltas across versions.
+        matrix_kb: Mean uncompressed matrix size in KiB.
+        size_spread: Log-uniform spread of matrix sizes around the mean.
+        recreation_unit: Seconds (or cost units) per byte handled.
+        seed: RNG seed; the generator is fully deterministic.
+
+    Returns:
+        A connected :class:`MatrixStorageGraph` whose snapshot groups are
+        the per-snapshot co-usage sets.
+    """
+    if num_versions < 1 or snapshots_per_version < 1:
+        raise ValueError("need at least one version and one snapshot")
+    rng = np.random.default_rng(seed)
+    graph = MatrixStorageGraph()
+
+    # Per-layer sizes are shared across versions (same architecture family).
+    low = matrix_kb * (1.0 - size_spread)
+    high = matrix_kb * (1.0 + size_spread)
+    layer_bytes = rng.uniform(low, high, size=matrices_per_snapshot) * 1024.0
+
+    # Lineage: version v (>0) derives from a random earlier version.
+    parents = {0: None}
+    for version in range(1, num_versions):
+        parents[version] = int(rng.integers(0, version))
+
+    def matrix_id(version: int, snapshot: int, layer: int) -> str:
+        return f"v{version}/s{snapshot}/m{layer}"
+
+    for version in range(num_versions):
+        for snapshot in range(snapshots_per_version):
+            key = f"v{version}/s{snapshot}"
+            for layer in range(matrices_per_snapshot):
+                nbytes = float(layer_bytes[layer])
+                mid = matrix_id(version, snapshot, layer)
+                graph.add_matrix(MatrixRef(mid, key, int(nbytes)))
+                # Materialized storage compresses mildly (~10%).
+                store = nbytes * float(rng.uniform(0.85, 0.95))
+                graph.add_materialization(
+                    mid, store, nbytes * recreation_unit
+                )
+                if snapshot > 0:
+                    prev = matrix_id(version, snapshot - 1, layer)
+                    jitter = float(rng.uniform(0.8, 1.2))
+                    graph.add_edge(
+                        StorageEdge(
+                            prev,
+                            mid,
+                            nbytes * delta_ratio * jitter,
+                            nbytes * recreation_unit,
+                        )
+                    )
+
+    last = snapshots_per_version - 1
+    for version in range(1, num_versions):
+        base = parents[version]
+        for layer in range(matrices_per_snapshot):
+            nbytes = float(layer_bytes[layer])
+            jitter = float(rng.uniform(0.8, 1.2))
+            graph.add_edge(
+                StorageEdge(
+                    matrix_id(base, last, layer),
+                    matrix_id(version, 0, layer),
+                    nbytes * lineage_delta_ratio * jitter,
+                    nbytes * recreation_unit,
+                )
+            )
+            # Fine-tuned latest snapshots are also mutually similar.
+            graph.add_edge(
+                StorageEdge(
+                    matrix_id(base, last, layer),
+                    matrix_id(version, last, layer),
+                    nbytes * lineage_delta_ratio * jitter * 1.1,
+                    nbytes * recreation_unit,
+                )
+            )
+    return graph

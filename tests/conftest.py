@@ -1,0 +1,77 @@
+"""Shared fixtures for the test suite.
+
+Training is the slowest operation, so trained models and datasets are
+session-scoped; repository fixtures are per-test (they mutate state).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dlv.repository import Repository
+from repro.dnn.data import synthetic_digits
+from repro.dnn.training import SGDConfig, Trainer
+from repro.dnn.zoo import lenet, tiny_mlp
+
+
+@pytest.fixture(scope="session")
+def digits():
+    """A small, fast synthetic digits dataset."""
+    return synthetic_digits(train_per_class=30, test_per_class=10)
+
+
+@pytest.fixture(scope="session")
+def trained_lenet(digits):
+    """A LeNet trained to well-above-chance accuracy, with its artifacts."""
+    net = lenet(
+        input_shape=digits.input_shape,
+        num_classes=digits.num_classes,
+        name="lenet-fixture",
+    ).build(0)
+    config = SGDConfig(epochs=3, base_lr=0.05, batch_size=32, snapshot_every=8)
+    result = Trainer(net, config).fit(
+        digits.x_train, digits.y_train, digits.x_test, digits.y_test
+    )
+    return net, result, config
+
+
+@pytest.fixture(scope="session")
+def trained_tiny(digits):
+    """A tiny MLP for tests that only need *some* trained weights."""
+    net = tiny_mlp(
+        input_shape=digits.input_shape,
+        num_classes=digits.num_classes,
+        hidden=24,
+        name="tiny-fixture",
+    ).build(1)
+    config = SGDConfig(epochs=2, base_lr=0.1, batch_size=32)
+    result = Trainer(net, config).fit(
+        digits.x_train, digits.y_train, digits.x_test, digits.y_test
+    )
+    return net, result, config
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A fresh empty repository per test."""
+    repository = Repository.init(tmp_path / "repo")
+    yield repository
+    repository.close()
+
+
+@pytest.fixture
+def seeded_rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def sample_matrices(tmp_path_factory):
+    """Realistic float matrices: a base and a fine-tuned variant."""
+    rng = np.random.default_rng(99)
+    base = (rng.standard_normal((48, 32)) * 0.08).astype(np.float32)
+    finetuned = base + (rng.standard_normal(base.shape) * 0.004).astype(
+        np.float32
+    )
+    unrelated = (rng.standard_normal(base.shape) * 0.08).astype(np.float32)
+    return {"base": base, "finetuned": finetuned, "unrelated": unrelated}

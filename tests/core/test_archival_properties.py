@@ -1,0 +1,179 @@
+"""Property-based archival solver tests over random storage graphs.
+
+Hypothesis generates random connected matrix storage graphs (random group
+sizes, delta ratios, and topologies); every solver must return a valid
+spanning tree, the MST must lower-bound every plan's storage, the SPT must
+lower-bound every snapshot's recreation, and ``solve("best")`` must always
+be feasible for budgets at or above the SPT bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.archival import (
+    alpha_constraints,
+    last_tree,
+    minimum_spanning_tree,
+    pas_mt,
+    pas_pt,
+    shortest_path_distances,
+    shortest_path_tree,
+    solve,
+    spt_tightening,
+)
+from repro.core.storage_graph import (
+    ROOT,
+    MatrixRef,
+    MatrixStorageGraph,
+    RetrievalScheme,
+    StorageEdge,
+)
+
+graph_params = st.tuples(
+    st.integers(2, 5),      # snapshots
+    st.integers(1, 4),      # matrices per snapshot
+    st.floats(0.1, 0.9),    # delta ratio
+    st.integers(0, 10_000), # rng seed
+)
+
+
+def make_graph(params) -> MatrixStorageGraph:
+    """A random connected storage graph with chain + random cross deltas."""
+    num_snapshots, per_snapshot, delta_ratio, seed = params
+    rng = np.random.default_rng(seed)
+    graph = MatrixStorageGraph()
+    ids = []
+    for s in range(num_snapshots):
+        for m in range(per_snapshot):
+            matrix_id = f"s{s}m{m}"
+            graph.add_matrix(MatrixRef(matrix_id, f"snap{s}"))
+            size = float(rng.uniform(50, 200))
+            graph.add_materialization(matrix_id, size, size * 0.01)
+            if s > 0:
+                graph.add_edge(
+                    StorageEdge(
+                        f"s{s - 1}m{m}", matrix_id,
+                        size * delta_ratio, size * 0.01,
+                    )
+                )
+            ids.append((matrix_id, size))
+    # A few random extra delta edges.
+    extras = rng.integers(0, len(ids))
+    for _ in range(int(extras)):
+        i, j = rng.integers(0, len(ids), size=2)
+        if i == j:
+            continue
+        (u, su), (v, _) = ids[i], ids[j]
+        graph.add_edge(
+            StorageEdge(u, v, su * float(rng.uniform(0.2, 1.2)), su * 0.01)
+        )
+    return graph
+
+
+class TestSolverInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params)
+    def test_all_solvers_return_valid_trees(self, params):
+        graph = make_graph(params)
+        constraints = alpha_constraints(graph, 1.5)
+        plans = [
+            minimum_spanning_tree(graph),
+            shortest_path_tree(graph),
+            last_tree(graph, 0.5),
+            pas_mt(graph, constraints),
+            pas_pt(graph, constraints),
+            spt_tightening(graph, constraints),
+        ]
+        for plan in plans:
+            plan.validate()
+            assert plan.is_complete()
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params)
+    def test_mst_lower_bounds_storage(self, params):
+        graph = make_graph(params)
+        constraints = alpha_constraints(graph, 2.0)
+        mst_cost = minimum_spanning_tree(graph).storage_cost()
+        for plan in (
+            pas_mt(graph, constraints),
+            pas_pt(graph, constraints),
+            spt_tightening(graph, constraints),
+            last_tree(graph, 0.5),
+        ):
+            assert plan.storage_cost() >= mst_cost - 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params)
+    def test_spt_lower_bounds_recreation(self, params):
+        graph = make_graph(params)
+        spt = shortest_path_tree(graph)
+        lower = spt.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+        constraints = alpha_constraints(graph, 1.5)
+        for plan in (
+            pas_mt(graph, constraints),
+            minimum_spanning_tree(graph),
+        ):
+            costs = plan.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+            for snapshot, bound in lower.items():
+                assert costs[snapshot] >= bound - 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params, st.floats(1.0, 4.0))
+    def test_solve_best_always_feasible(self, params, alpha):
+        graph = make_graph(params)
+        constraints = alpha_constraints(graph, alpha)
+        plan = solve(graph, constraints, algorithm="best")
+        assert plan.satisfies(constraints, RetrievalScheme.INDEPENDENT)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params)
+    def test_spt_tightening_always_feasible(self, params):
+        graph = make_graph(params)
+        for alpha in (1.0, 1.3, 2.0):
+            constraints = alpha_constraints(graph, alpha)
+            plan = spt_tightening(graph, constraints)
+            assert plan.satisfies(constraints, RetrievalScheme.INDEPENDENT)
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params)
+    def test_last_guarantee(self, params):
+        graph = make_graph(params)
+        eps = 0.7
+        plan = last_tree(graph, eps)
+        dist, _ = shortest_path_distances(graph)
+        for matrix_id, cost in plan.recreation_costs().items():
+            assert cost <= (1 + eps) * dist[matrix_id] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph_params)
+    def test_parallel_scheme_never_exceeds_independent(self, params):
+        graph = make_graph(params)
+        plan = minimum_spanning_tree(graph)
+        independent = plan.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+        parallel = plan.all_snapshot_costs(RetrievalScheme.PARALLEL)
+        reusable = plan.all_snapshot_costs(RetrievalScheme.REUSABLE)
+        for snapshot in independent:
+            assert parallel[snapshot] <= independent[snapshot] + 1e-9
+            assert reusable[snapshot] <= independent[snapshot] + 1e-9
+            assert parallel[snapshot] <= reusable[snapshot] + 1e-9
+
+
+class TestSptTightening:
+    def test_improves_on_spt_storage(self):
+        graph = make_graph((4, 3, 0.3, 42))
+        constraints = alpha_constraints(graph, 2.0)
+        spt_cost = shortest_path_tree(graph).storage_cost()
+        plan = spt_tightening(graph, constraints)
+        assert plan.storage_cost() <= spt_cost + 1e-9
+
+    def test_at_alpha_one_equals_spt_costs(self):
+        graph = make_graph((3, 2, 0.4, 7))
+        constraints = alpha_constraints(graph, 1.0)
+        plan = spt_tightening(graph, constraints)
+        spt = shortest_path_tree(graph)
+        lower = spt.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+        costs = plan.all_snapshot_costs(RetrievalScheme.INDEPENDENT)
+        for snapshot, bound in lower.items():
+            assert costs[snapshot] == pytest.approx(bound)

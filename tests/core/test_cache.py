@@ -1,0 +1,129 @@
+"""Retrieval cache tests: correctness, LRU behaviour, budgets, invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.archival import minimum_spanning_tree
+from repro.core.cache import RetrievalCache
+from repro.core.chunkstore import MemoryChunkStore
+from repro.core.retrieval import PlanArchive
+from repro.core.storage_graph import MatrixRef, MatrixStorageGraph
+
+
+@pytest.fixture
+def archive(seeded_rng):
+    matrices = {
+        f"m{i}": (seeded_rng.standard_normal((32, 32)) * 0.1).astype(
+            np.float32
+        )
+        for i in range(4)
+    }
+    graph = MatrixStorageGraph()
+    for mid, matrix in matrices.items():
+        graph.add_matrix(MatrixRef(mid, "snap", matrix.nbytes))
+        graph.add_materialization(mid, matrix.nbytes, 1.0)
+    built = PlanArchive.build(
+        MemoryChunkStore(), matrices, minimum_spanning_tree(graph)
+    )
+    return built, matrices
+
+
+class TestCorrectness:
+    def test_cached_values_match_archive(self, archive):
+        built, matrices = archive
+        cache = RetrievalCache(built)
+        for mid, expected in matrices.items():
+            np.testing.assert_array_equal(cache.recreate_matrix(mid), expected)
+            # Second read: from cache, still equal.
+            np.testing.assert_array_equal(cache.recreate_matrix(mid), expected)
+
+    def test_planes_are_distinct_entries(self, archive):
+        built, matrices = archive
+        cache = RetrievalCache(built)
+        full = cache.recreate_matrix("m0", planes=4)
+        partial = cache.recreate_matrix("m0", planes=1)
+        assert not np.array_equal(full, partial)
+        assert len(cache) == 2
+
+    def test_cached_arrays_are_read_only(self, archive):
+        built, _ = archive
+        cache = RetrievalCache(built)
+        value = cache.recreate_matrix("m0")
+        with pytest.raises(ValueError):
+            value[0, 0] = 99.0
+
+    def test_snapshot_retrieval(self, archive):
+        built, matrices = archive
+        cache = RetrievalCache(built)
+        result = cache.recreate_snapshot("snap")
+        assert set(result.matrices) == set(matrices)
+        with pytest.raises(KeyError):
+            cache.recreate_snapshot("ghost")
+
+
+class TestLRU:
+    def test_hit_miss_accounting(self, archive):
+        built, _ = archive
+        cache = RetrievalCache(built)
+        cache.recreate_matrix("m0")
+        cache.recreate_matrix("m0")
+        cache.recreate_matrix("m1")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert 0 < stats["hit_rate"] < 1
+
+    def test_eviction_under_budget(self, archive):
+        built, matrices = archive
+        one_matrix = next(iter(matrices.values())).nbytes
+        cache = RetrievalCache(built, max_bytes=2 * one_matrix)
+        for mid in ("m0", "m1", "m2"):
+            cache.recreate_matrix(mid)
+        assert cache.stats()["evictions"] == 1
+        assert cache.cached_bytes <= cache.max_bytes
+        # m0 was least recently used: refetching it is a miss.
+        misses_before = cache.misses
+        cache.recreate_matrix("m0")
+        assert cache.misses == misses_before + 1
+
+    def test_recency_updates_on_hit(self, archive):
+        built, matrices = archive
+        one_matrix = next(iter(matrices.values())).nbytes
+        cache = RetrievalCache(built, max_bytes=2 * one_matrix)
+        cache.recreate_matrix("m0")
+        cache.recreate_matrix("m1")
+        cache.recreate_matrix("m0")  # refresh m0
+        cache.recreate_matrix("m2")  # evicts m1, not m0
+        hits_before = cache.hits
+        cache.recreate_matrix("m0")
+        assert cache.hits == hits_before + 1
+
+    def test_oversized_entry_not_cached(self, archive):
+        built, _ = archive
+        cache = RetrievalCache(built, max_bytes=16)
+        cache.recreate_matrix("m0")
+        assert len(cache) == 0
+
+    def test_invalid_budget(self, archive):
+        built, _ = archive
+        with pytest.raises(ValueError):
+            RetrievalCache(built, max_bytes=0)
+
+
+class TestInvalidation:
+    def test_invalidate_one_matrix(self, archive):
+        built, _ = archive
+        cache = RetrievalCache(built)
+        cache.recreate_matrix("m0", planes=4)
+        cache.recreate_matrix("m0", planes=2)
+        cache.recreate_matrix("m1")
+        assert cache.invalidate("m0") == 2
+        assert len(cache) == 1
+
+    def test_clear(self, archive):
+        built, _ = archive
+        cache = RetrievalCache(built)
+        cache.recreate_matrix("m0")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.cached_bytes == 0

@@ -1,0 +1,88 @@
+"""Content-addressed chunk store tests (disk and memory variants)."""
+
+import zlib
+
+import pytest
+
+from repro.core.chunkstore import ChunkStore, MemoryChunkStore
+
+
+@pytest.fixture(params=["disk", "memory"])
+def store(request, tmp_path):
+    if request.param == "disk":
+        return ChunkStore(tmp_path / "chunks")
+    return MemoryChunkStore()
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, store):
+        data = b"learned parameters" * 50
+        sha = store.put(data)
+        assert store.get(sha) == data
+
+    def test_content_addressing_dedupes(self, store):
+        data = b"same bytes" * 100
+        sha1 = store.put(data)
+        size_after_first = store.total_size()
+        sha2 = store.put(data)
+        assert sha1 == sha2
+        assert store.total_size() == size_after_first
+
+    def test_distinct_content_distinct_address(self, store):
+        assert store.put(b"aaa") != store.put(b"bbb")
+
+    def test_contains(self, store):
+        sha = store.put(b"x")
+        assert sha in store
+        assert "0" * 64 not in store
+
+    def test_missing_chunk_raises(self, store):
+        with pytest.raises(KeyError):
+            store.get("f" * 64)
+        with pytest.raises(KeyError):
+            store.stored_size("f" * 64)
+
+    def test_delete(self, store):
+        sha = store.put(b"to delete")
+        assert store.delete(sha)
+        assert sha not in store
+        assert not store.delete(sha)
+
+    def test_stored_size_is_compressed(self, store):
+        data = b"\x00" * 10000
+        sha = store.put(data)
+        assert store.stored_size(sha) < 200
+
+    def test_addresses_enumerates_everything(self, store):
+        shas = {store.put(bytes([i]) * 10) for i in range(5)}
+        assert set(store.addresses()) == shas
+
+    def test_total_size_sums(self, store):
+        store.put(b"one" * 100)
+        store.put(b"two" * 200)
+        total = store.total_size()
+        assert total == sum(
+            store.stored_size(sha) for sha in store.addresses()
+        )
+
+
+class TestDiskSpecific:
+    def test_corruption_detected(self, tmp_path):
+        store = ChunkStore(tmp_path / "chunks")
+        sha = store.put(b"important bytes")
+        # Corrupt the file on disk with *valid* zlib of different content.
+        path = store._path(sha)
+        path.write_bytes(zlib.compress(b"tampered"))
+        with pytest.raises(ValueError, match="corrupt"):
+            store.get(sha)
+
+    def test_reopen_preserves_contents(self, tmp_path):
+        store = ChunkStore(tmp_path / "chunks")
+        sha = store.put(b"persisted")
+        reopened = ChunkStore(tmp_path / "chunks")
+        assert reopened.get(sha) == b"persisted"
+
+    def test_fanout_layout(self, tmp_path):
+        store = ChunkStore(tmp_path / "chunks")
+        sha = store.put(b"payload")
+        assert (tmp_path / "chunks" / sha[:2] / sha).exists()

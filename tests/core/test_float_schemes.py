@@ -1,0 +1,192 @@
+"""Float representation scheme tests: roundtrips, error bounds, lookup."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.float_schemes import (
+    BFloat16Scheme,
+    EncodedMatrix,
+    FixedPointScheme,
+    Float16Scheme,
+    Float32Scheme,
+    QuantizationScheme,
+    compression_ratio,
+    get_scheme,
+)
+
+weights = hnp.arrays(
+    np.float32,
+    st.tuples(st.integers(1, 8), st.integers(1, 8)),
+    elements=st.floats(-1.0, 1.0, allow_nan=False, width=32),
+)
+
+
+class TestFloat32:
+    @settings(max_examples=50, deadline=None)
+    @given(weights)
+    def test_lossless_roundtrip(self, m):
+        scheme = Float32Scheme()
+        np.testing.assert_array_equal(scheme.roundtrip(m), m)
+
+    def test_is_lossless_flag(self):
+        assert Float32Scheme().lossless
+        assert not Float16Scheme().lossless
+
+
+class TestFloat16:
+    def test_error_within_half_precision(self):
+        rng = np.random.default_rng(0)
+        m = (rng.standard_normal((32, 32)) * 0.1).astype(np.float32)
+        back = Float16Scheme().roundtrip(m)
+        # Half precision has ~2^-11 relative error.
+        np.testing.assert_allclose(back, m, rtol=1e-3, atol=1e-4)
+
+
+class TestBFloat16:
+    def test_truncation_semantics(self):
+        """bfloat16 keeps exactly the high 16 bits of the float32 pattern."""
+        m = np.array([[1.0, -2.5, 0.1]], dtype=np.float32)
+        back = BFloat16Scheme().roundtrip(m)
+        orig_bits = m.view("<u4")
+        back_bits = back.view("<u4")
+        np.testing.assert_array_equal(orig_bits >> 16, back_bits >> 16)
+        np.testing.assert_array_equal(back_bits & 0xFFFF, 0)
+
+    def test_relative_error_bound(self):
+        rng = np.random.default_rng(1)
+        m = (rng.standard_normal((64,)) * 0.05).astype(np.float32)
+        back = BFloat16Scheme().roundtrip(m)
+        np.testing.assert_allclose(back, m, rtol=2**-7)
+
+
+class TestFixedPoint:
+    @pytest.mark.parametrize("bits", [8, 16])
+    def test_error_bounded_by_quantum(self, bits):
+        rng = np.random.default_rng(2)
+        m = (rng.standard_normal((40, 10)) * 0.2).astype(np.float32)
+        back = FixedPointScheme(bits).roundtrip(m)
+        max_abs = np.abs(m).max()
+        scale = 2.0 ** np.ceil(np.log2(max_abs))
+        quantum = scale / (2 ** (bits - 1) - 1)
+        assert np.abs(back - m).max() <= quantum
+
+    def test_zero_matrix(self):
+        m = np.zeros((4, 4), dtype=np.float32)
+        back = FixedPointScheme(8).roundtrip(m)
+        np.testing.assert_array_equal(back, m)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointScheme(12)
+
+    def test_non_finite_rejected(self):
+        m = np.array([1.0, np.nan], dtype=np.float32)
+        with pytest.raises(ValueError, match="finite"):
+            FixedPointScheme(8).encode(m)
+        with pytest.raises(ValueError, match="finite"):
+            QuantizationScheme(8).encode(
+                np.array([np.inf], dtype=np.float32)
+            )
+
+    def test_distinct_values_bounded(self):
+        rng = np.random.default_rng(3)
+        m = rng.standard_normal((100, 100)).astype(np.float32)
+        back = FixedPointScheme(8).roundtrip(m)
+        assert len(np.unique(back)) <= 256
+
+
+class TestQuantization:
+    @pytest.mark.parametrize("method", ["uniform", "random"])
+    def test_codebook_size_bounded(self, method):
+        rng = np.random.default_rng(4)
+        m = rng.standard_normal((64, 64)).astype(np.float32)
+        back = QuantizationScheme(4, method).roundtrip(m)
+        assert len(np.unique(back)) <= 16
+
+    def test_uniform_error_bounded_by_bin_width(self):
+        rng = np.random.default_rng(5)
+        m = rng.uniform(-1, 1, size=(50, 50)).astype(np.float32)
+        back = QuantizationScheme(8, "uniform").roundtrip(m)
+        bin_width = (m.max() - m.min()) / 256
+        assert np.abs(back - m).max() <= bin_width
+
+    def test_constant_matrix(self):
+        m = np.full((5, 5), 0.25, dtype=np.float32)
+        back = QuantizationScheme(4).roundtrip(m)
+        np.testing.assert_allclose(back, m, atol=1e-6)
+
+    def test_empty_matrix(self):
+        m = np.zeros((0, 3), dtype=np.float32)
+        back = QuantizationScheme(8).roundtrip(m)
+        assert back.shape == (0, 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            QuantizationScheme(bits=9)
+        with pytest.raises(ValueError):
+            QuantizationScheme(method="kmeans")
+
+    def test_random_method_deterministic_by_seed(self):
+        rng = np.random.default_rng(6)
+        m = rng.standard_normal((32, 32)).astype(np.float32)
+        a = QuantizationScheme(4, "random", seed=1).roundtrip(m)
+        b = QuantizationScheme(4, "random", seed=1).roundtrip(m)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestEncodedMatrix:
+    def test_serialization_roundtrip(self):
+        rng = np.random.default_rng(7)
+        m = rng.standard_normal((6, 4)).astype(np.float32)
+        scheme = QuantizationScheme(8)
+        enc = scheme.encode(m)
+        rebuilt = EncodedMatrix.from_bytes(enc.to_bytes())
+        assert rebuilt.scheme == enc.scheme
+        assert rebuilt.shape == enc.shape
+        np.testing.assert_array_equal(
+            scheme.decode(rebuilt), scheme.decode(enc)
+        )
+
+    def test_scheme_mismatch_rejected(self):
+        m = np.zeros((2, 2), dtype=np.float32)
+        enc = Float32Scheme().encode(m)
+        with pytest.raises(ValueError, match="mismatch"):
+            Float16Scheme().decode(enc)
+
+    def test_compressed_size_smaller_for_low_entropy(self):
+        m = np.zeros((64, 64), dtype=np.float32)
+        enc = Float32Scheme().encode(m)
+        assert enc.compressed_size() < enc.nbytes / 10
+
+
+class TestGetScheme:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "float32", "float16", "bfloat16", "fixed8", "fixed16",
+            "quant8-uniform", "quant4-random", "quant6",
+        ],
+    )
+    def test_lookup(self, name):
+        scheme = get_scheme(name)
+        m = np.ones((3, 3), dtype=np.float32) * 0.5
+        assert scheme.roundtrip(m).shape == (3, 3)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_scheme("float128")
+
+
+class TestCompressionOrdering:
+    def test_lossier_schemes_compress_better(self):
+        """The Fig. 6(a) premise: fixed8/quant compress far better than raw."""
+        rng = np.random.default_rng(8)
+        m = (rng.standard_normal((128, 128)) * 0.1).astype(np.float32)
+        r32 = compression_ratio(m, get_scheme("float32"))
+        r16 = compression_ratio(m, get_scheme("float16"))
+        rf8 = compression_ratio(m, get_scheme("fixed8"))
+        rq4 = compression_ratio(m, get_scheme("quant4-uniform"))
+        assert r32 < r16 < rf8 < rq4

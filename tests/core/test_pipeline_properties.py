@@ -1,0 +1,99 @@
+"""End-to-end PAS pipeline properties over random matrices and plans.
+
+For arbitrary float matrices arranged in arbitrary delta chains: archival
+followed by recreation must be exact (float32), partial reads must stay
+within segment error bounds, and interval retrieval must contain the true
+values — the full storage pipeline, not just its pieces.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.archival import minimum_spanning_tree
+from repro.core.chunkstore import MemoryChunkStore
+from repro.core.retrieval import PlanArchive
+from repro.core.storage_graph import (
+    MatrixRef,
+    MatrixStorageGraph,
+    StorageEdge,
+)
+
+matrix_strategy = hnp.arrays(
+    np.float32,
+    st.tuples(st.integers(1, 6), st.integers(1, 6)),
+    elements=st.floats(-100, 100, allow_nan=False, width=32),
+)
+
+chain_strategy = st.lists(matrix_strategy, min_size=2, max_size=5)
+
+
+def build_chain_archive(chain, delta_kind="sub"):
+    """Archive a list of same-or-different-shape matrices as a delta chain."""
+    graph = MatrixStorageGraph()
+    matrices = {}
+    previous = None
+    for index, matrix in enumerate(chain):
+        matrix_id = f"m{index}"
+        matrices[matrix_id] = matrix
+        graph.add_matrix(MatrixRef(matrix_id, f"s{index}", matrix.nbytes))
+        # Materialization is expensive, deltas cheap: the MST prefers the
+        # chain, exercising the delta path.
+        graph.add_materialization(matrix_id, 1000.0 + index, 1.0)
+        if previous is not None and matrix.ndim == chain[index - 1].ndim:
+            graph.add_edge(StorageEdge(previous, matrix_id, 1.0, 1.0))
+        previous = matrix_id
+    plan = minimum_spanning_tree(graph)
+    archive = PlanArchive.build(
+        MemoryChunkStore(), matrices, plan, delta_kind=delta_kind
+    )
+    return archive, matrices
+
+
+class TestPipelineExactness:
+    @settings(max_examples=40, deadline=None)
+    @given(chain_strategy)
+    def test_sub_chain_recreates_within_float32(self, chain):
+        archive, matrices = build_chain_archive(chain, "sub")
+        for matrix_id, expected in matrices.items():
+            recreated = archive.recreate_matrix(matrix_id)
+            # float32 addition error accumulates along the chain.
+            np.testing.assert_allclose(
+                recreated, expected, rtol=1e-4, atol=1e-3
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(chain_strategy)
+    def test_xor_chain_recreates_bit_exact(self, chain):
+        archive, matrices = build_chain_archive(chain, "xor")
+        for matrix_id, expected in matrices.items():
+            np.testing.assert_array_equal(
+                archive.recreate_matrix(matrix_id), expected
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(chain_strategy, st.integers(1, 3))
+    def test_bounds_contain_truth_along_chain(self, chain, planes):
+        archive, matrices = build_chain_archive(chain, "sub")
+        last = f"m{len(chain) - 1}"
+        lo, hi = archive.matrix_bounds(last, planes)
+        # Bounds compose by interval addition; allow chain-length rounding.
+        slack = 1e-3 * len(chain)
+        value = archive.recreate_matrix(last)
+        assert np.all(lo <= value + slack)
+        assert np.all(value <= hi + slack)
+
+    @settings(max_examples=30, deadline=None)
+    @given(chain_strategy)
+    def test_manifest_roundtrip_preserves_everything(self, chain):
+        archive, matrices = build_chain_archive(chain)
+        store = archive.store
+        reopened = PlanArchive.from_manifest_dict(
+            store, archive.to_manifest_dict()
+        )
+        for matrix_id in matrices:
+            np.testing.assert_array_equal(
+                reopened.recreate_matrix(matrix_id),
+                archive.recreate_matrix(matrix_id),
+            )

@@ -1,0 +1,236 @@
+"""Physical archive tests: build/recreate roundtrips, schemes, partial reads."""
+
+import numpy as np
+import pytest
+
+from repro.core.archival import minimum_spanning_tree
+from repro.core.chunkstore import MemoryChunkStore
+from repro.core.delta import delta_sub
+from repro.core.retrieval import PlanArchive
+from repro.core.storage_graph import (
+    MatrixRef,
+    MatrixStorageGraph,
+    RetrievalScheme,
+    StorageEdge,
+)
+
+
+@pytest.fixture
+def snapshot_chain(seeded_rng):
+    """Three snapshots of one evolving matrix set + the graph + MST plan."""
+    base = {
+        "a": (seeded_rng.standard_normal((16, 8)) * 0.1).astype(np.float32),
+        "b": (seeded_rng.standard_normal((8, 4)) * 0.1).astype(np.float32),
+    }
+    matrices = {}
+    graph = MatrixStorageGraph()
+    prev_ids = {}
+    for s in range(3):
+        for name, matrix in base.items():
+            drift = (seeded_rng.standard_normal(matrix.shape) * 0.002).astype(
+                np.float32
+            )
+            current = (matrix + s * drift).astype(np.float32)
+            mid = f"s{s}/{name}"
+            matrices[mid] = current
+            graph.add_matrix(MatrixRef(mid, f"snap{s}", current.nbytes))
+            graph.add_materialization(mid, current.nbytes, 1.0)
+            if name in prev_ids:
+                graph.add_edge(
+                    StorageEdge(prev_ids[name], mid, current.nbytes // 4, 1.0)
+                )
+            prev_ids[name] = mid
+    plan = minimum_spanning_tree(graph)
+    return matrices, graph, plan
+
+
+class TestBuildAndRecreate:
+    def test_full_recreation_exact(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        for mid, expected in matrices.items():
+            np.testing.assert_allclose(
+                archive.recreate_matrix(mid), expected, rtol=1e-6, atol=1e-7
+            )
+
+    def test_snapshot_recreation_all_schemes_agree(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        results = {}
+        for scheme in RetrievalScheme:
+            results[scheme] = archive.recreate_snapshot("snap2", scheme)
+        for scheme, result in results.items():
+            assert set(result.matrices) == {"s2/a", "s2/b"}
+            for mid in result.matrices:
+                np.testing.assert_allclose(
+                    result.matrices[mid],
+                    results[RetrievalScheme.INDEPENDENT].matrices[mid],
+                )
+
+    def test_xor_deltas_exact(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(
+            MemoryChunkStore(), matrices, plan, delta_kind="xor"
+        )
+        for mid, expected in matrices.items():
+            np.testing.assert_array_equal(
+                archive.recreate_matrix(mid), expected
+            )
+
+    def test_manifest_roundtrip(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        store = MemoryChunkStore()
+        archive = PlanArchive.build(store, matrices, plan)
+        reopened = PlanArchive.from_manifest_dict(
+            store, archive.to_manifest_dict()
+        )
+        for mid in matrices:
+            np.testing.assert_array_equal(
+                reopened.recreate_matrix(mid), archive.recreate_matrix(mid)
+            )
+
+    def test_unknown_matrix_raises(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        with pytest.raises(KeyError):
+            archive.recreate_matrix("nope")
+        with pytest.raises(KeyError):
+            archive.recreate_snapshot("nope")
+
+
+class TestPartialRetrieval:
+    def test_partial_reads_fewer_bytes(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        full = archive.recreate_snapshot("snap0", planes=4)
+        partial = archive.recreate_snapshot("snap0", planes=2)
+        assert partial.bytes_read < full.bytes_read
+
+    @pytest.mark.parametrize("planes", [1, 2, 3])
+    def test_partial_error_shrinks_with_planes(self, snapshot_chain, planes):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        expected = matrices["s0/a"]
+        approx = archive.recreate_matrix("s0/a", planes=planes)
+        max_abs = np.abs(expected).max()
+        error = np.abs(approx - expected).max()
+        # Relative error halves ~256x per extra plane.
+        bound = max_abs * (2.0 ** (-max(8 * planes - 9, 0)))
+        assert error <= bound + 1e-7
+
+    def test_bytes_read_reflects_chain(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        later = archive.recreate_snapshot("snap2")
+        first = archive.recreate_snapshot("snap0")
+        # snap2 sits at the end of delta chains: more bytes touched.
+        assert later.bytes_read >= first.bytes_read
+
+
+class TestIntervalRetrieval:
+    def test_bounds_contain_exact_value(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        for planes in (1, 2, 3):
+            lo, hi = archive.matrix_bounds("s2/a", planes)
+            value = matrices["s2/a"]
+            assert np.all(lo <= value + 1e-6)
+            assert np.all(value <= hi + 1e-6)
+
+    def test_bounds_tighten_with_planes(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        lo1, hi1 = archive.matrix_bounds("s2/a", 1)
+        lo2, hi2 = archive.matrix_bounds("s2/a", 2)
+        assert (hi2 - lo2).max() <= (hi1 - lo1).max() + 1e-12
+
+    def test_xor_archive_rejects_bounds(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(
+            MemoryChunkStore(), matrices, plan, delta_kind="xor"
+        )
+        # Root-materialized matrices still work; delta chains do not.
+        delta_stored = [
+            mid for mid, e in archive.manifest.items() if e.kind == "xor"
+        ]
+        assert delta_stored, "fixture should store some XOR deltas"
+        with pytest.raises(ValueError, match="XOR"):
+            archive.matrix_bounds(delta_stored[0], 2)
+
+
+class TestStorageAccounting:
+    def test_total_size_counts_unique_chunks(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        store = MemoryChunkStore()
+        archive = PlanArchive.build(store, matrices, plan)
+        assert archive.total_size() == store.total_size()
+
+    def test_delta_storage_smaller_than_materialize_all(self, snapshot_chain):
+        matrices, graph, plan = snapshot_chain
+        delta_archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        # Materialize-everything plan for comparison.
+        from repro.core.archival import shortest_path_tree
+
+        flat_plan = shortest_path_tree(graph)
+        flat_archive = PlanArchive.build(
+            MemoryChunkStore(), matrices, flat_plan
+        )
+        assert delta_archive.total_size() < flat_archive.total_size()
+
+
+class TestMismatchedShapeChains:
+    """Archival across a dimension change (fine-tune with a new label space)."""
+
+    def _build(self, delta_kind="sub"):
+        rng = np.random.default_rng(3)
+        base = (rng.standard_normal((32, 10)) * 0.1).astype(np.float32)
+        grown = np.zeros((32, 12), dtype=np.float32)
+        grown[:, :10] = base
+        grown[:, 10:] = 0.05
+        matrices = {"s0/fc": base, "s1/fc": grown}
+        graph = MatrixStorageGraph()
+        graph.add_matrix(MatrixRef("s0/fc", "snap0", base.nbytes))
+        graph.add_matrix(MatrixRef("s1/fc", "snap1", grown.nbytes))
+        graph.add_materialization("s0/fc", base.nbytes, 1.0)
+        graph.add_materialization("s1/fc", grown.nbytes * 10, 1.0)
+        graph.add_edge(StorageEdge("s0/fc", "s1/fc", 8, 1.0))
+        plan = minimum_spanning_tree(graph)
+        archive = PlanArchive.build(
+            MemoryChunkStore(), matrices, plan, delta_kind=delta_kind
+        )
+        return matrices, plan, archive
+
+    def test_plan_uses_mismatched_delta(self):
+        _, plan, archive = self._build()
+        assert archive.manifest["s1/fc"].kind == "sub"
+        assert archive.manifest["s1/fc"].parent == "s0/fc"
+
+    @pytest.mark.parametrize("delta_kind", ["sub", "xor"])
+    def test_recreation_exact_across_shapes(self, delta_kind):
+        matrices, _, archive = self._build(delta_kind)
+        for mid, expected in matrices.items():
+            np.testing.assert_allclose(
+                archive.recreate_matrix(mid), expected, rtol=1e-6, atol=1e-7
+            )
+
+    def test_bounds_across_shapes(self):
+        matrices, _, archive = self._build()
+        lo, hi = archive.matrix_bounds("s1/fc", 2)
+        value = matrices["s1/fc"]
+        assert lo.shape == value.shape
+        assert np.all(lo <= value + 1e-6) and np.all(value <= hi + 1e-6)
+
+
+class TestDeltaConsistency:
+    def test_stored_delta_matches_manual(self, snapshot_chain):
+        matrices, _, plan = snapshot_chain
+        archive = PlanArchive.build(MemoryChunkStore(), matrices, plan)
+        for mid, entry in archive.manifest.items():
+            if entry.kind != "sub":
+                continue
+            parent_value = matrices[entry.parent]
+            expected_delta = delta_sub(matrices[mid], parent_value)
+            payload, _ = archive._read_payload(mid, planes=4)
+            np.testing.assert_allclose(
+                payload, expected_delta, rtol=1e-6, atol=1e-7
+            )

@@ -1,0 +1,167 @@
+"""Matrix storage graph and plan tests: cost models and tree invariants."""
+
+import pytest
+
+from repro.core.storage_graph import (
+    ROOT,
+    MatrixRef,
+    MatrixStorageGraph,
+    RetrievalScheme,
+    StorageEdge,
+    StoragePlan,
+    plan_from_parent_map,
+)
+
+
+@pytest.fixture
+def toy_graph():
+    """Two snapshots: s1 = {m1, m2}, s2 = {m3}."""
+    g = MatrixStorageGraph()
+    g.add_matrix(MatrixRef("m1", "s1", 100))
+    g.add_matrix(MatrixRef("m2", "s1", 100))
+    g.add_matrix(MatrixRef("m3", "s2", 100))
+    g.add_materialization("m1", storage_cost=10, recreation_cost=1)
+    g.add_materialization("m2", storage_cost=10, recreation_cost=1)
+    g.add_materialization("m3", storage_cost=10, recreation_cost=1)
+    g.add_edge(StorageEdge("m1", "m2", 2, 0.5))
+    g.add_edge(StorageEdge("m2", "m3", 2, 0.5))
+    return g
+
+
+def chain_plan(graph):
+    """Plan: v0 -> m1 -> m2 -> m3."""
+    edges = {e.kind + e.u + e.v: e for e in graph.edges}
+    parents = {
+        "m1": next(e for e in graph.edges if e.u == ROOT and e.v == "m1"),
+        "m2": next(e for e in graph.edges if e.u == "m1" and e.v == "m2"),
+        "m3": next(e for e in graph.edges if e.u == "m2" and e.v == "m3"),
+    }
+    del edges
+    return plan_from_parent_map(graph, parents)
+
+
+class TestGraphConstruction:
+    def test_vertices_and_snapshots(self, toy_graph):
+        assert set(toy_graph.vertices()) == {ROOT, "m1", "m2", "m3"}
+        assert toy_graph.snapshots == {"s1": ["m1", "m2"], "s2": ["m3"]}
+
+    def test_duplicate_matrix_rejected(self, toy_graph):
+        with pytest.raises(ValueError):
+            toy_graph.add_matrix(MatrixRef("m1", "s9"))
+
+    def test_root_reserved(self):
+        g = MatrixStorageGraph()
+        with pytest.raises(ValueError):
+            g.add_matrix(MatrixRef(ROOT, "s"))
+
+    def test_edge_endpoint_validation(self, toy_graph):
+        with pytest.raises(KeyError):
+            toy_graph.add_edge(StorageEdge("m1", "ghost", 1, 1))
+        with pytest.raises(ValueError):
+            toy_graph.add_edge(StorageEdge("m1", "m1", 1, 1))
+        with pytest.raises(ValueError):
+            toy_graph.add_edge(StorageEdge("m1", "m2", -1, 1))
+
+    def test_connectivity_validation(self):
+        g = MatrixStorageGraph()
+        g.add_matrix(MatrixRef("m1", "s1"))
+        with pytest.raises(ValueError, match="unreachable"):
+            g.validate_connected()
+
+    def test_parallel_edges_allowed(self, toy_graph):
+        before = len(toy_graph.edges)
+        toy_graph.add_edge(StorageEdge("m1", "m2", 1, 5))  # remote option
+        assert len(toy_graph.edges) == before + 1
+
+    def test_edge_other_endpoint(self):
+        e = StorageEdge("a", "b", 1, 1)
+        assert e.other("a") == "b"
+        assert e.other("b") == "a"
+        with pytest.raises(ValueError):
+            e.other("c")
+
+
+class TestPlanCosts:
+    def test_storage_cost_is_edge_sum(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        assert plan.storage_cost() == 10 + 2 + 2
+
+    def test_recreation_costs_accumulate_on_path(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        costs = plan.recreation_costs()
+        assert costs == {"m1": 1.0, "m2": 1.5, "m3": 2.0}
+
+    def test_independent_scheme_sums(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        assert plan.snapshot_recreation_cost(
+            "s1", RetrievalScheme.INDEPENDENT
+        ) == pytest.approx(2.5)
+
+    def test_parallel_scheme_takes_max(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        assert plan.snapshot_recreation_cost(
+            "s1", RetrievalScheme.PARALLEL
+        ) == pytest.approx(1.5)
+
+    def test_reusable_scheme_counts_shared_prefix_once(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        # s1 = {m1, m2}: union of paths is v0->m1->m2 = 1 + 0.5.
+        assert plan.snapshot_recreation_cost(
+            "s1", RetrievalScheme.REUSABLE
+        ) == pytest.approx(1.5)
+
+    def test_reusable_never_exceeds_independent(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        for snapshot in toy_graph.snapshots:
+            reusable = plan.snapshot_recreation_cost(
+                snapshot, RetrievalScheme.REUSABLE
+            )
+            independent = plan.snapshot_recreation_cost(
+                snapshot, RetrievalScheme.INDEPENDENT
+            )
+            assert reusable <= independent + 1e-12
+
+    def test_satisfies(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        assert plan.satisfies({"s1": 2.5}, RetrievalScheme.INDEPENDENT)
+        assert not plan.satisfies({"s1": 2.0}, RetrievalScheme.INDEPENDENT)
+
+    def test_unknown_snapshot_raises(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        with pytest.raises(KeyError):
+            plan.snapshot_recreation_cost("s9", RetrievalScheme.INDEPENDENT)
+
+
+class TestPlanStructure:
+    def test_validate_detects_missing(self, toy_graph):
+        plan = StoragePlan(toy_graph)
+        with pytest.raises(ValueError, match="misses"):
+            plan.validate()
+
+    def test_subtree(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        assert plan.subtree("m2") == {"m2", "m3"}
+        assert plan.subtree("m1") == {"m1", "m2", "m3"}
+
+    def test_swap_rejects_cycles(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        bad_edge = StorageEdge("m3", "m1", 1, 1)
+        toy_graph.add_edge(bad_edge)
+        with pytest.raises(ValueError, match="cycle"):
+            plan.swap("m1", bad_edge)
+
+    def test_swap_reparents(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        direct = next(
+            e for e in toy_graph.edges if e.u == ROOT and e.v == "m3"
+        )
+        plan.swap("m3", direct)
+        assert plan.parent("m3") == ROOT
+        assert plan.recreation_costs()["m3"] == 1.0
+
+    def test_summary_report(self, toy_graph):
+        plan = chain_plan(toy_graph)
+        report = plan.summary({"s1": 3.0}, RetrievalScheme.INDEPENDENT)
+        assert report["storage_cost"] == 14
+        assert report["satisfied"]
+        assert report["max_snapshot_cost"] == pytest.approx(2.5)

@@ -1,0 +1,212 @@
+"""CLI tests: the full dlv command suite end-to-end via main()."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dlv import wrapper
+from repro.dlv.cli import main
+from repro.dnn.training import SGDConfig, Trainer
+from repro.dnn.zoo import tiny_mlp
+
+
+@pytest.fixture
+def cli_env(tmp_path, digits, capsys):
+    """An initialized repository plus a trained model directory."""
+    repo_dir = tmp_path / "repo"
+    assert main(["--repo", str(repo_dir), "init"]) == 0
+    capsys.readouterr()
+
+    net = tiny_mlp(
+        input_shape=digits.input_shape, num_classes=digits.num_classes,
+        name="tiny-cli",
+    ).build(0)
+    config = SGDConfig(epochs=1, base_lr=0.1)
+    result = Trainer(net, config).fit(digits.x_train, digits.y_train)
+    model_dir = wrapper.save_model_dir(tmp_path / "model", net, config, result)
+    return repo_dir, model_dir, tmp_path
+
+
+def run(capsys, *argv):
+    code = main([str(a) for a in argv])
+    out = capsys.readouterr().out
+    return code, json.loads(out) if out.strip() else None
+
+
+class TestVersionManagement:
+    def test_commit_list_desc(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        code, out = run(
+            capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli", "-m", "first",
+        )
+        assert code == 0 and out["id"] == 1
+
+        code, out = run(capsys, "--repo", repo_dir, "list")
+        assert code == 0
+        assert out["versions"][0]["name"] == "tiny-cli"
+
+        code, out = run(capsys, "--repo", repo_dir, "desc", "tiny-cli")
+        assert code == 0
+        assert out["message"] == "first"
+
+    def test_copy_creates_lineage(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(capsys, "--repo", repo_dir, "copy", "tiny-cli", "tiny-2")
+        assert code == 0 and out["copied"].startswith("tiny-2@")
+        code, out = run(capsys, "--repo", repo_dir, "list")
+        assert out["lineage"] == [
+            {"base": 1, "derived": 2, "message": "copied from tiny-cli@1"}
+        ]
+
+    def test_add_stages_files(self, cli_env, capsys):
+        repo_dir, _, tmp = cli_env
+        f = tmp / "notes.txt"
+        f.write_text("hparams tried: ...")
+        code, out = run(capsys, "--repo", repo_dir, "add", f)
+        assert code == 0 and str(f) in out["staged"]
+
+    def test_convert(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(
+            capsys, "--repo", repo_dir, "convert", "tiny-cli",
+            "--float-scheme", "fixed8",
+        )
+        assert code == 0
+        assert out["bytes_after"] < out["bytes_before"]
+
+    def test_archive(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(
+            capsys, "--repo", repo_dir, "archive",
+            "--alpha", "2.0", "--algorithm", "pas-mt",
+        )
+        assert code == 0
+        assert out["satisfied"] is True
+
+
+class TestExploration:
+    def test_diff(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "a")
+        run(capsys, "--repo", repo_dir, "copy", "a", "b")
+        code, out = run(
+            capsys, "--repo", repo_dir, "diff", "a", "b", "--parameters"
+        )
+        assert code == 0
+        assert out["structure"]["added"] == []
+        assert "parameters" in out
+
+    def test_eval(self, cli_env, capsys, digits):
+        repo_dir, model_dir, tmp = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        data = tmp / "test.npz"
+        np.savez(data, x=digits.x_test[:10], y=digits.y_test[:10])
+        code, out = run(capsys, "--repo", repo_dir, "eval", "tiny-cli", data)
+        assert code == 0
+        assert len(out["predictions"]) == 10
+        assert 0.0 <= out["accuracy"] <= 1.0
+
+    def test_eval_progressive(self, cli_env, capsys, digits):
+        repo_dir, model_dir, tmp = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        data = tmp / "ptest.npz"
+        np.savez(data, x=digits.x_test[:8], y=digits.y_test[:8])
+        code, out = run(
+            capsys, "--repo", repo_dir, "eval", "tiny-cli", data,
+            "--progressive",
+        )
+        assert code == 0
+        assert len(out["predictions"]) == 8
+        assert 0.0 < out["bytes_fraction"] <= 1.0
+        # Progressive answers equal plain answers.
+        code, plain = run(capsys, "--repo", repo_dir, "eval", "tiny-cli", data)
+        assert out["predictions"] == plain["predictions"]
+
+    def test_log_and_gc(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(capsys, "--repo", repo_dir, "log", "tiny-cli")
+        assert code == 0 and isinstance(out, list) and out
+        code, out = run(capsys, "--repo", repo_dir, "gc")
+        assert code == 0 and out["chunks_removed"] >= 0
+
+    def test_html_reports(self, cli_env, capsys):
+        repo_dir, model_dir, tmp = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        run(capsys, "--repo", repo_dir, "copy", "tiny-cli", "tiny-2")
+        for argv, name in [
+            (["desc", "tiny-cli"], "desc.html"),
+            (["list"], "list.html"),
+            (["diff", "tiny-cli", "tiny-2"], "diff.html"),
+        ]:
+            out_path = tmp / name
+            code, out = run(
+                capsys, "--repo", repo_dir, *argv, "--html", out_path
+            )
+            assert code == 0
+            assert out_path.exists()
+            assert out_path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_query(self, cli_env, capsys):
+        repo_dir, model_dir, _ = cli_env
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(
+            capsys, "--repo", repo_dir, "query",
+            'select m1 where m1.name like "tiny%"',
+        )
+        assert code == 0
+        assert out["versions"][0]["name"] == "tiny-cli"
+
+
+class TestRemote:
+    def test_publish_search_pull(self, cli_env, capsys):
+        repo_dir, model_dir, tmp = cli_env
+        hub = tmp / "hub"
+        run(capsys, "--repo", repo_dir, "commit",
+            "--model-dir", model_dir, "--name", "tiny-cli")
+        code, out = run(
+            capsys, "--repo", repo_dir, "publish",
+            "--hub", hub, "--name", "shared-tiny", "-m", "demo",
+        )
+        assert code == 0 and out["revision"] == 1
+
+        code, out = run(capsys, "--repo", repo_dir, "search",
+                        "--hub", hub, "shared*")
+        assert code == 0 and out[0]["name"] == "shared-tiny"
+
+        dest = tmp / "pulled"
+        code, out = run(
+            capsys, "--repo", repo_dir, "pull", "--hub", hub,
+            "shared-tiny", dest,
+        )
+        assert code == 0
+        code, out = run(capsys, "--repo", dest, "list")
+        assert out["versions"][0]["name"] == "tiny-cli"
+
+
+class TestErrors:
+    def test_unknown_version_is_clean_error(self, cli_env, capsys):
+        repo_dir, _, _ = cli_env
+        code = main(["--repo", str(repo_dir), "desc", "ghost"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
+
+    def test_double_init_is_clean_error(self, cli_env, capsys):
+        repo_dir, _, _ = cli_env
+        code = main(["--repo", str(repo_dir), "init"])
+        assert code == 1

@@ -1,0 +1,113 @@
+"""dlv diff tests: structure, metadata, and parameter comparison."""
+
+import numpy as np
+import pytest
+
+from repro.dlv.diff import (
+    diff_metadata,
+    diff_parameters,
+    diff_structure,
+    diff_versions,
+)
+from repro.dlv.objects import ModelVersion
+from repro.dnn.layers import Dropout
+from repro.dnn.zoo import tiny_mlp
+
+
+def version_from(net, vid=1, **metadata):
+    return ModelVersion(
+        id=vid, name=net.name, network=net.spec(), metadata=metadata
+    )
+
+
+class TestStructureDiff:
+    def test_identical_networks(self):
+        a = version_from(tiny_mlp(), 1)
+        b = version_from(tiny_mlp(), 2)
+        diff = diff_structure(a, b)
+        assert diff == {"added": [], "removed": [], "changed": {}}
+
+    def test_added_and_removed_layers(self):
+        base = tiny_mlp()
+        mutated = tiny_mlp().insert_after("relu1", Dropout("drop", rate=0.5))
+        mutated.delete_node("relu1")
+        diff = diff_structure(version_from(base), version_from(mutated, 2))
+        assert diff["added"] == ["drop"]
+        assert diff["removed"] == ["relu1"]
+
+    def test_hyperparam_change_detected(self):
+        a = tiny_mlp(hidden=16)
+        b = tiny_mlp(hidden=32)
+        diff = diff_structure(version_from(a), version_from(b, 2))
+        assert diff["changed"]["fc1"]["units"] == (16, 32)
+
+    def test_kind_change_detected(self):
+        a = version_from(tiny_mlp())
+        spec = tiny_mlp().spec()
+        for node in spec["nodes"]:
+            if node["layer"]["name"] == "relu1":
+                node["layer"]["kind"] = "TANH"
+                node["layer"]["hyperparams"] = {}
+        b = ModelVersion(id=2, name="b", network=spec)
+        diff = diff_structure(a, b)
+        assert diff["changed"]["relu1"]["kind"] == ("RELU", "TANH")
+
+
+class TestMetadataDiff:
+    def test_changed_keys_only(self):
+        a = version_from(tiny_mlp(), 1, final_accuracy=0.8, epochs=5)
+        b = version_from(tiny_mlp(), 2, final_accuracy=0.9, epochs=5)
+        diff = diff_metadata(a, b)
+        assert diff == {"final_accuracy": (0.8, 0.9)}
+
+    def test_one_sided_keys(self):
+        a = version_from(tiny_mlp(), 1, only_a=1)
+        b = version_from(tiny_mlp(), 2)
+        assert diff_metadata(a, b) == {"only_a": (1, None)}
+
+
+class TestParameterDiff:
+    def test_identical_weights_zero_distance(self, trained_tiny):
+        net, _, _ = trained_tiny
+        w = net.get_weights()
+        diff = diff_parameters(w, w)
+        for stats in diff["shared"].values():
+            assert stats["relative_l2"] == 0.0
+            assert stats["max_abs"] == 0.0
+
+    def test_perturbed_weights_measured(self, trained_tiny):
+        net, _, _ = trained_tiny
+        a = net.get_weights()
+        b = {
+            layer: {k: v + 0.01 for k, v in params.items()}
+            for layer, params in a.items()
+        }
+        diff = diff_parameters(a, b)
+        assert diff["shared"]["fc1.W"]["max_abs"] == pytest.approx(0.01, rel=1e-3)
+
+    def test_shape_mismatch_listed(self):
+        a = {"fc": {"W": np.zeros((2, 2), np.float32)}}
+        b = {"fc": {"W": np.zeros((3, 3), np.float32)}}
+        diff = diff_parameters(a, b)
+        assert diff["shape_mismatch"] == ["fc.W"]
+
+    def test_one_sided_matrices_listed(self):
+        a = {"fc": {"W": np.zeros((2, 2), np.float32)}}
+        diff = diff_parameters(a, {})
+        assert diff["only_in_a"] == ["fc.W"]
+
+
+class TestFullDiff:
+    def test_report_shape(self, trained_tiny):
+        net, _, _ = trained_tiny
+        a = version_from(net, 1, final_accuracy=0.5)
+        b = version_from(net, 2, final_accuracy=0.7)
+        report = diff_versions(a, b, net.get_weights(), net.get_weights())
+        assert report["a"] == a.ref and report["b"] == b.ref
+        assert "structure" in report and "parameters" in report
+        assert report["metadata"]["final_accuracy"] == (0.5, 0.7)
+
+    def test_parameters_optional(self, trained_tiny):
+        net, _, _ = trained_tiny
+        report = diff_versions(version_from(net, 1), version_from(net, 2))
+        assert "parameters" not in report

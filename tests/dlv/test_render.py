@@ -1,0 +1,88 @@
+"""HTML rendering tests for the dlv exploration front end."""
+
+import pytest
+
+from repro.dlv.diff import diff_versions
+from repro.dlv.render import render_describe, render_diff, render_lineage
+
+
+@pytest.fixture
+def committed_pair(repo, trained_tiny):
+    net, result, config = trained_tiny
+    base = repo.commit(
+        net.clone(), name="render-base", train_result=result,
+        hyperparams=config.to_dict(),
+    )
+    derived = repo.copy_version(base, "render-ft")
+    return repo, base, derived
+
+
+class TestDescribe:
+    def test_contains_core_fields(self, committed_pair):
+        repo, base, _ = committed_pair
+        page = render_describe(
+            repo.describe(base), repo.training_log(base)
+        )
+        assert page.startswith("<!DOCTYPE html>")
+        assert base.ref in page
+        assert "Training log" in page
+        assert "fc1:FULL" in page
+
+    def test_no_log_section_without_log(self, committed_pair):
+        repo, base, _ = committed_pair
+        page = render_describe(repo.describe(base))
+        assert "Training log" not in page
+
+    def test_escapes_html(self):
+        page = render_describe(
+            {"ref": "<script>alert(1)</script>", "metadata": {}, "layers": []}
+        )
+        assert "<script>alert(1)</script>" not in page
+        assert "&lt;script&gt;" in page
+
+
+class TestDiff:
+    def test_structure_and_parameters_rendered(self, committed_pair):
+        repo, base, derived = committed_pair
+        report = diff_versions(
+            repo.resolve(base), repo.resolve(derived),
+            repo.get_snapshot_weights(base),
+            repo.get_snapshot_weights(derived),
+        )
+        page = render_diff(report)
+        assert "Parameters" in page
+        assert "relative L2" in page
+        assert base.ref in page
+
+    def test_added_removed_markers(self):
+        report = {
+            "a": "x@1", "b": "y@2",
+            "structure": {"added": ["drop1"], "removed": ["relu9"],
+                          "changed": {}},
+            "metadata": {},
+        }
+        page = render_diff(report)
+        assert "+ drop1" in page
+        assert "- relu9" in page
+
+
+class TestLineage:
+    def test_tree_indentation(self, committed_pair):
+        repo, base, derived = committed_pair
+        versions = [
+            {"id": v.id, "name": v.name, "created_at": v.created_at,
+             "snapshots": len(v.snapshots),
+             "accuracy": v.metadata.get("final_accuracy")}
+            for v in repo.list_versions()
+        ]
+        page = render_lineage(versions, repo.lineage_edges())
+        assert f"render-base@{base.id}" in page
+        assert "└─" in page  # the derived version is indented under its base
+
+    def test_orphan_versions_are_roots(self):
+        versions = [
+            {"id": 1, "name": "solo", "created_at": "t", "snapshots": 1,
+             "accuracy": None},
+        ]
+        page = render_lineage(versions, [])
+        assert "solo@1" in page

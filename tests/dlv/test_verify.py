@@ -1,0 +1,89 @@
+"""Repository integrity verification + failure injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.dlv.cli import main
+
+
+@pytest.fixture
+def populated(repo, trained_tiny):
+    net, result, _ = trained_tiny
+    base = repo.commit(net.clone(), name="v-base", train_result=result)
+    middle = repo.copy_version(base, "v-mid")
+    leaf = repo.copy_version(middle, "v-leaf")
+    return repo, base, middle, leaf
+
+
+class TestLineageTraversal:
+    def test_ancestors(self, populated):
+        repo, base, middle, leaf = populated
+        assert [v.id for v in repo.ancestors(leaf)] == [middle.id, base.id]
+        assert repo.ancestors(base) == []
+
+    def test_descendants(self, populated):
+        repo, base, middle, leaf = populated
+        assert [v.id for v in repo.descendants(base)] == [middle.id, leaf.id]
+        assert repo.descendants(leaf) == []
+
+
+class TestVerify:
+    def test_clean_repository_is_ok(self, populated):
+        repo, *_ = populated
+        report = repo.verify()
+        assert report["ok"]
+        assert report["problems"] == []
+        assert report["matrices_checked"] > 0
+        assert report["versions_checked"] == 3
+
+    def test_detects_missing_chunk(self, populated):
+        repo, *_ = populated
+        payload = repo.catalog.all_payloads()[0]
+        repo.store.delete(payload["chunks"][0])
+        report = repo.verify()
+        assert not report["ok"]
+        assert any("missing chunk" in p for p in report["problems"])
+
+    def test_detects_shape_corruption(self, populated):
+        repo, base, *_ = populated
+        # Rewrite one matrix's recorded shape in the catalog.
+        row = repo.catalog.get_matrices(base.id, 0)[0]
+        repo.catalog._conn.execute(
+            "UPDATE matrix SET shape = '[1, 1]' WHERE matrix_id = ?",
+            (row["matrix_id"],),
+        )
+        repo.catalog.commit()
+        report = repo.verify()
+        assert not report["ok"]
+        # The corruption surfaces either as a decode failure (plane size vs
+        # recorded count) or as a shape mismatch.
+        assert any(
+            "shape" in p or "recreation failed" in p
+            for p in report["problems"]
+        )
+
+    def test_verify_after_archive(self, populated):
+        """Delta-encoded repositories verify too (chains recreate)."""
+        repo, *_ = populated
+        repo.archive(alpha=3.0)
+        report = repo.verify()
+        assert report["ok"], report["problems"]
+
+    def test_cli_verify_exit_codes(self, populated, capsys, tmp_path):
+        repo, *_ = populated
+        repo.close()
+        assert main(["--repo", str(repo.root), "verify"]) == 0
+        capsys.readouterr()
+        # Corrupt and expect failure exit code.
+        import json
+
+        reopened_code = None
+        from repro.dlv.repository import Repository
+
+        with Repository.open(repo.root) as reopened:
+            payload = reopened.catalog.all_payloads()[0]
+            reopened.store.delete(payload["chunks"][0])
+        reopened_code = main(["--repo", str(repo.root), "verify"])
+        out = json.loads(capsys.readouterr().out)
+        assert reopened_code == 1
+        assert not out["ok"]

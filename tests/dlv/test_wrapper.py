@@ -1,0 +1,71 @@
+"""Model-directory wrapper tests: the external training-system exchange."""
+
+import json
+
+import numpy as np
+
+from repro.dlv import wrapper
+from repro.dnn.training import SGDConfig
+from repro.dnn.zoo import tiny_mlp
+
+
+class TestSaveLoad:
+    def test_roundtrip_network_and_weights(self, tmp_path, trained_tiny):
+        net, result, config = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net, config, result)
+        assert (model_dir / "network.json").exists()
+        assert (model_dir / "weights.npz").exists()
+        loaded = wrapper.load_network(model_dir)
+        x = np.random.default_rng(0).standard_normal(
+            (2, *net.input_shape)
+        ).astype(np.float32)
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x), rtol=1e-6)
+
+    def test_unbuilt_network_no_weights(self, tmp_path):
+        net = tiny_mlp()
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net)
+        assert not (model_dir / "weights.npz").exists()
+        loaded = wrapper.load_network(model_dir)
+        assert loaded.is_built  # load_network builds
+
+    def test_solver_roundtrip(self, tmp_path, trained_tiny):
+        net, _, config = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net, config)
+        loaded = wrapper.load_solver(model_dir)
+        assert isinstance(loaded, SGDConfig)
+        assert loaded.base_lr == config.base_lr
+
+    def test_solver_missing_returns_none(self, tmp_path, trained_tiny):
+        net, _, _ = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net)
+        assert wrapper.load_solver(model_dir) is None
+
+    def test_log_roundtrip(self, tmp_path, trained_tiny):
+        net, result, config = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net, config, result)
+        log = wrapper.load_log(model_dir)
+        assert log == result.log
+
+    def test_train_result_assembly(self, tmp_path, trained_tiny):
+        net, result, config = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net, config, result)
+        assembled = wrapper.load_train_result(model_dir)
+        assert assembled is not None
+        assert assembled.log == result.log
+        assert len(assembled.snapshots) == 1
+        _, weights = assembled.snapshots[0]
+        np.testing.assert_array_equal(
+            weights["fc1"]["W"], net["fc1"].params["W"]
+        )
+
+    def test_train_result_none_when_empty(self, tmp_path):
+        net = tiny_mlp()
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net)
+        assert wrapper.load_train_result(model_dir) is None
+
+    def test_network_json_is_valid_spec(self, tmp_path, trained_tiny):
+        net, _, _ = trained_tiny
+        model_dir = wrapper.save_model_dir(tmp_path / "m", net)
+        spec = json.loads((model_dir / "network.json").read_text())
+        assert spec["name"] == net.name
+        assert [n["layer"]["name"] for n in spec["nodes"]] == net.node_names()

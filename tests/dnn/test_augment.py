@@ -1,0 +1,104 @@
+"""Augmentation tests + Adam optimizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.augment import AugmentConfig, Augmenter
+from repro.dnn.training import SGDConfig, Trainer
+from repro.dnn.zoo import tiny_mlp
+
+
+class TestAugmenter:
+    def test_identity_when_disabled(self):
+        aug = Augmenter(AugmentConfig(max_shift=0))
+        batch = np.random.default_rng(0).standard_normal((4, 1, 6, 6)).astype(
+            np.float32
+        )
+        np.testing.assert_array_equal(aug(batch), batch)
+
+    def test_input_not_mutated(self):
+        aug = Augmenter(AugmentConfig(max_shift=2, noise_std=0.1))
+        batch = np.ones((4, 1, 6, 6), dtype=np.float32)
+        copy = batch.copy()
+        aug(batch)
+        np.testing.assert_array_equal(batch, copy)
+
+    def test_shift_preserves_mass_or_less(self):
+        """Translation zero-fills, so total intensity never increases."""
+        aug = Augmenter(AugmentConfig(max_shift=2, seed=1))
+        batch = np.ones((8, 1, 6, 6), dtype=np.float32)
+        out = aug(batch)
+        assert out.sum() <= batch.sum() + 1e-6
+
+    def test_flip_reverses_columns(self):
+        aug = Augmenter(AugmentConfig(max_shift=0, flip_probability=1.0))
+        batch = np.arange(6, dtype=np.float32).reshape(1, 1, 1, 6)
+        out = aug(batch)
+        np.testing.assert_array_equal(out[0, 0, 0], batch[0, 0, 0][::-1])
+
+    def test_noise_changes_values(self):
+        aug = Augmenter(AugmentConfig(max_shift=0, noise_std=0.5, seed=2))
+        batch = np.zeros((2, 1, 4, 4), dtype=np.float32)
+        out = aug(batch)
+        assert np.abs(out).mean() > 0.1
+
+    def test_deterministic_by_seed(self):
+        batch = np.random.default_rng(3).standard_normal((4, 1, 6, 6)).astype(
+            np.float32
+        )
+        a = Augmenter(AugmentConfig(max_shift=2, noise_std=0.1, seed=7))(batch)
+        b = Augmenter(AugmentConfig(max_shift=2, noise_std=0.1, seed=7))(batch)
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Augmenter(AugmentConfig(max_shift=-1))
+        with pytest.raises(ValueError):
+            Augmenter(AugmentConfig(flip_probability=1.5))
+        with pytest.raises(ValueError):
+            Augmenter(AugmentConfig(noise_std=-0.1))
+
+    def test_training_with_augmentation_learns(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        aug = Augmenter(AugmentConfig(max_shift=1, noise_std=0.05, seed=4))
+        result = Trainer(net, SGDConfig(epochs=3, base_lr=0.1)).fit(
+            digits.x_train, digits.y_train, augmenter=aug, measure_every=5
+        )
+        assert result.final_loss < result.log[0]["loss"] * 0.8
+
+
+class TestAdam:
+    def test_adam_learns(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        config = SGDConfig(epochs=5, base_lr=0.02, optimizer="adam")
+        result = Trainer(net, config).fit(
+            digits.x_train, digits.y_train, measure_every=5
+        )
+        assert result.final_loss < result.log[0]["loss"] * 0.5
+
+    def test_adam_step_magnitude_bounded_by_lr(self, digits):
+        """Bias-corrected Adam steps are ~lr in magnitude per element."""
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        before = net["fc2"].params["W"].copy()
+        trainer = Trainer(
+            net, SGDConfig(base_lr=0.01, optimizer="adam", weight_decay=0.0)
+        )
+        trainer.train_step(digits.x_train[:16], digits.y_train[:16], 0)
+        step = np.abs(net["fc2"].params["W"] - before)
+        assert step.max() <= 0.01 * 1.01
+
+    def test_invalid_optimizer_rejected(self):
+        with pytest.raises(ValueError, match="optimizer"):
+            SGDConfig(optimizer="lbfgs")
+
+    def test_to_dict_roundtrip(self):
+        config = SGDConfig(optimizer="adam", adam_beta1=0.8)
+        rebuilt = SGDConfig(**config.to_dict())
+        assert rebuilt.optimizer == "adam"
+        assert rebuilt.adam_beta1 == 0.8

@@ -1,0 +1,141 @@
+"""BatchNorm layer tests: statistics, gradients, intervals, serialization."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.interval import Interval
+from repro.dnn.layers import BatchNorm, Dense, Flatten, ReLU, Softmax, layer_from_spec
+from repro.dnn.network import Network
+from repro.dnn.training import SGDConfig, Trainer, accuracy
+from tests.dnn.test_layers import numerical_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestForward:
+    def test_training_normalizes_batch(self, rng):
+        layer = BatchNorm("bn")
+        layer.build((4,), rng)
+        x = rng.standard_normal((64, 4)) * 3.0 + 5.0
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_track_batches(self, rng):
+        layer = BatchNorm("bn", momentum=0.0)  # running = last batch
+        layer.build((3,), rng)
+        x = rng.standard_normal((32, 3)) * 2.0 + 1.0
+        layer.forward(x, training=True)
+        np.testing.assert_allclose(layer.running_mean, x.mean(axis=0), rtol=1e-5)
+        np.testing.assert_allclose(layer.running_var, x.var(axis=0), rtol=1e-5)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm("bn", momentum=0.0)
+        layer.build((3,), rng)
+        train_batch = rng.standard_normal((32, 3))
+        layer.forward(train_batch, training=True)
+        single = rng.standard_normal((1, 3))
+        out = layer.forward(single, training=False)
+        expected = (single - layer.running_mean) / np.sqrt(
+            layer.running_var + 1e-5
+        )
+        np.testing.assert_allclose(out, expected, rtol=1e-5)
+
+    def test_4d_input(self, rng):
+        layer = BatchNorm("bn")
+        layer.build((2, 4, 4), rng)
+        x = rng.standard_normal((8, 2, 4, 4)) + 3.0
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(
+            out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6
+        )
+
+
+class TestBackward:
+    @pytest.mark.parametrize("shape", [(6, 3), (4, 2, 3, 3)])
+    def test_input_gradient(self, rng, shape):
+        layer = BatchNorm("bn")
+        layer.build(shape[1:] if len(shape) == 2 else shape[1:], rng)
+        x = rng.standard_normal(shape)
+        out = layer.forward(x, training=True)
+        upstream = rng.standard_normal(out.shape)
+
+        def loss():
+            return float((layer.forward(x, training=True) * upstream).sum())
+
+        analytic = layer.backward(upstream)
+        numeric = numerical_grad(loss, x)
+        np.testing.assert_allclose(analytic, numeric, rtol=5e-2, atol=1e-4)
+
+    def test_param_gradients(self, rng):
+        layer = BatchNorm("bn")
+        layer.build((3,), rng)
+        x = rng.standard_normal((8, 3))
+        out = layer.forward(x, training=True)
+        upstream = rng.standard_normal(out.shape)
+        layer.backward(upstream)
+        x_hat = layer._cache["x_hat"]
+        np.testing.assert_allclose(
+            layer.grads["gamma"], (upstream * x_hat).sum(axis=0), rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            layer.grads["beta"], upstream.sum(axis=0), rtol=1e-6
+        )
+
+
+class TestInterval:
+    def test_inference_bounds_sound(self, rng):
+        layer = BatchNorm("bn", momentum=0.0)
+        layer.build((3,), rng)
+        layer.forward(rng.standard_normal((32, 3)), training=True)
+        x = rng.standard_normal((5, 3))
+        exact = layer.forward(x, training=False)
+        bounds = {
+            k: Interval(v - 1e-3, v + 1e-3) for k, v in layer.params.items()
+        }
+        iv = layer.forward_interval(Interval(x - 0.01, x + 0.01), bounds)
+        assert iv.contains(exact, atol=1e-6)
+
+
+class TestIntegration:
+    def test_bn_network_trains(self):
+        from repro.dnn.data import synthetic_digits
+
+        dataset = synthetic_digits(train_per_class=20, test_per_class=8)
+        net = Network(dataset.input_shape, name="bn-mlp")
+        net.add(Flatten("flat"))
+        net.add(Dense("fc1", units=24))
+        net.add(BatchNorm("bn1"))
+        net.add(ReLU("relu1"))
+        net.add(Dense("fc2", units=dataset.num_classes))
+        net.add(Softmax("prob"))
+        net.build(0)
+        Trainer(net, SGDConfig(epochs=3, base_lr=0.1)).fit(
+            dataset.x_train, dataset.y_train
+        )
+        assert accuracy(net, dataset.x_test, dataset.y_test) > 0.5
+
+    def test_spec_roundtrip_keeps_running_stats(self, rng):
+        layer = BatchNorm("bn", momentum=0.0)
+        layer.build((3,), rng)
+        layer.forward(rng.standard_normal((16, 3)) + 2.0, training=True)
+        rebuilt = layer_from_spec(layer.spec())
+        rebuilt.build((3,), rng)
+        np.testing.assert_allclose(rebuilt.running_mean, layer.running_mean)
+        np.testing.assert_allclose(rebuilt.running_var, layer.running_var)
+
+    def test_weights_roundtrip_through_network(self, rng):
+        net = Network((4,), name="bn")
+        net.add(Dense("fc", units=3))
+        net.add(BatchNorm("bn"))
+        net.build(0)
+        weights = net.get_weights()
+        assert "gamma" in weights["bn"]
+        other = Network.from_spec(net.spec()).build(5)
+        other.set_weights(weights)
+        np.testing.assert_array_equal(
+            other["bn"].params["gamma"], net["bn"].params["gamma"]
+        )

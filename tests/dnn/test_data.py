@@ -1,0 +1,80 @@
+"""Synthetic dataset tests: determinism, structure, learnability hooks."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.data import Dataset, synthetic_digits, synthetic_faces
+
+
+class TestGenerators:
+    def test_shapes_and_dtypes(self):
+        ds = synthetic_digits(train_per_class=5, test_per_class=2)
+        assert ds.x_train.shape == (50, 1, 12, 12)
+        assert ds.x_test.shape == (20, 1, 12, 12)
+        assert ds.x_train.dtype == np.float32
+        assert ds.y_train.dtype == np.int64
+        assert ds.input_shape == (1, 12, 12)
+
+    def test_all_classes_present(self):
+        ds = synthetic_digits(train_per_class=5, test_per_class=2)
+        assert set(ds.y_train.tolist()) == set(range(10))
+        assert set(ds.y_test.tolist()) == set(range(10))
+
+    def test_deterministic_by_seed(self):
+        a = synthetic_digits(train_per_class=3, test_per_class=1, seed=5)
+        b = synthetic_digits(train_per_class=3, test_per_class=1, seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_train, b.y_train)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_digits(train_per_class=3, test_per_class=1, seed=5)
+        b = synthetic_digits(train_per_class=3, test_per_class=1, seed=6)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+    def test_faces_configurable(self):
+        ds = synthetic_faces(
+            num_classes=7, size=10, train_per_class=2, test_per_class=1
+        )
+        assert ds.num_classes == 7
+        assert ds.input_shape == (1, 10, 10)
+        assert len(ds.x_train) == 14
+
+    def test_classes_are_distinguishable(self):
+        """Mean images of different classes must differ meaningfully."""
+        ds = synthetic_digits(train_per_class=20, test_per_class=1, noise=0.05)
+        means = np.stack(
+            [ds.x_train[ds.y_train == c].mean(axis=0) for c in range(10)]
+        )
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(means[i] - means[j]).max() > 0.2
+
+
+class TestBatches:
+    def test_batches_cover_everything_once(self):
+        ds = synthetic_digits(train_per_class=4, test_per_class=1)
+        rng = np.random.default_rng(0)
+        seen = 0
+        for x, y in ds.batches(16, rng):
+            assert len(x) == len(y) <= 16
+            seen += len(x)
+        assert seen == len(ds.x_train)
+
+    def test_batches_shuffle(self):
+        ds = synthetic_digits(train_per_class=4, test_per_class=1)
+        first = next(iter(ds.batches(40, np.random.default_rng(1))))[1]
+        second = next(iter(ds.batches(40, np.random.default_rng(2))))[1]
+        assert not np.array_equal(first, second)
+
+
+class TestDatasetContainer:
+    def test_frozen(self):
+        ds = synthetic_digits(train_per_class=2, test_per_class=1)
+        with pytest.raises(AttributeError):
+            ds.name = "other"
+
+    def test_custom_dataset(self):
+        x = np.zeros((4, 1, 3, 3), np.float32)
+        y = np.array([0, 1, 0, 1])
+        ds = Dataset("custom", x, y, x, y, 2)
+        assert ds.input_shape == (1, 3, 3)

@@ -1,0 +1,76 @@
+"""Unit tests for the im2col/col2im patch utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(12, 3, 1, 0) == 10
+
+    def test_with_padding(self):
+        assert conv_output_size(12, 3, 1, 1) == 12
+
+    def test_with_stride(self):
+        assert conv_output_size(12, 2, 2, 0) == 6
+
+    def test_non_positive_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2Col:
+    def test_patch_matrix_shape(self):
+        x = np.arange(2 * 3 * 6 * 6, dtype=np.float32).reshape(2, 3, 6, 6)
+        cols, oh, ow = im2col(x, kernel=3, stride=1, pad=0)
+        assert (oh, ow) == (4, 4)
+        assert cols.shape == (2 * 4 * 4, 3 * 3 * 3)
+
+    def test_identity_kernel_content(self):
+        """With kernel=1, each patch is a single pixel across channels."""
+        x = np.arange(1 * 2 * 3 * 3, dtype=np.float32).reshape(1, 2, 3, 3)
+        cols, oh, ow = im2col(x, kernel=1, stride=1, pad=0)
+        assert (oh, ow) == (3, 3)
+        expected = x.transpose(0, 2, 3, 1).reshape(-1, 2)
+        np.testing.assert_array_equal(cols, expected)
+
+    def test_known_patch_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        cols, _, _ = im2col(x, kernel=2, stride=2, pad=0)
+        np.testing.assert_array_equal(cols[0], [0, 1, 4, 5])
+        np.testing.assert_array_equal(cols[-1], [10, 11, 14, 15])
+
+    def test_padding_zero_fills(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        cols, oh, ow = im2col(x, kernel=3, stride=1, pad=1)
+        assert (oh, ow) == (2, 2)
+        # Top-left patch covers 4 real pixels and 5 padding zeros.
+        assert cols[0].sum() == 4
+
+
+class TestCol2Im:
+    def test_scatter_add_counts_overlaps(self):
+        """col2im of all-ones patches counts how many windows cover a pixel."""
+        x_shape = (1, 1, 4, 4)
+        cols, _, _ = im2col(np.zeros(x_shape, np.float32), 3, 1, 0)
+        ones = np.ones_like(cols)
+        back = col2im(ones, x_shape, 3, 1, 0)
+        assert back[0, 0, 0, 0] == 1  # corner: one window
+        assert back[0, 0, 1, 1] == 4  # inner: four windows
+
+    def test_roundtrip_non_overlapping(self):
+        """With stride == kernel, im2col/col2im round-trips exactly."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+        cols, _, _ = im2col(x, kernel=2, stride=2, pad=0)
+        back = col2im(cols, x.shape, kernel=2, stride=2, pad=0)
+        np.testing.assert_allclose(back, x)
+
+    def test_roundtrip_with_padding(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        cols, _, _ = im2col(x, kernel=2, stride=2, pad=1)
+        back = col2im(cols, x.shape, kernel=2, stride=2, pad=1)
+        np.testing.assert_allclose(back, x)

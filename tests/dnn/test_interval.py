@@ -1,0 +1,255 @@
+"""Interval arithmetic soundness tests (property-based where it matters).
+
+The invariant behind progressive evaluation: for any concrete values
+inside the operand intervals, the operation's concrete result lies inside
+the returned interval.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dnn.interval import (
+    Interval,
+    argmax_determined,
+    interval_matmul,
+    interval_relu,
+    interval_sigmoid,
+    interval_tanh,
+    set_tight_mode,
+    tight_intervals,
+)
+from repro.dnn.layers import Conv2D, Dense, MaxPool2D, Softmax
+
+finite = st.floats(-10, 10, allow_nan=False, width=32)
+
+
+def interval_pair(shape):
+    """Strategy: an interval and a concrete sample inside it."""
+    return st.tuples(
+        hnp.arrays(np.float64, shape, elements=finite),
+        hnp.arrays(np.float64, shape, elements=st.floats(0, 2, width=32)),
+        hnp.arrays(np.float64, shape, elements=st.floats(0, 1, width=32)),
+    ).map(
+        lambda t: (
+            Interval(t[0], t[0] + t[1]),
+            t[0] + t[1] * t[2],
+        )
+    )
+
+
+class TestIntervalBasics:
+    def test_exact_has_zero_width(self):
+        iv = Interval.exact(np.array([1.0, -2.0]))
+        assert iv.is_exact()
+        np.testing.assert_array_equal(iv.mid, [1.0, -2.0])
+
+    def test_from_bounds_validates(self):
+        with pytest.raises(ValueError):
+            Interval.from_bounds(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(np.zeros(2), np.zeros(3))
+
+    def test_add_and_negate(self):
+        a = Interval(np.array([0.0]), np.array([1.0]))
+        b = Interval(np.array([2.0]), np.array([3.0]))
+        s = a + b
+        assert s.lo[0] == 2.0 and s.hi[0] == 4.0
+        n = -a
+        assert n.lo[0] == -1.0 and n.hi[0] == 0.0
+
+    def test_contains(self):
+        iv = Interval(np.array([0.0, -1.0]), np.array([1.0, 1.0]))
+        assert iv.contains(np.array([0.5, 0.0]))
+        assert not iv.contains(np.array([2.0, 0.0]))
+
+
+class TestSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((3, 4)), interval_pair((4, 2)))
+    def test_matmul_sound(self, xp, wp):
+        x_iv, x = xp
+        w_iv, w = wp
+        out = interval_matmul(x_iv, w_iv)
+        assert out.contains(x @ w, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((2, 5)))
+    def test_relu_sound(self, pair):
+        iv, x = pair
+        assert interval_relu(iv).contains(np.maximum(x, 0), atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((2, 5)))
+    def test_sigmoid_sound(self, pair):
+        iv, x = pair
+        concrete = 1.0 / (1.0 + np.exp(-x))
+        assert interval_sigmoid(iv).contains(concrete, atol=1e-9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((2, 5)))
+    def test_tanh_sound(self, pair):
+        iv, x = pair
+        assert interval_tanh(iv).contains(np.tanh(x), atol=1e-9)
+
+    def test_matmul_exact_when_operands_exact(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((3, 4))
+        w = rng.standard_normal((4, 2))
+        out = interval_matmul(Interval.exact(x), Interval.exact(w))
+        np.testing.assert_allclose(out.lo, x @ w, atol=1e-12)
+        np.testing.assert_allclose(out.hi, x @ w, atol=1e-12)
+
+
+class TestTightMode:
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((3, 4)), interval_pair((4, 2)))
+    def test_tight_matmul_sound(self, xp, wp):
+        x_iv, x = xp
+        w_iv, w = wp
+        with tight_intervals():
+            out = interval_matmul(x_iv, w_iv)
+        assert out.contains(x @ w, atol=1e-6)
+
+    @settings(max_examples=50, deadline=None)
+    @given(interval_pair((3, 4)), interval_pair((4, 2)))
+    def test_tight_never_looser_than_default(self, xp, wp):
+        x_iv, _ = xp
+        w_iv, _ = wp
+        loose = interval_matmul(x_iv, w_iv)
+        with tight_intervals():
+            tight = interval_matmul(x_iv, w_iv)
+        assert np.all(tight.lo >= loose.lo - 1e-9)
+        assert np.all(tight.hi <= loose.hi + 1e-9)
+
+    def test_tight_exact_for_nonnegative_input(self):
+        """Post-ReLU ranges (lo >= 0) get exact bounds in tight mode."""
+        x = Interval(
+            np.array([[0.5, 1.0]]), np.array([[1.5, 2.0]])
+        )
+        w = Interval(
+            np.array([[1.0], [-2.0]]), np.array([[3.0], [-1.0]])
+        )
+        # True extremes by enumeration of the 4 corner combinations per
+        # element (products are separable in this 1-output case).
+        true_lo = 0.5 * 1.0 + 2.0 * -2.0
+        true_hi = 1.5 * 3.0 + 1.0 * -1.0
+        with tight_intervals():
+            out = interval_matmul(x, w)
+        assert out.lo[0, 0] == pytest.approx(true_lo)
+        assert out.hi[0, 0] == pytest.approx(true_hi)
+
+    def test_mode_restored_after_context(self):
+        assert not set_tight_mode(False)
+        with tight_intervals():
+            pass
+        # still disabled afterwards
+        loose = interval_matmul(
+            Interval(np.zeros((1, 1)), np.ones((1, 1))),
+            Interval(np.zeros((1, 1)), np.ones((1, 1))),
+        )
+        assert loose.hi[0, 0] >= 1.0
+
+
+class TestLayerIntervalSoundness:
+    """Every layer's interval forward must contain its concrete forward."""
+
+    @pytest.mark.parametrize("delta", [0.0, 1e-4, 1e-2])
+    def test_dense(self, delta):
+        rng = np.random.default_rng(1)
+        layer = Dense("d", units=3)
+        layer.build((5,), rng)
+        x = rng.standard_normal((4, 5))
+        exact = layer.forward(x)
+        bounds = {
+            k: Interval(v - delta, v + delta) for k, v in layer.params.items()
+        }
+        out = layer.forward_interval(Interval.exact(x), bounds)
+        assert out.contains(exact, atol=1e-5)
+
+    @pytest.mark.parametrize("delta", [0.0, 1e-3])
+    def test_conv(self, delta):
+        rng = np.random.default_rng(2)
+        layer = Conv2D("c", filters=2, kernel=3, pad=1)
+        layer.build((2, 5, 5), rng)
+        x = rng.standard_normal((2, 2, 5, 5))
+        exact = layer.forward(x)
+        bounds = {
+            k: Interval(v - delta, v + delta) for k, v in layer.params.items()
+        }
+        out = layer.forward_interval(Interval.exact(x), bounds)
+        assert out.contains(exact, atol=1e-5)
+
+    def test_maxpool_with_input_interval(self):
+        rng = np.random.default_rng(3)
+        layer = MaxPool2D("p", kernel=2)
+        layer.build((2, 4, 4), rng)
+        x = rng.standard_normal((2, 2, 4, 4))
+        exact = layer.forward(x)
+        iv = Interval(x - 0.1, x + 0.1)
+        out = layer.forward_interval(iv)
+        assert out.contains(exact, atol=1e-9)
+
+    def test_softmax_bounds_contain_and_normalize(self):
+        rng = np.random.default_rng(4)
+        layer = Softmax("s")
+        x = rng.standard_normal((3, 5))
+        exact = layer.forward(x)
+        out = layer.forward_interval(Interval(x - 0.05, x + 0.05))
+        assert out.contains(exact, atol=1e-9)
+        assert np.all(out.lo >= 0.0) and np.all(out.hi <= 1.0 + 1e-9)
+
+
+class TestArgmaxDetermined:
+    def test_clear_winner_is_determined(self):
+        out = Interval(
+            np.array([[5.0, 0.0, 0.0]]), np.array([[6.0, 1.0, 1.0]])
+        )
+        determined, labels = argmax_determined(out)
+        assert determined[0] and labels[0] == 0
+
+    def test_overlap_is_undetermined(self):
+        out = Interval(
+            np.array([[0.0, 0.5, 0.0]]), np.array([[1.0, 1.5, 1.0]])
+        )
+        determined, _ = argmax_determined(out)
+        assert not determined[0]
+
+    def test_top_k_determination(self):
+        lo = np.array([[10.0, 9.0, 0.0, 0.0]])
+        hi = np.array([[11.0, 9.5, 1.0, 1.0]])
+        determined_k1, _ = argmax_determined(Interval(lo, hi), k=1)
+        determined_k2, _ = argmax_determined(Interval(lo, hi), k=2)
+        assert determined_k1[0]  # 10 > 9.5 separates the top-1
+        assert determined_k2[0]  # {0,1} separated from {2,3}
+
+    def test_k_equal_classes_always_determined(self):
+        out = Interval(np.zeros((2, 3)), np.ones((2, 3)))
+        determined, _ = argmax_determined(out, k=3)
+        assert determined.all()
+
+    def test_invalid_k(self):
+        out = Interval(np.zeros((1, 3)), np.ones((1, 3)))
+        with pytest.raises(ValueError):
+            argmax_determined(out, k=4)
+
+    def test_requires_2d(self):
+        out = Interval(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError):
+            argmax_determined(out)
+
+    def test_soundness_against_sampling(self):
+        """If determined, every concrete realization agrees on the argmax."""
+        rng = np.random.default_rng(5)
+        lo = rng.standard_normal((20, 6))
+        hi = lo + rng.uniform(0, 0.5, size=lo.shape)
+        out = Interval(lo, hi)
+        determined, labels = argmax_determined(out)
+        for _ in range(30):
+            sample = lo + (hi - lo) * rng.random(lo.shape)
+            concrete = np.argmax(sample, axis=1)
+            assert np.all(concrete[determined] == labels[determined])

@@ -1,0 +1,293 @@
+"""Layer tests: shapes, known values, and numerical gradient checks.
+
+Every layer's backward pass is validated against central finite
+differences — the canonical correctness check for a from-scratch autodiff
+substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dnn.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+    layer_from_spec,
+)
+
+
+def numerical_grad(f, x, eps=1e-3):
+    """Central finite-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        fp = f()
+        flat[i] = orig - eps
+        fm = f()
+        flat[i] = orig
+        gflat[i] = (fp - fm) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, rtol=1e-2, atol=1e-4):
+    """Compare layer.backward to finite differences w.r.t. the input."""
+    rng = np.random.default_rng(0)
+    out = layer.forward(x, training=True)
+    upstream = rng.standard_normal(out.shape).astype(np.float64)
+
+    def loss():
+        return float((layer.forward(x, training=False) * upstream).sum())
+
+    analytic = layer.backward(upstream)
+    numeric = numerical_grad(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_gradient(layer, x, key, rtol=1e-2, atol=1e-4):
+    """Compare parameter gradients to finite differences."""
+    rng = np.random.default_rng(1)
+    out = layer.forward(x, training=True)
+    upstream = rng.standard_normal(out.shape).astype(np.float64)
+    layer.backward(upstream)
+    analytic = layer.grads[key].copy()
+
+    param = layer.params[key]
+
+    def loss():
+        return float((layer.forward(x, training=False) * upstream).sum())
+
+    numeric = numerical_grad(loss, param)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConv2D:
+    def build(self, rng, pad=0, stride=1):
+        layer = Conv2D("c", filters=3, kernel=3, stride=stride, pad=pad)
+        layer.build((2, 6, 6), rng)
+        return layer
+
+    def test_output_shape(self, rng):
+        layer = self.build(rng)
+        x = rng.standard_normal((4, 2, 6, 6)).astype(np.float64)
+        assert layer.forward(x).shape == (4, 3, 4, 4)
+        assert layer.output_shape == (3, 4, 4)
+
+    def test_param_count(self, rng):
+        layer = self.build(rng)
+        assert layer.param_count() == 3 * 2 * 3 * 3 + 3
+
+    def test_input_gradient(self, rng):
+        layer = self.build(rng, pad=1)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_input_gradient(layer, x)
+
+    def test_weight_gradient(self, rng):
+        layer = self.build(rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_param_gradient(layer, x, "W")
+
+    def test_bias_gradient(self, rng):
+        layer = self.build(rng)
+        x = rng.standard_normal((2, 2, 6, 6))
+        check_param_gradient(layer, x, "b")
+
+    def test_rebuild_preserves_weights(self, rng):
+        layer = self.build(rng)
+        w = layer.params["W"].copy()
+        layer.build((2, 6, 6), np.random.default_rng(999))
+        np.testing.assert_array_equal(layer.params["W"], w)
+
+    def test_rebuild_reinitializes_on_shape_change(self, rng):
+        layer = self.build(rng)
+        layer.build((3, 6, 6), np.random.default_rng(999))
+        assert layer.params["W"].shape == (3, 3, 3, 3)
+
+    def test_bad_input_shape(self, rng):
+        layer = Conv2D("c", filters=2, kernel=3)
+        with pytest.raises(ValueError, match="Conv2D needs"):
+            layer.build((16,), rng)
+
+
+class TestPooling:
+    def test_maxpool_values(self, rng):
+        layer = MaxPool2D("p", kernel=2)
+        layer.build((1, 4, 4), rng)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+    def test_avgpool_values(self, rng):
+        layer = AvgPool2D("p", kernel=2)
+        layer.build((1, 4, 4), rng)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_maxpool_gradient(self, rng):
+        layer = MaxPool2D("p", kernel=2)
+        layer.build((2, 4, 4), rng)
+        x = rng.standard_normal((2, 2, 4, 4))
+        check_input_gradient(layer, x)
+
+    def test_avgpool_gradient(self, rng):
+        layer = AvgPool2D("p", kernel=2)
+        layer.build((2, 4, 4), rng)
+        x = rng.standard_normal((2, 2, 4, 4))
+        check_input_gradient(layer, x)
+
+    def test_pool_mode_recorded(self, rng):
+        assert MaxPool2D("a", 2).hyperparams["mode"] == "MAX"
+        assert AvgPool2D("a", 2).hyperparams["mode"] == "AVG"
+
+
+class TestDense:
+    def test_known_values(self, rng):
+        layer = Dense("d", units=2)
+        layer.build((3,), rng)
+        layer.params["W"] = np.array([[1, 0], [0, 1], [1, 1]], dtype=np.float32)
+        layer.params["b"] = np.array([10, 20], dtype=np.float32)
+        out = layer.forward(np.array([[1.0, 2.0, 3.0]]))
+        np.testing.assert_allclose(out, [[14.0, 25.0]])
+
+    def test_gradients(self, rng):
+        layer = Dense("d", units=4)
+        layer.build((5,), rng)
+        x = rng.standard_normal((3, 5))
+        check_input_gradient(layer, x)
+        check_param_gradient(layer, x, "W")
+        check_param_gradient(layer, x, "b")
+
+    def test_requires_flat_input(self, rng):
+        layer = Dense("d", units=4)
+        with pytest.raises(ValueError, match="Flatten"):
+            layer.build((2, 3, 3), rng)
+
+
+class TestActivations:
+    @pytest.mark.parametrize(
+        "cls", [ReLU, Sigmoid, Tanh, Softmax], ids=lambda c: c.__name__
+    )
+    def test_gradient(self, cls, rng):
+        layer = cls("a")
+        layer.build((6,), rng)
+        x = rng.standard_normal((4, 6))
+        check_input_gradient(layer, x)
+
+    def test_relu_clips_negative(self, rng):
+        layer = ReLU("r")
+        out = layer.forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_sigmoid_range_and_stability(self, rng):
+        layer = Sigmoid("s")
+        out = layer.forward(np.array([[-500.0, 0.0, 500.0]]))
+        assert np.all((out >= 0) & (out <= 1))
+        assert out[0, 1] == pytest.approx(0.5)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        layer = Softmax("s")
+        out = layer.forward(rng.standard_normal((5, 7)))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5), rtol=1e-6)
+
+    def test_softmax_shift_invariance(self, rng):
+        layer = Softmax("s")
+        x = rng.standard_normal((2, 4))
+        np.testing.assert_allclose(
+            layer.forward(x), layer.forward(x + 1000.0), rtol=1e-6
+        )
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout("d", rate=0.5)
+        x = rng.standard_normal((4, 8))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_at_training(self):
+        layer = Dropout("d", rate=0.5, seed=3)
+        x = np.ones((200, 50))
+        out = layer.forward(x, training=True)
+        # Inverted dropout keeps the expectation: values are 0 or 1/(1-rate).
+        kept = out[out > 0]
+        assert np.allclose(kept, 2.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout("d", rate=1.0)
+
+    def test_gradient_masks(self):
+        layer = Dropout("d", rate=0.5, seed=1)
+        x = np.ones((3, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad, layer._cache["mask"])
+
+
+class TestLRN:
+    def test_forward_normalizes(self, rng):
+        layer = LocalResponseNorm("n", size=3)
+        layer.build((4, 3, 3), rng)
+        x = rng.standard_normal((2, 4, 3, 3))
+        out = layer.forward(x)
+        # Output magnitude never exceeds input magnitude for k >= 1.
+        assert np.all(np.abs(out) <= np.abs(x) + 1e-9)
+
+    def test_gradient(self, rng):
+        layer = LocalResponseNorm("n", size=3, alpha=0.1, beta=0.75, k=2.0)
+        layer.build((4, 2, 2), rng)
+        x = rng.standard_normal((2, 4, 2, 2))
+        check_input_gradient(layer, x, rtol=2e-2, atol=1e-4)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten("f")
+        layer.build((2, 3, 4), rng)
+        x = rng.standard_normal((5, 2, 3, 4))
+        out = layer.forward(x, training=True)
+        assert out.shape == (5, 24)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+
+class TestSpecRoundtrip:
+    @pytest.mark.parametrize(
+        "layer",
+        [
+            Conv2D("c", filters=4, kernel=3, stride=2, pad=1),
+            Dense("d", units=7),
+            MaxPool2D("p", kernel=2),
+            AvgPool2D("p", kernel=3, stride=2),
+            ReLU("r"),
+            Dropout("dr", rate=0.3, seed=5),
+            LocalResponseNorm("n", size=3, alpha=0.1),
+            Softmax("s"),
+        ],
+        ids=lambda layer: type(layer).__name__,
+    )
+    def test_spec_roundtrip(self, layer):
+        rebuilt = layer_from_spec(layer.spec())
+        assert type(rebuilt) is type(layer)
+        assert rebuilt.name == layer.name
+        assert rebuilt.hyperparams == layer.hyperparams
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            layer_from_spec({"kind": "NOPE", "name": "x", "hyperparams": {}})

@@ -1,0 +1,222 @@
+"""Trainer tests: learning actually happens, schedules, snapshots, freezing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dnn.training import (
+    SGDConfig,
+    Trainer,
+    accuracy,
+    confusion_matrix,
+    per_class_accuracy,
+    softmax_cross_entropy,
+    top_k_accuracy,
+)
+from repro.dnn.zoo import tiny_mlp
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((4, 10))
+        labels = np.arange(4)
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(math.log(10))
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss, _ = softmax_cross_entropy(logits, np.array([1, 2]))
+        assert loss < 1e-6
+
+    def test_gradient_sums_to_zero_per_row(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((5, 4))
+        _, grad = softmax_cross_entropy(logits, np.array([0, 1, 2, 3, 0]))
+        np.testing.assert_allclose(grad.sum(axis=1), np.zeros(5), atol=1e-12)
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([1, 0, 3])
+        _, grad = softmax_cross_entropy(logits.copy(), labels)
+        eps = 1e-5
+        for i in range(3):
+            for j in range(4):
+                perturbed = logits.copy()
+                perturbed[i, j] += eps
+                lp, _ = softmax_cross_entropy(perturbed, labels)
+                perturbed[i, j] -= 2 * eps
+                lm, _ = softmax_cross_entropy(perturbed, labels)
+                numeric = (lp - lm) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-6)
+
+
+class TestSGDConfig:
+    def test_fixed_policy(self):
+        cfg = SGDConfig(base_lr=0.1, lr_policy="fixed")
+        assert cfg.learning_rate(0) == cfg.learning_rate(1000) == 0.1
+
+    def test_step_policy(self):
+        cfg = SGDConfig(base_lr=0.1, lr_policy="step", lr_step=10, lr_gamma=0.5)
+        assert cfg.learning_rate(9) == 0.1
+        assert cfg.learning_rate(10) == pytest.approx(0.05)
+        assert cfg.learning_rate(25) == pytest.approx(0.025)
+
+    def test_inv_policy_decreases(self):
+        cfg = SGDConfig(base_lr=0.1, lr_policy="inv")
+        assert cfg.learning_rate(100) < cfg.learning_rate(0)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            SGDConfig(lr_policy="bogus").learning_rate(0)
+
+    def test_layer_lr_exact_beats_glob(self):
+        cfg = SGDConfig(lr_multipliers={"*": 0.0, "fc2": 1.0})
+        assert cfg.layer_lr_scale("fc2") == 1.0
+        assert cfg.layer_lr_scale("conv1") == 0.0
+
+    def test_to_dict_roundtrip(self):
+        cfg = SGDConfig(base_lr=0.3, lr_multipliers={"a": 0.5})
+        rebuilt = SGDConfig(**cfg.to_dict())
+        assert rebuilt.base_lr == 0.3
+        assert rebuilt.lr_multipliers == {"a": 0.5}
+
+
+class TestTrainer:
+    def test_requires_built_network(self, digits):
+        net = tiny_mlp(input_shape=digits.input_shape, num_classes=10)
+        with pytest.raises(RuntimeError):
+            Trainer(net, SGDConfig())
+
+    def test_loss_decreases(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        result = Trainer(net, SGDConfig(epochs=3, base_lr=0.1)).fit(
+            digits.x_train, digits.y_train, measure_every=5
+        )
+        first = result.log[0]["loss"]
+        assert result.final_loss < first * 0.7
+
+    def test_accuracy_above_chance(self, trained_lenet, digits):
+        net, result, _ = trained_lenet
+        assert result.final_accuracy > 0.6
+        assert accuracy(net, digits.x_test, digits.y_test) == pytest.approx(
+            result.final_accuracy
+        )
+
+    def test_top_k_accuracy_monotone(self, trained_lenet, digits):
+        net, _, _ = trained_lenet
+        top1 = top_k_accuracy(net, digits.x_test, digits.y_test, k=1)
+        top5 = top_k_accuracy(net, digits.x_test, digits.y_test, k=5)
+        assert top5 >= top1
+
+    def test_snapshots_recorded(self, trained_lenet):
+        _, result, config = trained_lenet
+        assert len(result.snapshots) >= 2
+        iterations = [it for it, _ in result.snapshots]
+        assert iterations == sorted(iterations)
+        # Final snapshot equals current network weights.
+        assert config.snapshot_every > 0
+
+    def test_final_snapshot_matches_network(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        result = Trainer(net, SGDConfig(epochs=1)).fit(
+            digits.x_train, digits.y_train
+        )
+        _, weights = result.snapshots[-1]
+        np.testing.assert_array_equal(
+            weights["fc1"]["W"], net["fc1"].params["W"]
+        )
+
+    def test_frozen_layer_unchanged(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        frozen = net["fc1"].params["W"].copy()
+        cfg = SGDConfig(epochs=1, lr_multipliers={"fc1": 0.0})
+        Trainer(net, cfg).fit(digits.x_train, digits.y_train)
+        np.testing.assert_array_equal(net["fc1"].params["W"], frozen)
+        assert not np.array_equal(
+            net["fc2"].params["W"], tiny_mlp(
+                input_shape=digits.input_shape,
+                num_classes=digits.num_classes,
+            ).build(0)["fc2"].params["W"],
+        )
+
+    def test_early_stop_callback(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        seen = []
+        result = Trainer(net, SGDConfig(epochs=10)).fit(
+            digits.x_train,
+            digits.y_train,
+            callback=lambda it, loss: seen.append(it) or it >= 3,
+        )
+        assert max(seen) == 3
+        assert result.snapshots[-1][0] == 3
+
+    def test_loss_at_lookup(self, trained_lenet):
+        _, result, _ = trained_lenet
+        assert result.loss_at(-1) == math.inf
+        last_iteration = result.log[-1]["iteration"]
+        assert result.loss_at(last_iteration) == result.log[-1]["loss"]
+
+    def test_nesterov_also_learns(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        result = Trainer(
+            net, SGDConfig(epochs=3, base_lr=0.1, nesterov=True)
+        ).fit(digits.x_train, digits.y_train, measure_every=5)
+        assert result.final_loss < result.log[0]["loss"] * 0.7
+
+    def test_grad_clip_bounds_update(self, digits):
+        net = tiny_mlp(
+            input_shape=digits.input_shape, num_classes=digits.num_classes
+        ).build(0)
+        before = net["fc2"].params["W"].copy()
+        clip = 1e-4
+        trainer = Trainer(
+            net, SGDConfig(base_lr=1.0, momentum=0.0, grad_clip=clip,
+                           weight_decay=0.0)
+        )
+        trainer.train_step(digits.x_train[:16], digits.y_train[:16], 0)
+        step = net["fc2"].params["W"] - before
+        # Update norm is at most lr * clip (single step, no momentum).
+        assert np.linalg.norm(step) <= 1.0 * clip * 1.01
+
+    def test_confusion_matrix_and_per_class(self, trained_lenet, digits):
+        net, _, _ = trained_lenet
+        matrix = confusion_matrix(
+            net, digits.x_test, digits.y_test, digits.num_classes
+        )
+        assert matrix.sum() == len(digits.x_test)
+        overall = np.trace(matrix) / matrix.sum()
+        assert overall == pytest.approx(
+            accuracy(net, digits.x_test, digits.y_test)
+        )
+        per_class = per_class_accuracy(
+            net, digits.x_test, digits.y_test, digits.num_classes
+        )
+        assert per_class.shape == (digits.num_classes,)
+        assert np.all((per_class >= 0) & (per_class <= 1))
+
+    def test_training_is_deterministic(self, digits):
+        def run():
+            net = tiny_mlp(
+                input_shape=digits.input_shape,
+                num_classes=digits.num_classes,
+            ).build(5)
+            Trainer(net, SGDConfig(epochs=1, seed=3)).fit(
+                digits.x_train, digits.y_train
+            )
+            return net["fc2"].params["W"].copy()
+
+        np.testing.assert_array_equal(run(), run())

@@ -1,0 +1,108 @@
+"""Model zoo tests: the Table I architecture grammar holds for our factories."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.dnn.zoo import (
+    MODEL_FACTORIES,
+    ZOO_ARCHITECTURES,
+    alexnet_mini,
+    build_model,
+    lenet,
+    resnet_mini,
+    tiny_mlp,
+    vgg_mini,
+)
+
+
+def grammar_to_regex(grammar: str) -> str:
+    """Translate Table I's layer grammar into a regex over kind initials.
+
+    ``(LconvLpool){2}Lip{2}`` -> ``(CP){2}F{2}`` etc., where C=CONV,
+    P=POOL, F=FULL.
+    """
+    out = grammar
+    out = out.replace("Lconv", "C").replace("Lpool", "P").replace("Lip", "F")
+    return "^" + out + "$"
+
+
+def kind_string(net) -> str:
+    order = net.topological_order()
+    initials = {"CONV": "C", "POOL": "P", "FULL": "F"}
+    return "".join(
+        initials[net[name].kind]
+        for name in order
+        if net[name].kind in initials
+    )
+
+
+class TestTableI:
+    def test_table_contents(self):
+        assert set(ZOO_ARCHITECTURES) == {"LeNet", "AlexNet", "VGG", "ResNet"}
+        assert ZOO_ARCHITECTURES["LeNet"]["params"] == pytest.approx(4.31e5)
+        assert ZOO_ARCHITECTURES["VGG"]["params"] == pytest.approx(1.96e10)
+
+    def test_lenet_matches_grammar(self):
+        net = lenet()
+        pattern = grammar_to_regex(ZOO_ARCHITECTURES["LeNet"]["regex"])
+        assert re.match(pattern, kind_string(net))
+
+    def test_alexnet_matches_grammar(self):
+        net = alexnet_mini()
+        pattern = grammar_to_regex(ZOO_ARCHITECTURES["AlexNet"]["regex"])
+        assert re.match(pattern, kind_string(net))
+
+    def test_vgg_blocks_follow_shape(self):
+        """vgg_mini keeps the (conv{2} pool){2} prefix of the VGG grammar."""
+        net = vgg_mini()
+        kinds = kind_string(net)
+        assert kinds.startswith("CCPCCP")
+        assert kinds.endswith("FFF")
+
+    def test_resnet_matches_grammar(self):
+        """resnet_mini follows (CP)(C){n}PF with a configurable chain depth."""
+        net = resnet_mini(depth=10)
+        kinds = kind_string(net)
+        assert kinds == "CP" + "C" * 10 + "PF"
+
+    def test_resnet_depth_validated(self):
+        with pytest.raises(ValueError):
+            resnet_mini(depth=0)
+
+
+class TestFactories:
+    @pytest.mark.parametrize("name", sorted(MODEL_FACTORIES))
+    def test_build_and_forward(self, name):
+        net = build_model(name, seed=0)
+        x = np.random.default_rng(0).standard_normal(
+            (2, *net.input_shape)
+        ).astype(np.float32)
+        out = net.forward(x)
+        assert out.shape[0] == 2
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(2), rtol=1e-5)
+
+    def test_unknown_factory(self):
+        with pytest.raises(KeyError):
+            build_model("resnet-9000")
+
+    def test_lenet_paper_scale_on_28x28(self):
+        """At 28x28 LeNet has the classic ~431K parameters (Fig. 2)."""
+        net = lenet(input_shape=(1, 28, 28), num_classes=10).build(0)
+        assert net.param_count() == pytest.approx(431080, rel=0.01)
+
+    def test_scale_parameter_shrinks_models(self):
+        big = lenet(scale=1.0).build(0)
+        small = lenet(scale=0.25).build(0)
+        assert small.param_count() < big.param_count()
+
+    def test_seed_controls_initialization(self):
+        a = lenet().build(1)["conv1"].params["W"]
+        b = lenet().build(2)["conv1"].params["W"]
+        assert not np.array_equal(a, b)
+
+    def test_num_classes_respected(self):
+        net = tiny_mlp(num_classes=7).build(0)
+        x = np.zeros((1, *net.input_shape), np.float32)
+        assert net.forward(x).shape == (1, 7)

@@ -1,0 +1,260 @@
+"""DQL executor integration tests: Queries 1-4 against a live repository."""
+
+import numpy as np
+import pytest
+
+from repro.dnn.training import SGDConfig, Trainer
+from repro.dnn.zoo import alexnet_mini
+from repro.dql.executor import DQLExecutor, ExecutionError
+
+
+@pytest.fixture(scope="module")
+def digits16():
+    from repro.dnn.data import synthetic_digits
+
+    return synthetic_digits(size=16, train_per_class=20, test_per_class=5)
+
+
+@pytest.fixture
+def populated(repo, digits16):
+    """Three alexnet-family versions committed with training artifacts."""
+    for i in range(3):
+        net = alexnet_mini(
+            input_shape=digits16.input_shape,
+            num_classes=digits16.num_classes,
+            name=f"alexnet-origin{i}",
+        ).build(i)
+        config = SGDConfig(epochs=1, base_lr=0.03, seed=i)
+        result = Trainer(net, config).fit(
+            digits16.x_train, digits16.y_train,
+            digits16.x_test, digits16.y_test,
+        )
+        repo.commit(
+            net, name=f"alexnet-origin{i}", train_result=result,
+            hyperparams=config.to_dict(),
+        )
+    return repo
+
+
+@pytest.fixture
+def executor(populated):
+    return DQLExecutor(populated)
+
+
+class TestSelect:
+    def test_name_like(self, executor):
+        result = executor.run('select m1 where m1.name like "alexnet%"')
+        assert len(result.versions) == 3
+
+    def test_graph_condition(self, executor):
+        result = executor.run(
+            'select m1 where m1["conv[1,3,5]"].next has RELU()'
+        )
+        assert len(result.versions) == 3
+        result = executor.run(
+            'select m1 where m1["conv1"].next has POOL("MAX")'
+        )
+        assert len(result.versions) == 0  # conv1 is followed by relu1
+
+    def test_metadata_comparison(self, executor):
+        result = executor.run("select m1 where m1.final_accuracy >= 0.0")
+        assert len(result.versions) == 3
+        result = executor.run("select m1 where m1.final_accuracy > 1.5")
+        assert len(result.versions) == 0
+
+    def test_or_condition(self, executor):
+        result = executor.run(
+            'select m1 where m1.name like "alexnet-origin0" or '
+            'm1.name like "alexnet-origin1"'
+        )
+        assert len(result.versions) == 2
+
+    def test_no_where_returns_all(self, executor):
+        assert len(executor.run("select m1").versions) == 3
+
+    def test_not_condition(self, executor):
+        result = executor.run(
+            'select m1 where not m1.name like "alexnet-origin0"'
+        )
+        assert {v.name for v in result.versions} == {
+            "alexnet-origin1", "alexnet-origin2",
+        }
+
+    def test_not_graph_condition(self, executor):
+        result = executor.run(
+            'select m1 where not m1["conv1"].next has POOL("MAX")'
+        )
+        assert len(result.versions) == 3  # conv1 is followed by relu
+
+    def test_unbound_variable_rejected(self, executor):
+        with pytest.raises(ExecutionError, match="unbound"):
+            executor.run('select m1 where m2.name like "x"')
+
+
+class TestSlice:
+    def test_paper_query2(self, executor):
+        result = executor.run(
+            'slice m2 from m1 where m1.name like "alexnet-origin%" '
+            'mutate m2.input = m1["conv1"] and m2.output = m1["fc7"]'
+        )
+        assert len(result.networks) == 3
+        sliced = result.networks[0]
+        assert sliced.node_names()[0] == "conv1"
+        assert sliced.output_name == "fc7"
+
+    def test_sliced_network_is_runnable(self, executor, digits16):
+        result = executor.run(
+            'slice m2 from m1 where m1.name like "alexnet-origin0" '
+            'mutate m2.input = m1["conv1"] and m2.output = m1["fc6"]'
+        )
+        sliced = result.networks[0]
+        out = sliced.forward(digits16.x_test[:4])
+        assert out.shape[0] == 4
+
+    def test_ambiguous_endpoint_skips_version(self, executor):
+        result = executor.run(
+            'slice m2 from m1 '
+            'mutate m2.input = m1["conv*"] and m2.output = m1["fc7"]'
+        )
+        assert result.networks == []
+
+
+class TestConstruct:
+    def test_paper_query3_shape(self, executor):
+        result = executor.run(
+            'construct m2 from m1 '
+            'where m1.name like "alexnet-origin0%" and '
+            'm1["conv*($1)"].next has RELU() '
+            'mutate m1["conv*($1)"].insert = DROPOUT("drop$1")',
+            name="query3",
+        )
+        assert len(result.networks) == 1
+        derived = result.networks[0]
+        inserted = [n for n in derived.node_names() if n.startswith("drop")]
+        assert len(inserted) == 6  # all six convs are followed by ReLU
+        assert derived.is_built
+
+    def test_anchor_filter_restricts_insertion(self, executor):
+        """Only convs followed by a MAX pool get the insert (none here,
+        since every conv is followed by relu)."""
+        result = executor.run(
+            'construct m2 from m1 '
+            'where m1.name like "alexnet-origin0" and '
+            'm1["conv*($1)"].next has POOL("MAX") '
+            'mutate m1["conv*($1)"].insert = DROPOUT("drop$1")'
+        )
+        assert result.networks == []  # no anchors satisfied -> no mutation
+
+    def test_delete_mutation(self, executor):
+        result = executor.run(
+            'construct m2 from m1 where m1.name like "alexnet-origin0" '
+            'mutate m1["relu[5,6]"].delete'
+        )
+        derived = result.networks[0]
+        assert "relu5" not in derived and "relu6" not in derived
+        assert derived.is_built
+
+    def test_construct_from_nested_select(self, executor):
+        result = executor.run(
+            'construct m2 from (select m1 where m1.name like "alexnet-origin0") '
+            'mutate m1["relu6"].delete'
+        )
+        assert len(result.networks) == 1
+        assert "relu6" not in result.networks[0]
+
+    def test_slice_from_nested_select(self, executor):
+        result = executor.run(
+            'slice m2 from (select m1 where m1.name like "alexnet-origin[0,1]") '
+            'mutate m2.input = m1["conv1"] and m2.output = m1["fc6"]'
+        )
+        assert len(result.networks) == 2
+
+    def test_construct_preserves_trained_weights(self, executor, populated):
+        original = populated.load_network("alexnet-origin0")
+        result = executor.run(
+            'construct m2 from m1 where m1.name like "alexnet-origin0" '
+            'mutate m1["relu6"].delete'
+        )
+        derived = result.networks[0]
+        np.testing.assert_array_equal(
+            derived["conv1"].params["W"], original["conv1"].params["W"]
+        )
+
+
+class TestEvaluate:
+    def config(self):
+        return {
+            "input_data": "synthetic-digits",
+            "data_size": 16,
+            "epochs": 1,
+            "base_lr": 0.05,
+            "batch_size": 32,
+        }
+
+    def test_paper_query4_pipeline(self, executor):
+        executor.run(
+            'construct m2 from m1 where m1.name like "alexnet-origin0" '
+            'mutate m1["relu6"].delete',
+            name="query3",
+        )
+        executor.register_config("cfg", self.config())
+        result = executor.run(
+            'evaluate m from "query3" with config = "cfg" '
+            "vary config.base_lr in [0.1, 0.01] "
+            'keep top(1, m["loss"], 8)'
+        )
+        assert len(result.evaluations) == 1
+        row = result.evaluations[0]
+        assert set(row) >= {"model", "overrides", "loss", "accuracy"}
+
+    def test_vary_grid_size(self, executor):
+        executor.register_config("cfg", self.config())
+        result = executor.run(
+            'evaluate m from (select m1 where m1.name like "alexnet-origin0") '
+            'with config = "cfg" '
+            "vary config.base_lr in [0.1, 0.01] and "
+            "config.batch_size in [16, 32] "
+            'keep top(10, m["loss"], 4)'
+        )
+        assert len(result.evaluations) == 4
+
+    def test_name_pattern_source(self, executor):
+        executor.register_config("cfg", self.config())
+        result = executor.run(
+            'evaluate m from "alexnet-origin1" with config = "cfg" '
+            'keep top(1, m["loss"], 4)'
+        )
+        assert len(result.evaluations) == 1
+
+    def test_unknown_source_rejected(self, executor):
+        executor.register_config("cfg", self.config())
+        with pytest.raises(ExecutionError, match="neither"):
+            executor.run('evaluate m from "ghost-%" with config = "cfg"')
+
+    def test_commit_kept_writes_versions(self, populated):
+        executor = DQLExecutor(populated, commit_kept=True)
+        executor.register_config("cfg", self.config())
+        before = len(populated.list_versions())
+        executor.run(
+            'evaluate m from "alexnet-origin2" with config = "cfg" '
+            'keep top(1, m["loss"], 4)'
+        )
+        assert len(populated.list_versions()) == before + 1
+
+    def test_shape_mismatch_clear_error(self, executor):
+        executor.register_config(
+            "bad", {**self.config(), "data_size": 12}
+        )
+        with pytest.raises(ExecutionError, match="data_size"):
+            executor.run(
+                'evaluate m from "alexnet-origin0" with config = "bad"'
+            )
+
+
+class TestResultSerialization:
+    def test_to_dict_shapes(self, executor):
+        result = executor.run('select m1 where m1.name like "alexnet%"')
+        data = result.to_dict()
+        assert data["kind"] == "select"
+        assert len(data["versions"]) == 3
+        assert data["networks"] == []

@@ -1,0 +1,159 @@
+"""Hyperparameter enumeration tests: vary expansion, configs, keep rules."""
+
+import json
+
+import pytest
+
+from repro.dql.ast_nodes import KeepClause, Path, VaryClause
+from repro.dql.hyperparams import (
+    AUTO_GRIDS,
+    ConfigError,
+    apply_keep,
+    dataset_from_config,
+    expand_vary,
+    load_config,
+    metric_name,
+    solver_from_config,
+)
+
+
+class TestLoadConfig:
+    def test_registry_wins(self):
+        cfg = load_config("name", {"name": {"base_lr": 0.5}})
+        assert cfg["base_lr"] == 0.5
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps({"epochs": 3}))
+        assert load_config(str(path))["epochs"] == 3
+
+    def test_missing_raises(self):
+        with pytest.raises(ConfigError):
+            load_config("/nonexistent/cfg.json")
+
+
+class TestExpandVary:
+    def test_no_clauses_single_config(self):
+        configs = expand_vary({"base_lr": 0.1}, ())
+        assert len(configs) == 1
+        assert configs[0]["_overrides"] == {}
+
+    def test_cartesian_product(self):
+        clauses = (
+            VaryClause(("base_lr",), (0.1, 0.01)),
+            VaryClause(("batch_size",), (16, 32, 64)),
+        )
+        configs = expand_vary({}, clauses)
+        assert len(configs) == 6
+        combos = {
+            (c["base_lr"], c["batch_size"]) for c in configs
+        }
+        assert (0.01, 64) in combos
+
+    def test_net_lr_target_sets_multiplier(self):
+        clauses = (VaryClause(("net", "conv*", "lr"), (0.5,)),)
+        configs = expand_vary({}, clauses)
+        assert configs[0]["lr_multipliers"] == {"conv*": 0.5}
+
+    def test_auto_uses_default_grid(self):
+        clauses = (VaryClause(("base_lr",), auto=True),)
+        configs = expand_vary({}, clauses)
+        assert len(configs) == len(AUTO_GRIDS["base_lr"])
+
+    def test_auto_without_grid_raises(self):
+        with pytest.raises(ConfigError):
+            expand_vary({}, (VaryClause(("mystery",), auto=True),))
+
+    def test_unsupported_target_raises(self):
+        with pytest.raises(ConfigError):
+            expand_vary({}, (VaryClause(("net", "x", "momentum"), (1,)),))
+
+    def test_overrides_recorded(self):
+        clauses = (VaryClause(("base_lr",), (0.1,)),)
+        configs = expand_vary({}, clauses)
+        assert configs[0]["_overrides"] == {"config.base_lr": 0.1}
+
+
+class TestSolverFromConfig:
+    def test_maps_fields(self):
+        solver = solver_from_config(
+            {"base_lr": 0.3, "epochs": 7, "lr_multipliers": {"a": 0.1},
+             "input_data": "ignored-key"}
+        )
+        assert solver.base_lr == 0.3
+        assert solver.epochs == 7
+        assert solver.lr_multipliers == {"a": 0.1}
+
+
+class TestDatasetFromConfig:
+    def test_builtin_names(self):
+        ds = dataset_from_config({"input_data": "synthetic-digits"})
+        assert ds.num_classes == 10
+
+    def test_data_size_knob(self):
+        ds = dataset_from_config(
+            {"input_data": "synthetic-digits", "data_size": 16}
+        )
+        assert ds.input_shape == (1, 16, 16)
+
+    def test_npz_path(self, tmp_path, digits):
+        import numpy as np
+
+        path = tmp_path / "ds.npz"
+        np.savez(
+            path,
+            x_train=digits.x_train, y_train=digits.y_train,
+            x_test=digits.x_test, y_test=digits.y_test,
+        )
+        ds = dataset_from_config({"input_data": str(path)})
+        assert ds.num_classes == digits.num_classes
+
+    def test_npz_missing_arrays(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "bad.npz"
+        np.savez(path, x_train=np.zeros(3))
+        with pytest.raises(ConfigError, match="missing"):
+            dataset_from_config({"input_data": str(path)})
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            dataset_from_config({"input_data": "imagenet"})
+
+
+class TestKeep:
+    def evals(self):
+        return [
+            {"model": "a", "loss": 0.5, "accuracy": 0.8},
+            {"model": "b", "loss": 0.2, "accuracy": 0.9},
+            {"model": "c", "loss": 0.9, "accuracy": 0.6},
+        ]
+
+    def test_top_k_by_loss_ascending(self):
+        keep = KeepClause("top", k=2, metric=Path("m", "loss"), iterations=10)
+        kept = apply_keep(self.evals(), keep)
+        assert [e["model"] for e in kept] == ["b", "a"]
+
+    def test_top_k_by_accuracy_descending(self):
+        keep = KeepClause("top", k=1, metric=Path("m", "accuracy"), iterations=10)
+        kept = apply_keep(self.evals(), keep)
+        assert kept[0]["model"] == "b"
+
+    def test_threshold(self):
+        keep = KeepClause(
+            "threshold", metric=Path("m", "accuracy"), op=">", value=0.7
+        )
+        kept = apply_keep(self.evals(), keep)
+        assert {e["model"] for e in kept} == {"a", "b"}
+
+    def test_none_keeps_all(self):
+        assert len(apply_keep(self.evals(), None)) == 3
+
+    def test_metric_name_from_selector(self):
+        assert metric_name(
+            KeepClause("top", metric=Path("m", "loss"))
+        ) == "loss"
+        assert metric_name(
+            KeepClause("top", metric=Path("m", None, ("accuracy",)))
+        ) == "accuracy"
+        assert metric_name(KeepClause("top")) == "loss"

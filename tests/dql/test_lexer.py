@@ -1,0 +1,83 @@
+"""DQL lexer tests."""
+
+import pytest
+
+from repro.dql.lexer import LexError, Token, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestTokenKinds:
+    def test_keywords_case_insensitive(self):
+        assert values("SELECT Where AND") == ["select", "where", "and"]
+        assert kinds("select")[:1] == ["keyword"]
+
+    def test_identifiers(self):
+        tokens = tokenize("m1 conv_3 alex-net")
+        assert [t.kind for t in tokens[:-1]] == ["ident"] * 3
+        assert tokens[2].value == "alex-net"
+
+    def test_strings_unquote_and_unescape(self):
+        tokens = tokenize('"hello" "es\\"c"')
+        assert tokens[0].value == "hello"
+        assert tokens[1].value == 'es"c'
+
+    def test_numbers(self):
+        assert values("5 0.01 -3 1e-3") == [5, 0.01, -3, 0.001]
+        assert isinstance(tokenize("5")[0].value, int)
+        assert isinstance(tokenize("5.0")[0].value, float)
+
+    def test_operators(self):
+        assert values("= != < <= > >=") == ["=", "!=", "<", "<=", ">", ">="]
+
+    def test_punctuation(self):
+        assert kinds('m1["x"].next') == [
+            "ident", "lbracket", "string", "rbracket", "dot", "ident", "eof",
+        ]
+
+    def test_eof_always_appended(self):
+        assert tokenize("")[-1].kind == "eof"
+        assert tokenize("select")[-1].kind == "eof"
+
+    def test_positions_recorded(self):
+        tokens = tokenize("select m1")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+
+class TestErrors:
+    def test_unlexable_character(self):
+        with pytest.raises(LexError, match="offset"):
+            tokenize("select m1 where x ~ 3")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('select "oops')
+
+
+class TestFullQueries:
+    def test_paper_query1_tokenizes(self):
+        text = (
+            'select m1 where m1.name like "alexnet_%" and '
+            'm1.creation_time > "2015-11-22" and '
+            'm1["conv[1,3,5]"].next has POOL("MAX")'
+        )
+        tokens = tokenize(text)
+        assert tokens[-1].kind == "eof"
+        assert Token("keyword", "has", 0).value in [t.value for t in tokens]
+
+    def test_paper_query4_tokenizes(self):
+        text = (
+            'evaluate m from "query3" with config = "path" '
+            "vary config.base_lr in [0.1, 0.01, 0.001] and "
+            'config.net["conv*"].lr auto keep top(5, m["loss"], 100)'
+        )
+        tokens = tokenize(text)
+        assert "auto" in [t.value for t in tokens]
+        assert "top" in [t.value for t in tokens]

@@ -1,0 +1,215 @@
+"""DQL parser tests — including the paper's Queries 1-4 verbatim."""
+
+import pytest
+
+from repro.dql.ast_nodes import (
+    BoolOp,
+    Comparison,
+    ConstructQuery,
+    EvaluateQuery,
+    HasClause,
+    SelectQuery,
+    SliceQuery,
+)
+from repro.dql.parser import ParseError, parse
+
+PAPER_QUERY_1 = """
+select m1
+where m1.name like "alexnet_%" and
+      m1.creation_time > "2015-11-22" and
+      m1["conv[1,3,5]"].next has POOL("MAX")
+"""
+
+PAPER_QUERY_2 = """
+slice m2 from m1
+where m1.name like "alexnet-origin%"
+mutate m2.input = m1["conv1"] and
+       m2.output = m1["fc7"]
+"""
+
+PAPER_QUERY_3 = """
+construct m2 from m1
+where m1.name like "alexnet-avgv1%" and
+      m1["conv*($1)"].next has POOL("AVG")
+mutate m1["conv*($1)"].insert = RELU("relu$1")
+"""
+
+PAPER_QUERY_4 = """
+evaluate m
+from "query3"
+with config = "path to config"
+vary config.base_lr in [0.1, 0.01, 0.001] and
+     config.net["conv*"].lr auto and
+     config.input_data in ["path1", "path2"]
+keep top(5, m["loss"], 100)
+"""
+
+
+class TestPaperQueries:
+    def test_query1(self):
+        q = parse(PAPER_QUERY_1)
+        assert isinstance(q, SelectQuery)
+        assert q.var == "m1"
+        assert isinstance(q.where, BoolOp) and q.where.op == "and"
+        name_cond, time_cond, has_cond = q.where.operands
+        assert isinstance(name_cond, Comparison)
+        assert name_cond.op == "like" and name_cond.value == "alexnet_%"
+        assert time_cond.op == ">" and time_cond.value == "2015-11-22"
+        assert isinstance(has_cond, HasClause)
+        assert has_cond.path.selector == "conv[1,3,5]"
+        assert has_cond.path.attrs == ("next",)
+        assert has_cond.template.kind == "POOL"
+        assert has_cond.template.arg == "MAX"
+
+    def test_query2(self):
+        q = parse(PAPER_QUERY_2)
+        assert isinstance(q, SliceQuery)
+        assert q.new_var == "m2" and q.source_var == "m1"
+        assert q.input_path.selector == "conv1"
+        assert q.output_path.selector == "fc7"
+
+    def test_query3(self):
+        q = parse(PAPER_QUERY_3)
+        assert isinstance(q, ConstructQuery)
+        assert len(q.mutations) == 1
+        mutation = q.mutations[0]
+        assert mutation.action == "insert"
+        assert mutation.anchor.selector == "conv*($1)"
+        assert mutation.template.kind == "RELU"
+        assert mutation.template.arg == "relu$1"
+
+    def test_query4(self):
+        q = parse(PAPER_QUERY_4)
+        assert isinstance(q, EvaluateQuery)
+        assert q.source == "query3"
+        assert q.config_ref == "path to config"
+        assert len(q.vary) == 3
+        assert q.vary[0].target == ("base_lr",)
+        assert q.vary[0].values == (0.1, 0.01, 0.001)
+        assert q.vary[1].target == ("net", "conv*", "lr")
+        assert q.vary[1].auto
+        assert q.vary[2].target == ("input_data",)
+        assert q.keep.mode == "top"
+        assert q.keep.k == 5 and q.keep.iterations == 100
+
+
+class TestSelect:
+    def test_no_where(self):
+        q = parse("select m")
+        assert q.where is None
+
+    def test_or_precedence(self):
+        q = parse('select m where m.a = 1 and m.b = 2 or m.c = 3')
+        assert isinstance(q.where, BoolOp) and q.where.op == "or"
+        left = q.where.operands[0]
+        assert isinstance(left, BoolOp) and left.op == "and"
+
+    def test_parenthesized_condition(self):
+        q = parse('select m where m.a = 1 and (m.b = 2 or m.c = 3)')
+        assert q.where.op == "and"
+        assert q.where.operands[1].op == "or"
+
+    def test_not_condition(self):
+        q = parse('select m where not m.name like "x%"')
+        assert isinstance(q.where, BoolOp) and q.where.op == "not"
+        assert q.where.operands[0].op == "like"
+
+    def test_not_binds_tighter_than_and(self):
+        q = parse('select m where not m.a = 1 and m.b = 2')
+        assert q.where.op == "and"
+        assert q.where.operands[0].op == "not"
+
+    def test_not_over_parenthesized_group(self):
+        q = parse('select m where not (m.a = 1 or m.b = 2)')
+        assert q.where.op == "not"
+        assert q.where.operands[0].op == "or"
+
+
+class TestSlice:
+    def test_missing_output_rejected(self):
+        with pytest.raises(ParseError, match="missing"):
+            parse('slice m2 from m1 mutate m2.input = m1["a"]')
+
+    def test_wrong_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse(
+                'slice m2 from m1 mutate m3.input = m1["a"] and '
+                'm2.output = m1["b"]'
+            )
+
+
+class TestConstruct:
+    def test_delete_without_template(self):
+        q = parse('construct m2 from m1 mutate m1["drop*"].delete')
+        assert q.mutations[0].action == "delete"
+        assert q.mutations[0].template is None
+
+    def test_delete_with_template(self):
+        q = parse('construct m2 from m1 mutate m1["conv*"].delete = POOL("MAX")')
+        assert q.mutations[0].template.kind == "POOL"
+
+    def test_insert_requires_template(self):
+        with pytest.raises(ParseError, match="template"):
+            parse('construct m2 from m1 mutate m1["conv*"].insert')
+
+    def test_multiple_mutations(self):
+        q = parse(
+            'construct m2 from m1 mutate m1["a"].insert = RELU("r") '
+            'and m1["b"].delete'
+        )
+        assert len(q.mutations) == 2
+
+
+class TestNestedSources:
+    def test_slice_from_subquery(self):
+        q = parse(
+            'slice m2 from (select m1 where m1.name like "a%") '
+            'mutate m2.input = m1["conv1"] and m2.output = m1["fc7"]'
+        )
+        assert isinstance(q.source_query, SelectQuery)
+        assert q.source_var == "m1"
+
+    def test_construct_from_subquery(self):
+        q = parse(
+            'construct m2 from (select m1 where m1.accuracy > 0.5) '
+            'mutate m1["conv*"].delete'
+        )
+        assert isinstance(q.source_query, SelectQuery)
+
+
+class TestEvaluate:
+    def test_nested_subquery_source(self):
+        q = parse(
+            'evaluate m from (select m1 where m1.name like "x%") '
+            'with config = "c"'
+        )
+        assert isinstance(q.source, SelectQuery)
+
+    def test_threshold_keep(self):
+        q = parse(
+            'evaluate m from "r" with config = "c" keep m["accuracy"] > 0.8'
+        )
+        assert q.keep.mode == "threshold"
+        assert q.keep.op == ">" and q.keep.value == 0.8
+
+    def test_no_vary_no_keep(self):
+        q = parse('evaluate m from "r" with config = "c"')
+        assert q.vary == () and q.keep is None
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse("evaluate m from m1 with config = \"c\"")
+
+
+class TestErrors:
+    def test_unknown_verb(self):
+        with pytest.raises(ParseError):
+            parse("drop m1")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("select m1 extra")
+
+    def test_error_mentions_offset(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse("select m1 where m1.name like like")

@@ -1,0 +1,63 @@
+"""Parser robustness: arbitrary input must fail cleanly, never crash.
+
+Hypothesis feeds the parser random text and random token soups; the only
+acceptable outcomes are a parsed query or a ``ParseError``/``LexError``
+with a useful message — no other exception types, no hangs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dql.lexer import LexError, tokenize
+from repro.dql.parser import ParseError, parse
+
+TOKENS = [
+    "select", "slice", "construct", "evaluate", "from", "where", "mutate",
+    "with", "vary", "keep", "and", "or", "not", "has", "like", "in", "auto",
+    "top", "m1", "m2", "config", "name", "next", "prev", "insert", "delete",
+    '"alexnet%"', '"conv1"', '"conv*($1)"', "0.1", "5", "(", ")", "[", "]",
+    ",", ".", "=", ">", "<", ">=", "<=", "!=",
+]
+
+
+class TestFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.sampled_from(TOKENS), min_size=1, max_size=12))
+    def test_token_soup_fails_cleanly(self, tokens):
+        text = " ".join(tokens)
+        try:
+            parse(text)
+        except (ParseError, LexError):
+            pass  # clean rejection
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_text_fails_cleanly(self, text):
+        try:
+            parse(text)
+        except (ParseError, LexError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(alphabet="select m1.[]()\"*$%0123_ ", max_size=80))
+    def test_punctuation_storm_fails_cleanly(self, text):
+        try:
+            parse(text)
+        except (ParseError, LexError):
+            pass
+
+
+class TestLexerTotality:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=100))
+    def test_tokenize_total_or_lex_error(self, text):
+        try:
+            tokens = tokenize(text)
+        except LexError:
+            return
+        assert tokens[-1].kind == "eof"
+
+    def test_error_messages_carry_offsets(self):
+        with pytest.raises(ParseError, match="offset"):
+            parse("select m1 where m1.name like 5 like")

@@ -1,0 +1,146 @@
+"""Selector pattern, traversal, and template tests."""
+
+import pytest
+
+from repro.dnn.layers import AvgPool2D, MaxPool2D, ReLU
+from repro.dnn.zoo import alexnet_mini, lenet
+from repro.dql.ast_nodes import Template
+from repro.dql.selector import (
+    SelectorError,
+    compile_selector,
+    instantiate_template,
+    resolve_single_node,
+    select_nodes,
+    substitute,
+    template_matches,
+    traverse,
+)
+
+
+class TestPatternCompilation:
+    @pytest.mark.parametrize(
+        "pattern,matches,rejects",
+        [
+            ("conv1", ["conv1"], ["conv10", "xconv1"]),
+            ("conv*", ["conv1", "conv10", "conv"], ["pool1"]),
+            ("conv[1,3,5]", ["conv1", "conv3", "conv5"], ["conv2"]),
+            ("conv?", ["conv1", "conv9"], ["conv10", "conv"]),
+            ("*pool*", ["maxpool1", "pool"], ["poo"]),
+        ],
+    )
+    def test_patterns(self, pattern, matches, rejects):
+        regex = compile_selector(pattern)
+        for name in matches:
+            assert regex.match(name), f"{pattern} should match {name}"
+        for name in rejects:
+            assert not regex.match(name), f"{pattern} should reject {name}"
+
+    def test_capture_groups(self):
+        regex = compile_selector("conv*($1)")
+        match = regex.match("conv13")
+        assert match.group("cap1") == "13"
+
+    def test_unclosed_class_rejected(self):
+        with pytest.raises(SelectorError):
+            compile_selector("conv[13")
+
+
+class TestSelectNodes:
+    def test_matches_in_topological_order(self):
+        net = lenet()
+        names = [n for n, _ in select_nodes(net, "conv*")]
+        assert names == ["conv1", "conv2"]
+
+    def test_captures_returned(self):
+        net = alexnet_mini()
+        matches = select_nodes(net, "conv*($1)")
+        assert ("conv3", {"$1": "3"}) in matches
+
+    def test_no_matches_empty(self):
+        net = lenet()
+        assert select_nodes(net, "bogus*") == []
+
+
+class TestTraversal:
+    def test_next(self):
+        net = lenet()
+        assert traverse(net, ["conv1"], "next") == ["pool1"]
+
+    def test_prev(self):
+        net = lenet()
+        assert traverse(net, ["pool1"], "prev") == ["conv1"]
+
+    def test_prev_of_first_is_empty(self):
+        net = lenet()
+        assert traverse(net, ["conv1"], "prev") == []
+
+    def test_deduplicates(self):
+        net = lenet()
+        hops = traverse(net, ["conv1", "conv1"], "next")
+        assert hops == ["pool1"]
+
+    def test_unknown_direction(self):
+        net = lenet()
+        with pytest.raises(SelectorError):
+            traverse(net, ["conv1"], "sideways")
+
+
+class TestTemplateMatching:
+    def test_pool_mode(self):
+        assert template_matches(MaxPool2D("p", 2), Template("POOL", "MAX"))
+        assert not template_matches(MaxPool2D("p", 2), Template("POOL", "AVG"))
+        assert template_matches(AvgPool2D("p", 2), Template("POOL", "AVG"))
+
+    def test_kind_only(self):
+        assert template_matches(ReLU("r"), Template("RELU"))
+        assert not template_matches(ReLU("r"), Template("POOL"))
+
+    def test_name_pattern_argument(self):
+        assert template_matches(ReLU("relu7"), Template("RELU", "relu*"))
+        assert not template_matches(ReLU("act"), Template("RELU", "relu*"))
+
+
+class TestSubstitution:
+    def test_basic(self):
+        assert substitute("relu$1", {"$1": "3"}) == "relu3"
+
+    def test_longest_key_first(self):
+        assert substitute("x$10-$1", {"$1": "A", "$10": "B"}) == "xB-A"
+
+
+class TestInstantiation:
+    def test_relu_with_captured_name(self):
+        layer = instantiate_template(
+            Template("RELU", "relu$1"), {"$1": "9"}, ReLU("anchor")
+        )
+        assert layer.kind == "RELU" and layer.name == "relu9"
+
+    def test_pool_mode_argument(self):
+        layer = instantiate_template(Template("POOL", "AVG"), {}, ReLU("a"))
+        assert isinstance(layer, AvgPool2D)
+
+    def test_conv_inherits_filters(self):
+        from repro.dnn.layers import Conv2D
+
+        anchor = Conv2D("conv1", filters=24, kernel=3)
+        layer = instantiate_template(Template("CONV", "conv_new"), {}, anchor)
+        assert layer.hyperparams["filters"] == 24
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SelectorError):
+            instantiate_template(Template("WARP"), {}, ReLU("a"))
+
+
+class TestResolveSingle:
+    def test_exactly_one(self):
+        net = lenet()
+        assert resolve_single_node(net, "conv1", "test") == "conv1"
+
+    def test_zero_or_many_rejected(self):
+        net = lenet()
+        with pytest.raises(SelectorError, match="matched 2"):
+            resolve_single_node(net, "conv*", "test")
+        with pytest.raises(SelectorError, match="matched 0"):
+            resolve_single_node(net, "none*", "test")
+        with pytest.raises(SelectorError):
+            resolve_single_node(net, None, "test")

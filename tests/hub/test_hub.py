@@ -1,0 +1,114 @@
+"""Hub server/client tests: publish, search, pull, revisions."""
+
+import pytest
+
+from repro.dlv.repository import Repository
+from repro.hub.client import HubClient
+from repro.hub.server import HubRecord, HubServer
+
+
+@pytest.fixture
+def hub(tmp_path):
+    return HubServer(tmp_path / "hub")
+
+
+@pytest.fixture
+def published(hub, repo, trained_tiny):
+    net, result, _ = trained_tiny
+    repo.commit(net.clone(), name="shared-model", train_result=result)
+    client = HubClient(hub)
+    record = client.publish(repo, "demo-repo", description="test models")
+    return hub, client, repo, record
+
+
+class TestPublish:
+    def test_record_fields(self, published):
+        _, _, _, record = published
+        assert record.name == "demo-repo"
+        assert record.revision == 1
+        assert record.model_names == ["shared-model"]
+        assert record.published_at
+
+    def test_republish_bumps_revision(self, published):
+        hub, client, repo, _ = published
+        record = client.publish(repo, "demo-repo")
+        assert record.revision == 2
+        assert hub.revisions("demo-repo") == [1, 2]
+
+    def test_record_roundtrip(self):
+        record = HubRecord("n", "d", 3, "t", ["m"])
+        assert HubRecord.from_dict(record.to_dict()) == record
+
+
+class TestSearch:
+    def test_by_name(self, published):
+        _, client, _, _ = published
+        assert [r.name for r in client.search("demo*")] == ["demo-repo"]
+
+    def test_by_model_name(self, published):
+        _, client, _, _ = published
+        assert client.search("shared-*")
+
+    def test_star_returns_all(self, published):
+        _, client, _, _ = published
+        assert len(client.search("*")) == 1
+
+    def test_no_match(self, published):
+        _, client, _, _ = published
+        assert client.search("nonexistent*") == []
+
+
+class TestPull:
+    def test_pulled_repo_is_usable(self, published, tmp_path, digits):
+        _, client, _, _ = published
+        pulled = client.pull_repository("demo-repo", tmp_path / "pulled")
+        versions = pulled.list_versions()
+        assert [v.name for v in versions] == ["shared-model"]
+        evaluation = pulled.evaluate(
+            "shared-model", digits.x_test[:10], digits.y_test[:10]
+        )
+        assert 0.0 <= evaluation["accuracy"] <= 1.0
+        pulled.close()
+
+    def test_pull_specific_revision(self, published, tmp_path):
+        _, client, repo, _ = published
+        client.publish(repo, "demo-repo")  # revision 2
+        path = client.pull("demo-repo", tmp_path / "rev1", revision=1)
+        assert Repository.open(path).list_versions()
+
+    def test_pull_unknown_raises(self, published, tmp_path):
+        _, client, _, _ = published
+        with pytest.raises(KeyError):
+            client.pull("ghost", tmp_path / "x")
+
+    def test_pull_into_existing_repo_rejected(self, published, tmp_path):
+        _, client, _, _ = published
+        client.pull("demo-repo", tmp_path / "dest")
+        with pytest.raises(FileExistsError):
+            client.pull("demo-repo", tmp_path / "dest")
+
+
+class TestServerManagement:
+    def test_delete(self, published):
+        hub, client, _, _ = published
+        assert hub.delete("demo-repo")
+        assert client.search("*") == []
+        assert not hub.delete("demo-repo")
+
+    def test_get_unknown_revision(self, published):
+        hub, _, _, _ = published
+        with pytest.raises(KeyError):
+            hub.get("demo-repo", revision=99)
+
+    def test_publishes_are_isolated_copies(self, published, trained_tiny):
+        """Later commits to the source repo do not alter a published copy."""
+        hub, client, repo, _ = published
+        net, result, _ = trained_tiny
+        repo.commit(net.clone(), name="post-publish", train_result=result)
+        source = hub.get("demo-repo", 1)
+        from repro.dlv.catalog import Catalog
+
+        catalog = Catalog(source / "catalog.db")
+        names = [v.name for v in catalog.find_versions()]
+        catalog.close()
+        assert names == ["shared-model"]

@@ -1,0 +1,69 @@
+"""RD synthetic storage graph tests."""
+
+import pytest
+
+from repro.core.archival import minimum_spanning_tree, shortest_path_tree
+from repro.core.storage_graph import ROOT
+from repro.lifecycle.synthetic_graph import synthetic_storage_graph
+
+
+class TestStructure:
+    def test_counts(self):
+        g = synthetic_storage_graph(
+            num_versions=3, snapshots_per_version=4, matrices_per_snapshot=5
+        )
+        assert g.num_matrices() == 3 * 4 * 5
+        assert len(g.snapshots) == 3 * 4
+        for members in g.snapshots.values():
+            assert len(members) == 5
+
+    def test_connected(self):
+        g = synthetic_storage_graph(num_versions=5)
+        g.validate_connected()
+
+    def test_every_matrix_has_materialization(self):
+        g = synthetic_storage_graph(num_versions=2, snapshots_per_version=2)
+        for matrix_id in g.matrices:
+            roots = [
+                e for e in g.incident_edges(matrix_id) if e.touches(ROOT)
+            ]
+            assert len(roots) == 1
+
+    def test_deterministic(self):
+        a = synthetic_storage_graph(seed=4)
+        b = synthetic_storage_graph(seed=4)
+        assert [
+            (e.u, e.v, e.storage_cost) for e in a.edges
+        ] == [(e.u, e.v, e.storage_cost) for e in b.edges]
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            synthetic_storage_graph(num_versions=0)
+
+
+class TestCostStructure:
+    def test_delta_ratio_controls_mst_savings(self):
+        """Lower delta ratio -> MST saves more storage vs SPT."""
+        def savings(ratio):
+            g = synthetic_storage_graph(delta_ratio=ratio, seed=9)
+            mst = minimum_spanning_tree(g).storage_cost()
+            spt = shortest_path_tree(g).storage_cost()
+            return mst / spt
+
+        assert savings(0.2) < savings(0.8)
+
+    def test_chain_deltas_beat_materialization_in_mst(self):
+        g = synthetic_storage_graph(delta_ratio=0.3, seed=2)
+        plan = minimum_spanning_tree(g)
+        delta_edges = sum(
+            1 for e in plan.parent_edge.values() if not e.touches(ROOT)
+        )
+        assert delta_edges > g.num_matrices() / 2
+
+    def test_spt_prefers_materialization(self):
+        g = synthetic_storage_graph(seed=2)
+        plan = shortest_path_tree(g)
+        root_edges = sum(
+            1 for e in plan.parent_edge.values() if e.touches(ROOT)
+        )
+        assert root_edges == g.num_matrices()

@@ -1,0 +1,39 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Each example is executed as a subprocess (exactly as a user would run it)
+and must exit 0 without writing to stderr beyond warnings.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "lifecycle_modeling.py",
+        "progressive_inference.py",
+        "archival_planning.py",
+        "model_sharing.py",
+        "storage_inspection.py",
+    }
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

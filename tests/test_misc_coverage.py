@@ -1,0 +1,81 @@
+"""Coverage for small utility paths not exercised elsewhere."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dnn.interval import (
+    Interval,
+    interval_maximum,
+    interval_scale,
+)
+from repro.dnn.training import TrainResult
+from repro.hub.server import HubServer
+
+
+class TestIntervalUtilities:
+    def test_interval_maximum(self):
+        a = Interval(np.array([0.0, 5.0]), np.array([1.0, 6.0]))
+        b = Interval(np.array([0.5, 1.0]), np.array([0.7, 2.0]))
+        out = interval_maximum(a, b)
+        np.testing.assert_array_equal(out.lo, [0.5, 5.0])
+        np.testing.assert_array_equal(out.hi, [1.0, 6.0])
+
+    def test_interval_scale_signs(self):
+        iv = Interval(np.array([1.0]), np.array([2.0]))
+        pos = interval_scale(iv, 3.0)
+        assert (pos.lo[0], pos.hi[0]) == (3.0, 6.0)
+        neg = interval_scale(iv, -1.0)
+        assert (neg.lo[0], neg.hi[0]) == (-2.0, -1.0)
+
+    def test_width_and_reshape(self):
+        iv = Interval(np.zeros((2, 3)), np.ones((2, 3)))
+        assert iv.width.max() == 1.0
+        reshaped = iv.reshape(3, 2)
+        assert reshaped.shape == (3, 2)
+
+    def test_subtraction(self):
+        a = Interval(np.array([1.0]), np.array([2.0]))
+        b = Interval(np.array([0.5]), np.array([1.0]))
+        diff = a - b
+        assert (diff.lo[0], diff.hi[0]) == (0.0, 1.5)
+
+
+class TestTrainResult:
+    def test_loss_at_interpolates_log(self):
+        result = TrainResult(
+            log=[
+                {"iteration": 0, "loss": 2.0},
+                {"iteration": 10, "loss": 1.0},
+            ]
+        )
+        assert result.loss_at(5) == 2.0
+        assert result.loss_at(10) == 1.0
+        assert math.isinf(result.loss_at(-1))
+
+
+class TestHubServerEdges:
+    def test_revisions_of_unknown_repo(self, tmp_path):
+        server = HubServer(tmp_path / "hub")
+        assert server.revisions("ghost") == []
+
+    def test_get_unknown_name(self, tmp_path):
+        server = HubServer(tmp_path / "hub")
+        with pytest.raises(KeyError):
+            server.get("ghost")
+
+    def test_search_empty_hub(self, tmp_path):
+        server = HubServer(tmp_path / "hub")
+        assert server.search("*") == []
+
+
+class TestCLIUnknownCommandPath:
+    def test_repo_flag_required_behaviour(self, tmp_path, capsys):
+        from repro.dlv.cli import main
+
+        # Operating on a non-repository directory is a clean error.
+        code = main(["--repo", str(tmp_path), "list"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "error" in captured.err
