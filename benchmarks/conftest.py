@@ -3,20 +3,45 @@
 Every benchmark regenerates one table or figure of the paper's Sec. V.
 Each prints its rows/series live (bypassing pytest's capture) and also
 writes them under ``benchmarks/results/`` so runs leave an artifact
-that EXPERIMENTS.md can reference.
+that EXPERIMENTS.md can reference.  Alongside each results file the
+harness drops a ``*.metrics.json`` sidecar — the delta of the global
+:mod:`repro.obs` registry across the run — so every recorded number
+comes with the cache/chunkstore/retrieval counters that produced it.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
+from repro.obs import dump_metrics
 from repro.dnn.data import synthetic_digits, synthetic_faces
 from repro.dnn.training import SGDConfig, Trainer, accuracy
 from repro.dnn.zoo import alexnet_mini, lenet, vgg_mini
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _metrics_delta(before: dict, after: dict) -> dict:
+    """What the run itself added to the global registry.
+
+    Counters subtract; gauges and histograms report their final state
+    (histogram counts are cumulative, so per-run deltas of the summary
+    fields would be misleading for min/max — the final snapshot is the
+    honest artifact).
+    """
+    counters = {}
+    for name, value in after["counters"].items():
+        delta = value - before["counters"].get(name, 0)
+        if delta:
+            counters[name] = delta
+    return {
+        "counters": counters,
+        "gauges": after["gauges"],
+        "histograms": after["histograms"],
+    }
 
 
 class Reporter:
@@ -26,6 +51,7 @@ class Reporter:
         self.name = name
         self.capsys = capsys
         self.lines: list[str] = []
+        self._metrics_before = dump_metrics()
 
     def line(self, text: str = "") -> None:
         self.lines.append(text)
@@ -36,6 +62,13 @@ class Reporter:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{self.name}.txt").write_text(
             "\n".join(self.lines) + "\n"
+        )
+        (RESULTS_DIR / f"{self.name}.metrics.json").write_text(
+            json.dumps(
+                _metrics_delta(self._metrics_before, dump_metrics()),
+                indent=2,
+                default=str,
+            )
         )
 
 

@@ -29,6 +29,13 @@ ICDE 2017).  It is organised into five subpackages:
 ``repro.lifecycle``
     The synthetic auto-modeler that generates SD/RD-style repositories of
     related model versions for the archival experiments.
+
+``repro.obs``
+    The unified observability layer: a metrics registry (counters,
+    gauges, histograms), nested tracing spans with a ring-buffer
+    recorder, and the structured-logging bootstrap.  Every other
+    subsystem reports into it; ``dlv stats`` and the benchmark harness
+    read from it.
 """
 
 from repro.version import __version__

@@ -30,6 +30,9 @@ import heapq
 import math
 from typing import Optional
 
+from repro.obs.metrics import counter, histogram
+from repro.obs.tracing import trace_span
+
 from repro.core.storage_graph import (
     ROOT,
     MatrixStorageGraph,
@@ -576,28 +579,45 @@ def solve(
     ``pas-pt``, or ``best`` — the paper's recommendation of running both
     PAS algorithms and keeping whichever satisfies the constraints with
     less storage.
+
+    Every solver run is timed into the ``archival.solve`` span and the
+    ``archival.solve_seconds`` histogram, attributed per algorithm, so
+    ``dlv stats`` shows where plan-search time goes.
     """
+
+    def timed(name: str, solver, *args) -> StoragePlan:
+        with trace_span(
+            "archival.solve",
+            algorithm=name,
+            matrices=graph.num_matrices(),
+        ) as span:
+            plan = solver(graph, *args)
+        counter("archival.solves").inc()
+        counter(f"archival.solves.{name}").inc()
+        histogram("archival.solve_seconds").observe(span.elapsed)
+        return plan
+
     if constraints is None or algorithm == "mst":
-        return minimum_spanning_tree(graph)
+        return timed("mst", minimum_spanning_tree)
     if algorithm == "spt":
-        return shortest_path_tree(graph)
+        return timed("spt", shortest_path_tree)
     if algorithm == "last":
-        return last_tree(graph)
+        return timed("last", last_tree)
     if algorithm == "pas-mt":
-        return pas_mt(graph, constraints, scheme)
+        return timed("pas-mt", pas_mt, constraints, scheme)
     if algorithm == "pas-pt":
-        return pas_pt(graph, constraints, scheme)
+        return timed("pas-pt", pas_pt, constraints, scheme)
     if algorithm == "spt-tighten":
-        return spt_tightening(graph, constraints, scheme)
+        return timed("spt-tighten", spt_tightening, constraints, scheme)
     if algorithm != "best":
         raise KeyError(f"unknown archival algorithm {algorithm!r}")
     candidates = [
-        pas_mt(graph, constraints, scheme),
-        pas_pt(graph, constraints, scheme),
+        timed("pas-mt", pas_mt, constraints, scheme),
+        timed("pas-pt", pas_pt, constraints, scheme),
     ]
     feasible = [p for p in candidates if p.satisfies(constraints, scheme)]
     if not feasible:
         # Feasible-by-construction fallback (always succeeds for budgets
         # at or above the SPT lower bound).
-        feasible = [spt_tightening(graph, constraints, scheme)]
+        feasible = [timed("spt-tighten", spt_tightening, constraints, scheme)]
     return min(feasible, key=lambda p: p.storage_cost())

@@ -10,17 +10,26 @@ decompress-and-apply-deltas work entirely.
 Cached arrays are returned read-only; callers that need to mutate must
 copy (this catches aliasing bugs instead of silently corrupting the
 cache).
+
+Hit/miss/eviction accounting is registry-backed (:mod:`repro.obs`): each
+cache owns a private :class:`~repro.obs.MetricsRegistry` by default so
+instances don't pollute each other's counts, and accepts an injected
+registry (e.g. the process-global one) when its counters should surface
+in ``dlv stats`` or benchmark sidecars.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Optional
 
 import numpy as np
 
 from repro.core.retrieval import PlanArchive, RecreationResult
 from repro.core.segmentation import NUM_PLANES
 from repro.core.storage_graph import RetrievalScheme
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import trace_span
 
 
 class RetrievalCache:
@@ -30,20 +39,42 @@ class RetrievalCache:
         archive: The archive to serve misses from.
         max_bytes: Cache capacity; entries are evicted least-recently-used
             once the total cached array bytes exceed it.
+        registry: Metrics registry for the ``cache.*`` counters; a private
+            registry is created when omitted.
     """
 
-    def __init__(self, archive: PlanArchive, max_bytes: int = 64 << 20) -> None:
+    def __init__(
+        self,
+        archive: PlanArchive,
+        max_bytes: int = 64 << 20,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes must be positive, got {max_bytes}")
         self.archive = archive
         self.max_bytes = max_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._entries: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
         self._bytes = 0
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._hits = self.registry.counter("cache.hits")
+        self._misses = self.registry.counter("cache.misses")
+        self._evictions = self.registry.counter("cache.evictions")
+        self._bytes_gauge = self.registry.gauge("cache.cached_bytes")
+        self._entries_gauge = self.registry.gauge("cache.entries")
 
     # -- bookkeeping ---------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     @property
     def cached_bytes(self) -> int:
@@ -52,20 +83,40 @@ class RetrievalCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _sync_gauges(self) -> None:
+        self._bytes_gauge.set(self._bytes)
+        self._entries_gauge.set(len(self._entries))
+
     def stats(self) -> dict:
-        total = self.hits + self.misses
+        """Counter snapshot; every ratio is zero-guarded (no division by
+        zero on a fresh or just-reset cache)."""
+        hits, misses = self._hits.value, self._misses.value
+        total = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hits / total if total else 0.0,
+            "hits": hits,
+            "misses": misses,
+            "evictions": self._evictions.value,
+            "hit_rate": hits / total if total else 0.0,
+            "miss_rate": misses / total if total else 0.0,
             "cached_bytes": self._bytes,
             "entries": len(self._entries),
+            "fill_fraction": self._bytes / self.max_bytes if self.max_bytes else 0.0,
         }
+
+    def reset(self) -> None:
+        """Zero the hit/miss/eviction counters, keeping cached entries.
+
+        Benchmarks call this between phases to measure per-phase hit
+        rates (e.g. cold fill vs. warm reuse) on one warmed cache.
+        """
+        self._hits.reset()
+        self._misses.reset()
+        self._evictions.reset()
 
     def clear(self) -> None:
         self._entries.clear()
         self._bytes = 0
+        self._sync_gauges()
 
     def invalidate(self, matrix_id: str) -> int:
         """Drop all cached variants of one matrix (e.g. after re-archival)."""
@@ -73,6 +124,7 @@ class RetrievalCache:
         for key in [k for k in self._entries if k[0] == matrix_id]:
             self._bytes -= self._entries.pop(key).nbytes
             removed += 1
+        self._sync_gauges()
         return removed
 
     def _admit(self, key: tuple[str, int], value: np.ndarray) -> None:
@@ -83,7 +135,8 @@ class RetrievalCache:
         while self._bytes > self.max_bytes:
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.nbytes
-            self.evictions += 1
+            self._evictions.inc()
+        self._sync_gauges()
 
     # -- retrieval -------------------------------------------------------------
 
@@ -95,9 +148,9 @@ class RetrievalCache:
         cached = self._entries.get(key)
         if cached is not None:
             self._entries.move_to_end(key)
-            self.hits += 1
+            self._hits.inc()
             return cached
-        self.misses += 1
+        self._misses.inc()
         value = self.archive.recreate_matrix(matrix_id, planes)
         value.setflags(write=False)
         self._admit(key, value)
@@ -114,16 +167,15 @@ class RetrievalCache:
         The scheme argument is accepted for interface parity; cached
         retrieval is sequential (each miss resolves independently).
         """
-        import time
-
         del scheme
         members = self.archive._snapshots.get(snapshot_id)
         if members is None:
             raise KeyError(f"unknown snapshot {snapshot_id!r}")
-        start = time.perf_counter()
-        matrices = {
-            matrix_id: self.recreate_matrix(matrix_id, planes)
-            for matrix_id in members
-        }
-        elapsed = time.perf_counter() - start
-        return RecreationResult(matrices, elapsed, 0, planes)
+        with trace_span(
+            "cache.snapshot", snapshot=snapshot_id, planes=planes
+        ) as span:
+            matrices = {
+                matrix_id: self.recreate_matrix(matrix_id, planes)
+                for matrix_id in members
+            }
+        return RecreationResult(matrices, span.elapsed, 0, planes)

@@ -4,6 +4,11 @@ Every artifact PAS persists — encoded matrices, byte planes, deltas — is a
 blob.  Blobs are stored zlib-compressed under their SHA-256, which gives
 deduplication for free (identical matrices across versions share storage,
 a common outcome of fine-tuning with frozen layers).
+
+Every store counts its traffic — calls, uncompressed bytes in/out, and
+dedup hits — into a :class:`~repro.obs.MetricsRegistry` (the process
+global one unless an instance is injected), so ``dlv stats`` and the
+benchmark sidecars can report where bytes actually go.
 """
 
 from __future__ import annotations
@@ -12,11 +17,37 @@ import hashlib
 import os
 import zlib
 from pathlib import Path
-from typing import Iterator
+from typing import Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 def _digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+class _StoreMetrics:
+    """The chunk-store counter set, bound to one registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else get_registry()
+        self.put_calls = self.registry.counter("chunkstore.put_calls")
+        self.put_bytes = self.registry.counter("chunkstore.put_bytes")
+        self.dedup_hits = self.registry.counter("chunkstore.dedup_hits")
+        self.dedup_bytes = self.registry.counter("chunkstore.dedup_bytes")
+        self.get_calls = self.registry.counter("chunkstore.get_calls")
+        self.get_bytes = self.registry.counter("chunkstore.get_bytes")
+
+    def record_put(self, nbytes: int, deduplicated: bool) -> None:
+        self.put_calls.inc()
+        self.put_bytes.inc(nbytes)
+        if deduplicated:
+            self.dedup_hits.inc()
+            self.dedup_bytes.inc(nbytes)
+
+    def record_get(self, nbytes: int) -> None:
+        self.get_calls.inc()
+        self.get_bytes.inc(nbytes)
 
 
 class ChunkStore:
@@ -27,9 +58,15 @@ class ChunkStore:
     verifiable on read.
     """
 
-    def __init__(self, root: str | Path, level: int = 6) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        level: int = 6,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.root = Path(root)
         self.level = level
+        self.metrics = _StoreMetrics(registry)
         self.root.mkdir(parents=True, exist_ok=True)
 
     def _path(self, sha: str) -> Path:
@@ -39,11 +76,13 @@ class ChunkStore:
         """Store a blob; returns its content address (idempotent)."""
         sha = _digest(data)
         path = self._path(sha)
-        if not path.exists():
+        existed = path.exists()
+        if not existed:
             path.parent.mkdir(exist_ok=True)
             tmp = path.with_suffix(".tmp")
             tmp.write_bytes(zlib.compress(data, self.level))
             os.replace(tmp, path)
+        self.metrics.record_put(len(data), deduplicated=existed)
         return sha
 
     def get(self, sha: str) -> bytes:
@@ -59,6 +98,7 @@ class ChunkStore:
         data = zlib.decompress(path.read_bytes())
         if _digest(data) != sha:
             raise ValueError(f"chunk {sha} is corrupt")
+        self.metrics.record_get(len(data))
         return data
 
     def __contains__(self, sha: str) -> bool:
@@ -141,20 +181,27 @@ class LatencyStore:
 class MemoryChunkStore:
     """In-memory store with the same interface, for tests and benchmarks."""
 
-    def __init__(self, level: int = 6) -> None:
+    def __init__(
+        self, level: int = 6, registry: Optional[MetricsRegistry] = None
+    ) -> None:
         self.level = level
+        self.metrics = _StoreMetrics(registry)
         self._blobs: dict[str, bytes] = {}
 
     def put(self, data: bytes) -> str:
         sha = _digest(data)
-        if sha not in self._blobs:
+        existed = sha in self._blobs
+        if not existed:
             self._blobs[sha] = zlib.compress(data, self.level)
+        self.metrics.record_put(len(data), deduplicated=existed)
         return sha
 
     def get(self, sha: str) -> bytes:
         if sha not in self._blobs:
             raise KeyError(f"no chunk {sha}")
-        return zlib.decompress(self._blobs[sha])
+        data = zlib.decompress(self._blobs[sha])
+        self.metrics.record_get(len(data))
+        return data
 
     def __contains__(self, sha: str) -> bool:
         return sha in self._blobs

@@ -21,6 +21,8 @@ from repro.core.retrieval import PlanArchive
 from repro.core.segmentation import NUM_PLANES
 from repro.dnn.interval import Interval, argmax_determined, tight_intervals
 from repro.dnn.network import Network
+from repro.obs.metrics import counter, histogram
+from repro.obs.tracing import trace_span
 
 
 @dataclass
@@ -170,24 +172,34 @@ class ProgressiveEvaluator:
             if unresolved.size == 0:
                 determined_fraction[planes] = 1.0
                 continue
-            bounds = self._param_bounds(planes)
-            still_open = []
-            for start in range(0, unresolved.size, batch):
-                idx = unresolved[start : start + batch]
-                if self.tight:
-                    with tight_intervals():
+            with trace_span(
+                "progressive.plane",
+                snapshot=self.snapshot_id,
+                planes=planes,
+                unresolved=int(unresolved.size),
+            ) as plane_span:
+                bounds = self._param_bounds(planes)
+                still_open = []
+                for start in range(0, unresolved.size, batch):
+                    idx = unresolved[start : start + batch]
+                    if self.tight:
+                        with tight_intervals():
+                            logit_iv = self.net.forward_interval(
+                                x[idx], bounds, upto=self.logits_node
+                            )
+                    else:
                         logit_iv = self.net.forward_interval(
                             x[idx], bounds, upto=self.logits_node
                         )
-                else:
-                    logit_iv = self.net.forward_interval(
-                        x[idx], bounds, upto=self.logits_node
-                    )
-                determined, labels = argmax_determined(logit_iv, k=k)
-                done = idx[determined]
-                predictions[done] = labels[determined]
-                resolved_at[done] = planes
-                still_open.extend(idx[~determined].tolist())
+                    determined, labels = argmax_determined(logit_iv, k=k)
+                    done = idx[determined]
+                    predictions[done] = labels[determined]
+                    resolved_at[done] = planes
+                    still_open.extend(idx[~determined].tolist())
+                resolved_here = unresolved.size - len(still_open)
+                plane_span.set_attr("resolved", resolved_here)
+            counter("progressive.points_resolved").inc(resolved_here)
+            histogram("progressive.plane_seconds").observe(plane_span.elapsed)
             unresolved = np.asarray(still_open, dtype=np.int64)
             determined_fraction[planes] = 1.0 - unresolved.size / n
             planes_used = planes
@@ -195,14 +207,23 @@ class ProgressiveEvaluator:
                 break
 
         if unresolved.size > 0:
-            self._load_exact()
-            planes_used = NUM_PLANES
-            for start in range(0, unresolved.size, batch):
-                idx = unresolved[start : start + batch]
-                out = self.net.forward(x[idx], upto=self.logits_node)
-                predictions[idx] = np.argmax(out, axis=1)
-                resolved_at[idx] = NUM_PLANES
+            with trace_span(
+                "progressive.exact",
+                snapshot=self.snapshot_id,
+                unresolved=int(unresolved.size),
+            ) as exact_span:
+                self._load_exact()
+                planes_used = NUM_PLANES
+                for start in range(0, unresolved.size, batch):
+                    idx = unresolved[start : start + batch]
+                    out = self.net.forward(x[idx], upto=self.logits_node)
+                    predictions[idx] = np.argmax(out, axis=1)
+                    resolved_at[idx] = NUM_PLANES
+            counter("progressive.points_resolved").inc(int(unresolved.size))
+            counter("progressive.exact_fallbacks").inc()
+            histogram("progressive.plane_seconds").observe(exact_span.elapsed)
         determined_fraction[NUM_PLANES] = 1.0
+        counter("progressive.queries").inc()
 
         plane_sizes = self._stored_plane_sizes()
         total = sum(plane_sizes) or 1

@@ -17,12 +17,14 @@ Sec. IV-B).  Retrieval then supports:
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
+
+from repro.obs.metrics import counter, histogram
+from repro.obs.tracing import trace_span
 
 from repro.core.delta import apply_delta, delta_sub, delta_xor, embed_like
 from repro.core.segmentation import (
@@ -297,7 +299,11 @@ class PlanArchive:
         """Recreate a single matrix (approximately when ``planes < 4``)."""
         if matrix_id not in self._manifest:
             raise KeyError(f"unknown matrix {matrix_id!r}")
-        value, _ = self._resolve(matrix_id, planes)
+        with trace_span("pas.matrix", matrix=matrix_id, planes=planes) as span:
+            value, nbytes = self._resolve(matrix_id, planes)
+            span.set_attr("bytes_read", nbytes)
+        counter("retrieval.matrices").inc()
+        counter("retrieval.bytes_read").inc(nbytes)
         return value
 
     def recreate_snapshot(
@@ -311,32 +317,52 @@ class PlanArchive:
         if snapshot_id not in self._snapshots:
             raise KeyError(f"unknown snapshot {snapshot_id!r}")
         members = self._snapshots[snapshot_id]
-        start = time.perf_counter()
+
+        def resolve_traced(
+            matrix_id: str, cache: Optional[dict[str, np.ndarray]] = None
+        ) -> tuple[np.ndarray, int]:
+            with trace_span(
+                "pas.matrix", matrix=matrix_id, planes=planes
+            ) as matrix_span:
+                value, nbytes = self._resolve(matrix_id, planes, cache)
+                matrix_span.set_attr("bytes_read", nbytes)
+            return value, nbytes
+
         bytes_read = 0
         results: dict[str, np.ndarray] = {}
-        if scheme is RetrievalScheme.INDEPENDENT:
-            for matrix_id in members:
-                value, nbytes = self._resolve(matrix_id, planes)
-                results[matrix_id] = value
-                bytes_read += nbytes
-        elif scheme is RetrievalScheme.PARALLEL:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    matrix_id: pool.submit(self._resolve, matrix_id, planes)
-                    for matrix_id in members
-                }
-                for matrix_id, future in futures.items():
-                    value, nbytes = future.result()
+        with trace_span(
+            "pas.snapshot",
+            snapshot=snapshot_id,
+            scheme=scheme.value,
+            planes=planes,
+        ) as span:
+            if scheme is RetrievalScheme.INDEPENDENT:
+                for matrix_id in members:
+                    value, nbytes = resolve_traced(matrix_id)
                     results[matrix_id] = value
                     bytes_read += nbytes
-        else:  # REUSABLE: cache shared path prefixes.
-            cache: dict[str, np.ndarray] = {}
-            for matrix_id in members:
-                value, nbytes = self._resolve(matrix_id, planes, cache)
-                results[matrix_id] = value
-                bytes_read += nbytes
-        elapsed = time.perf_counter() - start
-        return RecreationResult(results, elapsed, bytes_read, planes)
+            elif scheme is RetrievalScheme.PARALLEL:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    futures = {
+                        matrix_id: pool.submit(resolve_traced, matrix_id)
+                        for matrix_id in members
+                    }
+                    for matrix_id, future in futures.items():
+                        value, nbytes = future.result()
+                        results[matrix_id] = value
+                        bytes_read += nbytes
+            else:  # REUSABLE: cache shared path prefixes.
+                cache: dict[str, np.ndarray] = {}
+                for matrix_id in members:
+                    value, nbytes = resolve_traced(matrix_id, cache)
+                    results[matrix_id] = value
+                    bytes_read += nbytes
+            span.set_attr("bytes_read", bytes_read)
+        counter("retrieval.snapshots").inc()
+        counter("retrieval.matrices").inc(len(members))
+        counter("retrieval.bytes_read").inc(bytes_read)
+        histogram("retrieval.snapshot_seconds").observe(span.elapsed)
+        return RecreationResult(results, span.elapsed, bytes_read, planes)
 
     # -- interval retrieval -------------------------------------------------------
 

@@ -251,6 +251,106 @@ def cmd_eval(args) -> int:
     return 0
 
 
+def _human_bytes(count: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(count) < 1024 or unit == "GiB":
+            return f"{count:.1f} {unit}" if unit != "B" else f"{int(count)} B"
+        count /= 1024
+    return f"{count:.1f} GiB"  # pragma: no cover - loop always returns
+
+
+def _render_stats_text(report: dict) -> None:
+    repo_info = report["repository"]
+    print(
+        "repository: {versions} versions, {snapshots} snapshots, "
+        "{chunks} chunks, {stored} stored".format(
+            versions=repo_info["versions"],
+            snapshots=repo_info["snapshots"],
+            chunks=repo_info["chunks"],
+            stored=_human_bytes(repo_info["stored_bytes"]),
+        )
+    )
+    cache = report.get("cache")
+    if cache:
+        print(
+            f"cache: hits={cache['hits']} misses={cache['misses']} "
+            f"evictions={cache['evictions']} "
+            f"hit_rate={100.0 * cache['hit_rate']:.1f}% "
+            f"cached={_human_bytes(cache['cached_bytes'])}"
+        )
+    metrics = report["metrics"]
+    if metrics["counters"]:
+        print("counters:")
+        for name, value in metrics["counters"].items():
+            suffix = (
+                f"  ({_human_bytes(value)})" if name.endswith("_bytes") else ""
+            )
+            print(f"  {name:<32} {value}{suffix}")
+    if metrics["gauges"]:
+        print("gauges:")
+        for name, value in metrics["gauges"].items():
+            print(f"  {name:<32} {value:g}")
+    if metrics["histograms"]:
+        print("histograms:")
+        for name, hist in metrics["histograms"].items():
+            mean = hist["mean"]
+            print(
+                f"  {name:<32} n={hist['count']} mean={mean:.6g} "
+                f"max={hist['max'] if hist['max'] is not None else 0:.6g}"
+            )
+    if report.get("spans"):
+        print("spans:")
+        for span in report["spans"]:
+            indent = "  " * span["depth"]
+            attrs = " ".join(f"{k}={v}" for k, v in span["attrs"].items())
+            print(
+                f"  {indent}{span['name']} {span['elapsed'] * 1e3:.3f} ms"
+                + (f"  [{attrs}]" if attrs else "")
+            )
+
+
+def cmd_stats(args) -> int:
+    from repro import obs
+    from repro.core.cache import RetrievalCache
+
+    with _open_repo(args) as repo:
+        versions = repo.list_versions()
+        repo_info = {
+            "versions": len(versions),
+            "snapshots": sum(len(v.snapshots) for v in versions),
+            "chunks": sum(1 for _ in repo.store.addresses()),
+            "stored_bytes": repo.store.total_size(),
+        }
+        cache_stats = None
+        if not args.no_retrieval:
+            # Exercise one group retrieval (twice: a cold pass then a warm
+            # pass) through a cache wired to the global registry, so the
+            # report shows live cache and chunkstore counters.
+            with_snapshots = [v for v in versions if v.snapshots]
+            if with_snapshots:
+                archive = repo.archive_view()
+                cache = RetrievalCache(archive, registry=obs.get_registry())
+                latest = with_snapshots[-1]
+                key = latest.snapshots[-1].key
+                for _ in range(2):
+                    cache.recreate_snapshot(key)
+                cache_stats = cache.stats()
+    report = {
+        "repository": repo_info,
+        "cache": cache_stats,
+        "metrics": obs.dump_metrics(),
+    }
+    if args.spans:
+        report["spans"] = [
+            span.to_dict() for span in obs.get_recorder().spans()
+        ]
+    if args.json:
+        _print(report)
+    else:
+        _render_stats_text(report)
+    return 0
+
+
 def cmd_query(args) -> int:
     from repro.dql.executor import DQLExecutor
 
@@ -411,6 +511,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="answer from high-order byte segments with exactness guarantee",
     )
     p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser(
+        "stats", help="repository storage + live telemetry counters"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--spans", action="store_true",
+        help="include recorded trace spans",
+    )
+    p.add_argument(
+        "--no-retrieval", action="store_true",
+        help="report storage stats only; skip the instrumented retrieval",
+    )
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("query", help="run a DQL statement")
     p.add_argument("dql")

@@ -18,6 +18,8 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.dnn.network import Network
+from repro.obs.metrics import counter, gauge, histogram
+from repro.obs.tracing import trace_span
 
 
 @dataclass
@@ -325,6 +327,12 @@ class Trainer:
         iteration = 0
         stop = False
         last_loss = math.inf
+        # Per-iteration telemetry rides the same seam as the user callback:
+        # every iteration ends by reporting (iteration, loss) to both.
+        iterations_counter = counter("training.iterations")
+        examples_counter = counter("training.examples")
+        loss_gauge = gauge("training.loss")
+        step_seconds = histogram("training.step_seconds")
         for epoch in range(cfg.epochs):
             order = rng.permutation(len(x_train))
             for start in range(0, len(order), cfg.batch_size):
@@ -332,8 +340,15 @@ class Trainer:
                 batch = x_train[idx]
                 if augmenter is not None:
                     batch = augmenter(batch)
-                loss = self.train_step(batch, y_train[idx], iteration)
+                with trace_span(
+                    "training.step", iteration=iteration, epoch=epoch
+                ) as step_span:
+                    loss = self.train_step(batch, y_train[idx], iteration)
                 last_loss = float(loss)
+                iterations_counter.inc()
+                examples_counter.inc(len(idx))
+                loss_gauge.set(last_loss)
+                step_seconds.observe(step_span.elapsed)
                 if iteration % measure_every == 0:
                     entry = {
                         "iteration": iteration,
@@ -343,6 +358,7 @@ class Trainer:
                     }
                     if x_test is not None:
                         entry["accuracy"] = accuracy(self.net, x_test, y_test)
+                        gauge("training.accuracy").set(entry["accuracy"])
                     result.log.append(entry)
                 if cfg.snapshot_every and iteration % cfg.snapshot_every == 0:
                     result.snapshots.append((iteration, self.net.get_weights()))

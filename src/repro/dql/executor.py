@@ -31,6 +31,8 @@ from repro.dql.ast_nodes import (
     SliceQuery,
 )
 from repro.dql.parser import parse
+from repro.obs.metrics import counter, histogram
+from repro.obs.tracing import trace_span
 from repro.dql.selector import (
     SelectorError,
     instantiate_template,
@@ -117,17 +119,28 @@ class DQLExecutor:
 
     def run(self, query: Union[str, Query], name: Optional[str] = None) -> QueryResult:
         """Execute one statement; optionally register the result by name."""
-        ast = parse(query) if isinstance(query, str) else query
+        if isinstance(query, str):
+            with trace_span("dql.parse") as parse_span:
+                ast = parse(query)
+            histogram("dql.parse_seconds").observe(parse_span.elapsed)
+        else:
+            ast = query
         if isinstance(ast, SelectQuery):
-            result = self._run_select(ast)
+            runner = self._run_select
         elif isinstance(ast, SliceQuery):
-            result = self._run_slice(ast)
+            runner = self._run_slice
         elif isinstance(ast, ConstructQuery):
-            result = self._run_construct(ast)
+            runner = self._run_construct
         elif isinstance(ast, EvaluateQuery):
-            result = self._run_evaluate(ast)
+            runner = self._run_evaluate
         else:  # pragma: no cover - parser produces only the above
             raise ExecutionError(f"unsupported query {type(ast).__name__}")
+        kind = type(ast).__name__.removesuffix("Query").lower()
+        with trace_span("dql.execute", kind=kind) as span:
+            result = runner(ast)
+        counter("dql.queries").inc()
+        counter(f"dql.queries.{kind}").inc()
+        histogram("dql.execute_seconds").observe(span.elapsed)
         if name is not None:
             self.results[name] = result
         return result

@@ -19,6 +19,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.obs.metrics import counter
+
+
+def _count_request(operation: str) -> None:
+    """Bump the hub request counters (total plus per-operation)."""
+    counter("hub.requests").inc()
+    counter(f"hub.requests.{operation}").inc()
+
 
 @dataclass
 class HubRecord:
@@ -78,6 +86,7 @@ class HubServer:
         model_names: Optional[list[str]] = None,
     ) -> HubRecord:
         """Store a copy of a repository's ``.dlv`` tree under ``name``."""
+        _count_request("publish")
         index = self._load_index()
         revision = index.get(name, {}).get("revision", 0) + 1
         dest = self.root / "repos" / name / str(revision)
@@ -99,6 +108,7 @@ class HubServer:
 
     def search(self, pattern: str = "*") -> list[HubRecord]:
         """Match records by glob pattern on name, description, or models."""
+        _count_request("search")
         import fnmatch
 
         records = [
@@ -119,6 +129,7 @@ class HubServer:
         Raises:
             KeyError: unknown name or revision.
         """
+        _count_request("get")
         index = self._load_index()
         if name not in index:
             raise KeyError(f"hub has no repository {name!r}")
@@ -130,6 +141,7 @@ class HubServer:
 
     def revisions(self, name: str) -> list[int]:
         """All stored revisions of a repository."""
+        _count_request("revisions")
         base = self.root / "repos" / name
         if not base.exists():
             return []
@@ -137,6 +149,7 @@ class HubServer:
 
     def delete(self, name: str) -> bool:
         """Remove a repository (all revisions) from the hub."""
+        _count_request("delete")
         index = self._load_index()
         if name not in index:
             return False

@@ -1,0 +1,83 @@
+"""``repro.obs`` — the unified observability layer.
+
+One subsystem for the three telemetry primitives every other layer uses:
+
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`.  Built-in
+  instrumentation writes to the process-global default registry
+  (:func:`get_registry`); components accept an injected registry when
+  isolated accounting is needed.
+* **tracing** (:mod:`repro.obs.tracing`) — :func:`trace_span` produces
+  nested wall-time spans with attributes, recorded into a bounded
+  :class:`TraceRecorder` exportable as JSON.
+* **logging** (:mod:`repro.obs.log`) — a structured-logging bootstrap
+  keyed off the ``REPRO_LOG_LEVEL`` environment variable.
+
+What the built-in instrumentation records (all under the default
+registry / recorder):
+
+========================  =====================================================
+``chunkstore.*``          put/get calls, raw bytes in/out, dedup hits
+``cache.*``               per-:class:`~repro.core.cache.RetrievalCache`
+                          hit/miss/eviction counters (injectable registry)
+``retrieval.*``           snapshot recreation latency + stored bytes read
+``archival.*``            storage-plan search timing per algorithm
+``progressive.*``         per-plane evaluation timing and resolution counts
+``dql.*``                 parse/execute latency, query counts per verb
+``training.*``            per-iteration loss, examples, step latency
+``hub.*``                 request counters per operation
+========================  =====================================================
+
+Spans use the same dotted names (``pas.matrix``, ``pas.snapshot``,
+``archival.solve``, ``progressive.plane``, ``dql.parse``, ``dql.execute``).
+"""
+
+from repro.obs.log import configure, get_logger, log_level
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    dump_metrics,
+    gauge,
+    get_registry,
+    histogram,
+    reset_metrics,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    TraceRecorder,
+    current_span,
+    get_recorder,
+    set_recorder,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceRecorder",
+    "configure",
+    "counter",
+    "current_span",
+    "dump_metrics",
+    "gauge",
+    "get_logger",
+    "get_recorder",
+    "get_registry",
+    "histogram",
+    "log_level",
+    "reset_metrics",
+    "set_recorder",
+    "set_registry",
+    "trace_span",
+]

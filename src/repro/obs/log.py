@@ -1,0 +1,70 @@
+"""Structured-logging bootstrap for the ``repro`` package.
+
+Every subsystem logs under the ``repro`` root logger.  Nothing is emitted
+unless the process opts in: either by exporting ``REPRO_LOG_LEVEL``
+(``DEBUG`` / ``INFO`` / ``WARNING`` / ...) before first use, or by calling
+:func:`configure` explicitly.  The format is a flat ``key=value`` line so
+log output stays grep-able next to the JSON metrics dumps.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Optional
+
+__all__ = ["configure", "get_logger", "log_level"]
+
+ENV_VAR = "REPRO_LOG_LEVEL"
+_FORMAT = "%(asctime)s level=%(levelname)s logger=%(name)s %(message)s"
+_configured = False
+
+
+def log_level(default: str = "WARNING") -> int:
+    """The effective level: ``REPRO_LOG_LEVEL`` or ``default``."""
+    name = os.environ.get(ENV_VAR, default).upper()
+    level = logging.getLevelName(name)
+    if not isinstance(level, int):
+        raise ValueError(f"{ENV_VAR}={name!r} is not a valid log level")
+    return level
+
+
+def configure(level: Optional[str | int] = None, force: bool = False) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` root logger (idempotent).
+
+    Args:
+        level: Explicit level (name or number); defaults to the
+            ``REPRO_LOG_LEVEL`` environment variable, then WARNING.
+        force: Re-apply configuration even when already configured (used
+            after changing the environment in tests).
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    if _configured and not force:
+        return root
+    if level is None:
+        resolved = log_level()
+    elif isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"invalid log level {level!r}")
+    else:
+        resolved = level
+    if not any(
+        isinstance(h, logging.StreamHandler) for h in root.handlers
+    ):
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A ``repro.<name>`` logger, bootstrapping configuration on first use."""
+    configure()
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

@@ -1,0 +1,342 @@
+"""Metrics primitives: counters, gauges, and fixed-bucket histograms.
+
+The paper's claims are quantitative — retrieval latency, compression
+ratio, progressive-query byte savings — so the reproduction needs a
+uniform way to count and time what the system actually does.  A
+:class:`MetricsRegistry` owns named metrics; the process-global default
+registry (``repro.obs.get_registry()``) is what the built-in
+instrumentation writes to, while components that need isolated counts
+(tests, per-cache accounting) construct their own registry and inject it.
+
+All metrics are thread-safe: retrieval uses thread pools and the hub may
+serve concurrent requests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "dump_metrics",
+    "reset_metrics",
+]
+
+#: Default histogram buckets for durations in seconds (1 µs .. 30 s).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Default histogram buckets for byte sizes (64 B .. 1 GiB).
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    64, 1 << 10, 16 << 10, 256 << 10, 1 << 20, 16 << 20, 256 << 20, 1 << 30,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, hits)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time value (cached bytes, current loss)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram of observations.
+
+    Buckets are cumulative-style upper bounds: an observation lands in the
+    first bucket whose bound is >= the value, or in the overflow bucket.
+    Tracks count / sum / min / max alongside the bucket counts, which is
+    enough to report mean latency and tail shape without storing samples.
+    """
+
+    __slots__ = ("name", "bounds", "_counts", "_overflow", "_count", "_sum",
+                 "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        bounds = tuple(buckets if buckets is not None else DEFAULT_LATENCY_BUCKETS)
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        if list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram {name} buckets must be sorted")
+        self.name = name
+        self.bounds = bounds
+        self._counts = [0] * len(bounds)
+        self._overflow = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            if index < len(self.bounds):
+                self._counts[index] += 1
+            else:
+                self._overflow += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """`(upper_bound, count)` pairs; the overflow bucket bound is inf."""
+        with self._lock:
+            pairs = list(zip(self.bounds, self._counts))
+            pairs.append((float("inf"), self._overflow))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (returns an upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if not self._count:
+                return 0.0
+            rank = q * self._count
+            running = 0
+            for bound, count in zip(self.bounds, self._counts):
+                running += count
+                if running >= rank:
+                    return bound
+            return self._max if self._max is not None else float("inf")
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "mean": self._sum / self._count if self._count else 0.0,
+                "min": self._min,
+                "max": self._max,
+                "buckets": [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(self.bounds, self._counts)
+                ] + [{"le": None, "count": self._overflow}],
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts = [0] * len(self.bounds)
+            self._overflow = 0
+            self._count = 0
+            self._sum = 0.0
+            self._min = None
+            self._max = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self._count}, mean={self.mean:.3g})"
+
+
+class MetricsRegistry:
+    """A namespace of metrics, created on first use.
+
+    Names are dotted paths (``"cache.hits"``, ``"chunkstore.get_bytes"``).
+    Re-requesting a name returns the existing metric; requesting a name
+    already registered as a different metric type raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets)
+        )
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str):
+        """Look up a metric without creating it (None when absent)."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def as_dict(self) -> dict:
+        """JSON-serializable snapshot of every registered metric."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(metrics):
+            metric = metrics[name]
+            if isinstance(metric, Counter):
+                out["counters"][name] = metric.value
+            elif isinstance(metric, Gauge):
+                out["gauges"][name] = metric.value
+            else:
+                out["histograms"][name] = metric.to_dict()
+        return out
+
+    def reset(self, prefix: str = "") -> None:
+        """Zero every metric (optionally only those under a dotted prefix)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            if not prefix or metric.name == prefix or metric.name.startswith(
+                prefix + "."
+            ):
+                metric.reset()
+
+
+# -- process-global default registry -----------------------------------------
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry built-in instrumentation writes to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def counter(name: str) -> Counter:
+    """``get_registry().counter(name)`` shorthand."""
+    return _default_registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    """``get_registry().gauge(name)`` shorthand."""
+    return _default_registry.gauge(name)
+
+
+def histogram(name: str, buckets: Optional[Iterable[float]] = None) -> Histogram:
+    """``get_registry().histogram(name)`` shorthand."""
+    return _default_registry.histogram(
+        name, tuple(buckets) if buckets is not None else None
+    )
+
+
+def dump_metrics(
+    path: Optional[str | Path] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Snapshot a registry (default: the global one), optionally to JSON.
+
+    This is the hook the benchmark harness calls after every run so each
+    results file gets a ``*.metrics.json`` sidecar.
+    """
+    snapshot = (registry or _default_registry).as_dict()
+    if path is not None:
+        Path(path).write_text(json.dumps(snapshot, indent=2, default=str))
+    return snapshot
+
+
+def reset_metrics(prefix: str = "") -> None:
+    """Zero the global registry (optionally one dotted-prefix subtree)."""
+    _default_registry.reset(prefix)

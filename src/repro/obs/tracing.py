@@ -1,0 +1,191 @@
+"""Nested wall-clock spans with a ring-buffer recorder.
+
+``trace_span`` is the single timing primitive the rest of the system uses:
+it measures elapsed wall time, knows its parent span (so recorded traces
+reconstruct the call tree), and carries free-form attributes — the matrix
+id being recreated, the retrieval scheme, the DQL verb.  Completed spans
+land in a bounded :class:`TraceRecorder`, so tracing in a long-running
+server costs constant memory.
+
+Span timing uses ``time.perf_counter``; a span's ``elapsed`` is available
+to the instrumented code itself (several public APIs — snapshot
+recreation, DQL execution — report their own wall time, and they read it
+off the span rather than keeping a second clock).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "Span",
+    "TraceRecorder",
+    "trace_span",
+    "get_recorder",
+    "set_recorder",
+    "current_span",
+]
+
+#: Ring-buffer capacity of the default recorder (env-overridable).
+DEFAULT_CAPACITY = int(os.environ.get("REPRO_TRACE_CAPACITY", "4096"))
+
+_span_ids = itertools.count(1)
+_current_span: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed operation.
+
+    Attributes:
+        name: Dotted operation name (``"pas.snapshot"``).
+        attrs: Free-form attributes attached at creation or via
+            :meth:`set_attr` while the span is open.
+        span_id / parent_id: Tree structure; ``parent_id`` is ``None`` for
+            roots.
+        depth: Nesting depth (0 for roots) at creation time.
+        start: ``perf_counter`` timestamp when the span opened.
+        elapsed: Wall seconds; ``None`` while the span is still open.
+        error: Exception repr when the spanned block raised.
+    """
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    depth: int = 0
+    start: float = 0.0
+    elapsed: Optional[float] = None
+    error: Optional[str] = None
+
+    def set_attr(self, key: str, value) -> None:
+        """Attach an attribute discovered mid-span (e.g. bytes read)."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "start": self.start,
+            "elapsed": self.elapsed,
+            "attrs": dict(self.attrs),
+            **({"error": self.error} if self.error else {}),
+        }
+
+
+class TraceRecorder:
+    """Bounded buffer of completed spans (oldest evicted first)."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+            self._recorded += 1
+
+    @property
+    def total_recorded(self) -> int:
+        """Spans ever recorded, including any the ring buffer dropped."""
+        return self._recorded
+
+    def spans(self, name: Optional[str] = None) -> list[Span]:
+        """Buffered spans in completion order, optionally filtered by name."""
+        with self._lock:
+            items = list(self._spans)
+        if name is not None:
+            items = [s for s in items if s.name == name]
+        return items
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._recorded = 0
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Export the buffered spans as a JSON array (completion order)."""
+        return json.dumps(
+            [span.to_dict() for span in self.spans()],
+            indent=indent,
+            default=str,
+        )
+
+
+_default_recorder = TraceRecorder()
+
+
+def get_recorder() -> TraceRecorder:
+    """The process-global recorder ``trace_span`` writes to by default."""
+    return _default_recorder
+
+
+def set_recorder(recorder: TraceRecorder) -> TraceRecorder:
+    """Swap the process-global recorder; returns the previous one."""
+    global _default_recorder
+    previous = _default_recorder
+    _default_recorder = recorder
+    return previous
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span of the calling context (None outside)."""
+    return _current_span.get()
+
+
+@contextmanager
+def trace_span(
+    name: str,
+    recorder: Optional[TraceRecorder] = None,
+    **attrs,
+) -> Iterator[Span]:
+    """Time a block as a span nested under the caller's current span.
+
+    Yields the open :class:`Span`; on exit its ``elapsed`` is set (also
+    when the block raises — the exception propagates, with its repr stored
+    on the span) and the span is recorded.
+
+    Args:
+        name: Dotted operation name.
+        recorder: Destination buffer; defaults to the global recorder.
+        **attrs: Initial span attributes.
+    """
+    parent = _current_span.get()
+    span = Span(
+        name=name,
+        attrs=attrs,
+        span_id=next(_span_ids),
+        parent_id=parent.span_id if parent is not None else None,
+        depth=parent.depth + 1 if parent is not None else 0,
+    )
+    token = _current_span.set(span)
+    span.start = time.perf_counter()
+    try:
+        yield span
+    except BaseException as exc:
+        span.error = repr(exc)
+        raise
+    finally:
+        span.elapsed = time.perf_counter() - span.start
+        _current_span.reset(token)
+        (recorder if recorder is not None else _default_recorder).record(span)

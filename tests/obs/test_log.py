@@ -1,0 +1,69 @@
+"""Structured-logging bootstrap and the REPRO_LOG_LEVEL knob."""
+
+import logging
+
+import pytest
+
+from repro.obs.log import ENV_VAR, configure, get_logger, log_level
+
+
+class TestLogLevel:
+    def test_default_is_warning(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert log_level() == logging.WARNING
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "debug")
+        assert log_level() == logging.DEBUG
+
+    def test_invalid_level_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "LOUD")
+        with pytest.raises(ValueError):
+            log_level()
+
+
+class TestConfigure:
+    def test_env_knob_applies_on_forced_configure(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "INFO")
+        root = configure(force=True)
+        assert root.level == logging.INFO
+        assert any(
+            isinstance(h, logging.StreamHandler) for h in root.handlers
+        )
+
+    def test_explicit_level_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "INFO")
+        root = configure(level="ERROR", force=True)
+        assert root.level == logging.ERROR
+
+    def test_invalid_explicit_level(self):
+        with pytest.raises(ValueError):
+            configure(level="NOISY", force=True)
+
+    def test_idempotent_without_force(self):
+        root = configure(level="WARNING", force=True)
+        handlers_before = list(root.handlers)
+        configure(level="DEBUG")  # ignored: already configured
+        assert root.level == logging.WARNING
+        assert list(root.handlers) == handlers_before
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        logger = get_logger("core.retrieval")
+        assert logger.name == "repro.core.retrieval"
+
+    def test_repro_prefixed_names_pass_through(self):
+        assert get_logger("repro.dql").name == "repro.dql"
+
+    def test_messages_reach_the_repro_root(self):
+        root = configure(level="INFO", force=True)
+        records = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        root.addHandler(handler)
+        try:
+            get_logger("obs.test").info("op=test outcome=ok")
+        finally:
+            root.removeHandler(handler)
+        assert any("op=test outcome=ok" in r.getMessage() for r in records)

@@ -1,0 +1,189 @@
+"""Registry, counter, gauge, and histogram behaviour."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    dump_metrics,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(5)
+        c.reset()
+        assert c.value == 0
+
+    def test_thread_safety(self):
+        c = Counter("x")
+
+        def worker():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == 12.0
+
+    def test_reset(self):
+        g = Gauge("g")
+        g.set(3.0)
+        g.reset()
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram("h", buckets=[1.0, 10.0, 100.0])
+        for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+            h.observe(value)
+        counts = dict(h.bucket_counts())
+        assert counts[1.0] == 2  # 0.5 and the exact bound 1.0
+        assert counts[10.0] == 1
+        assert counts[100.0] == 1
+        assert counts[float("inf")] == 1  # overflow
+
+    def test_summary_stats(self):
+        h = Histogram("h", buckets=[10.0])
+        for value in (1.0, 2.0, 3.0):
+            h.observe(value)
+        assert h.count == 3
+        assert h.sum == 6.0
+        assert h.mean == 2.0
+        d = h.to_dict()
+        assert d["min"] == 1.0 and d["max"] == 3.0
+
+    def test_quantile_estimate(self):
+        h = Histogram("h", buckets=[1.0, 2.0, 4.0, 8.0])
+        for value in (0.5, 1.5, 1.6, 3.0):
+            h.observe(value)
+        assert h.quantile(0.25) == 1.0
+        assert h.quantile(0.75) == 2.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=[2.0, 1.0])
+
+    def test_default_buckets_cover_latency_range(self):
+        h = Histogram("h")
+        assert h.bounds == DEFAULT_LATENCY_BUCKETS
+
+    def test_reset(self):
+        h = Histogram("h", buckets=[1.0])
+        h.observe(0.5)
+        h.reset()
+        assert h.count == 0
+        assert h.to_dict()["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_conflicts_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_get_without_creating(self):
+        reg = MetricsRegistry()
+        assert reg.get("missing") is None
+        reg.counter("present")
+        assert reg.get("present") is not None
+
+    def test_as_dict_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=[1.0]).observe(0.2)
+        snapshot = reg.as_dict()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        json.dumps(snapshot)  # must be JSON-serializable
+
+    def test_prefix_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(5)
+        reg.counter("cache.misses").inc(2)
+        reg.counter("cachet.other").inc(7)  # prefix must match dotted segments
+        reg.reset("cache")
+        assert reg.counter("cache.hits").value == 0
+        assert reg.counter("cache.misses").value == 0
+        assert reg.counter("cachet.other").value == 7
+
+    def test_full_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(2)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        assert reg.gauge("b").value == 0.0
+
+    def test_instances_are_isolated(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x").inc()
+        assert b.counter("x").value == 0
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+            get_registry().counter("swap.test").inc()
+            assert fresh.counter("swap.test").value == 1
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
+
+    def test_dump_metrics_writes_json(self, tmp_path):
+        fresh = MetricsRegistry()
+        fresh.counter("dump.test").inc(9)
+        path = tmp_path / "metrics.json"
+        snapshot = dump_metrics(path, registry=fresh)
+        assert snapshot["counters"]["dump.test"] == 9
+        assert json.loads(path.read_text()) == snapshot

@@ -1,0 +1,146 @@
+"""Span nesting, attributes, the ring-buffer recorder, and JSON export."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import (
+    TraceRecorder,
+    current_span,
+    get_recorder,
+    set_recorder,
+    trace_span,
+)
+
+
+@pytest.fixture
+def recorder():
+    """Isolate the global recorder per test."""
+    fresh = TraceRecorder(capacity=256)
+    previous = set_recorder(fresh)
+    yield fresh
+    set_recorder(previous)
+
+
+class TestSpanBasics:
+    def test_elapsed_is_set_on_exit(self, recorder):
+        with trace_span("op") as span:
+            assert span.elapsed is None
+        assert span.elapsed is not None
+        assert span.elapsed >= 0.0
+
+    def test_attrs_at_creation_and_mid_span(self, recorder):
+        with trace_span("op", matrix="m0") as span:
+            span.set_attr("bytes_read", 128)
+        assert span.attrs == {"matrix": "m0", "bytes_read": 128}
+
+    def test_exception_propagates_and_is_recorded(self, recorder):
+        with pytest.raises(RuntimeError):
+            with trace_span("boom"):
+                raise RuntimeError("failure inside span")
+        [span] = recorder.spans("boom")
+        assert span.elapsed is not None
+        assert "failure inside span" in span.error
+
+    def test_current_span_tracks_innermost(self, recorder):
+        assert current_span() is None
+        with trace_span("outer") as outer:
+            assert current_span() is outer
+            with trace_span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+
+class TestNesting:
+    def test_parent_child_links_and_depth(self, recorder):
+        with trace_span("outer") as outer:
+            with trace_span("middle") as middle:
+                with trace_span("inner") as inner:
+                    pass
+        assert outer.depth == 0 and outer.parent_id is None
+        assert middle.parent_id == outer.span_id and middle.depth == 1
+        assert inner.parent_id == middle.span_id and inner.depth == 2
+
+    def test_siblings_share_a_parent(self, recorder):
+        with trace_span("parent") as parent:
+            with trace_span("a") as a:
+                pass
+            with trace_span("b") as b:
+                pass
+        assert a.parent_id == parent.span_id
+        assert b.parent_id == parent.span_id
+
+    def test_completion_order_is_inner_first(self, recorder):
+        with trace_span("outer"):
+            with trace_span("inner"):
+                pass
+        names = [span.name for span in recorder.spans()]
+        assert names == ["inner", "outer"]
+
+    def test_threads_start_fresh_roots(self, recorder):
+        seen = {}
+
+        def worker():
+            with trace_span("threaded") as span:
+                seen["parent_id"] = span.parent_id
+
+        with trace_span("main"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent_id"] is None
+
+
+class TestRecorder:
+    def test_ring_buffer_evicts_oldest(self):
+        recorder = TraceRecorder(capacity=3)
+        for index in range(5):
+            with trace_span(f"op{index}", recorder=recorder):
+                pass
+        assert len(recorder) == 3
+        assert [s.name for s in recorder.spans()] == ["op2", "op3", "op4"]
+        assert recorder.total_recorded == 5
+
+    def test_filter_by_name(self, recorder):
+        with trace_span("keep"):
+            pass
+        with trace_span("drop"):
+            pass
+        assert [s.name for s in recorder.spans("keep")] == ["keep"]
+
+    def test_clear(self, recorder):
+        with trace_span("op"):
+            pass
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.total_recorded == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_explicit_recorder_bypasses_global(self, recorder):
+        private = TraceRecorder(capacity=8)
+        with trace_span("private-op", recorder=private):
+            pass
+        assert len(private) == 1
+        assert recorder.spans("private-op") == []
+
+
+class TestJsonExport:
+    def test_to_json_round_trips(self, recorder):
+        with trace_span("outer", scheme="independent"):
+            with trace_span("inner", matrix="m0"):
+                pass
+        exported = json.loads(recorder.to_json())
+        assert [entry["name"] for entry in exported] == ["inner", "outer"]
+        inner, outer = exported
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["attrs"] == {"matrix": "m0"}
+        assert inner["elapsed"] >= 0.0
+        assert outer["attrs"] == {"scheme": "independent"}
+
+    def test_global_recorder_accessor(self, recorder):
+        assert get_recorder() is recorder
