@@ -1,0 +1,48 @@
+"""``repro.analysis`` — static diagnostics for queries, graphs, and code.
+
+Three coordinated passes share one :class:`Diagnostic` model (severity,
+stable code, source span, fix hint) and one surface (``dlv check``):
+
+* :mod:`repro.analysis.dql_check` — semantic analysis of parsed DQL
+  (``DQL1xx``): name resolution against the DLV catalog, vary-target and
+  config validation, condition type checking, unsatisfiable enumerations.
+  ``DQLExecutor(strict=True)`` refuses to execute queries with errors.
+* :mod:`repro.analysis.net_check` — symbolic shape/dtype inference over
+  the network DAG without building weights (``NET2xx``): cycles, dangling
+  inputs, shape mismatches, float64 leaks that would break PAS
+  segmentation.  ``Network.build(validate=True)`` runs it first.
+* :mod:`repro.analysis.lint` — ``ast``-based repo-invariant lint
+  (``LINT3xx``), runnable as ``python -m repro.analysis.lint src/repro``
+  and wired into CI.
+
+Every emission is counted in ``repro.obs`` under
+``analysis.diagnostics_emitted`` (plus per-severity / per-pass counters).
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    AnalysisError,
+    Diagnostic,
+    Span,
+    format_diagnostic,
+    format_diagnostics,
+    has_errors,
+)
+from repro.analysis.dql_check import check_query
+from repro.analysis.lint import lint_file, lint_paths
+from repro.analysis.net_check import check_network, validate_network
+
+__all__ = [
+    "CODES",
+    "AnalysisError",
+    "Diagnostic",
+    "Span",
+    "check_network",
+    "check_query",
+    "format_diagnostic",
+    "format_diagnostics",
+    "has_errors",
+    "lint_file",
+    "lint_paths",
+    "validate_network",
+]

@@ -1,0 +1,193 @@
+"""The unified diagnostic model shared by every static-analysis pass.
+
+All three passes — the DQL semantic analyzer (``DQL1xx``), the network
+graph validator (``NET2xx``), and the repo-invariant linter (``LINT3xx``)
+— report through one :class:`Diagnostic` shape: a severity, a stable
+code, a human message, an optional source :class:`Span`, and a fix hint.
+``dlv check`` renders lists of them as text or JSON, and every emission
+is counted in ``repro.obs`` (``analysis.diagnostics_emitted`` plus
+per-severity and per-pass counters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.obs.metrics import counter
+
+__all__ = [
+    "CODES",
+    "SEVERITIES",
+    "AnalysisError",
+    "Diagnostic",
+    "Span",
+    "format_diagnostic",
+    "format_diagnostics",
+    "has_errors",
+    "record_diagnostics",
+    "span_from_offsets",
+]
+
+SEVERITIES = ("error", "warning", "info")
+
+#: Every diagnostic code any pass can emit, with a one-line description.
+#: This table is the single source of truth: ``dlv check --list-codes``
+#: prints it and ``docs/api.md`` mirrors it.
+CODES: dict[str, str] = {
+    # -- DQL semantic analysis (analysis/dql_check.py) --------------------
+    "DQL100": "query does not parse (syntax error, carried over with its span)",
+    "DQL101": "name does not resolve against the DLV catalog or result registry",
+    "DQL102": "condition references a variable the query does not bind",
+    "DQL103": "type mismatch in a comparison (e.g. numeric metric vs string)",
+    "DQL104": "unknown attribute in a comparison path",
+    "DQL105": "missing or malformed node selector",
+    "DQL106": "unsupported graph-traversal attribute (only next/prev)",
+    "DQL107": "slice endpoint bound to the wrong variable",
+    "DQL108": "construct mutation anchor has no node selector",
+    "DQL109": "unknown layer-template kind",
+    "DQL110": "vary target is not a known hyperparameter dimension",
+    "DQL111": "vary ... auto has no default grid for this dimension",
+    "DQL112": "tuning config reference cannot be resolved",
+    "DQL113": "enumeration is empty or unsatisfiable",
+    "DQL114": "keep clause ranks by an unknown metric",
+    # -- network graph validation (analysis/net_check.py) -----------------
+    "NET201": "network DAG contains a cycle",
+    "NET202": "node consumes an input that does not exist",
+    "NET203": "network has multiple sinks (ambiguous output)",
+    "NET204": "node is unreachable from the network input",
+    "NET205": "layer input has an incompatible rank or shape",
+    "NET206": "conv/pool arithmetic yields a non-positive output dimension",
+    "NET207": "multi-input layer shapes disagree (Add/Concat)",
+    "NET208": "float64 parameters would break PAS float-scheme segmentation",
+    # -- repo-invariant lint (analysis/lint.py) ----------------------------
+    "LINT301": "bare except: handler",
+    "LINT302": "float64 dtype constructed in a PAS hot path",
+    "LINT303": "in-place mutation of an array returned by chunkstore/retrieval",
+    "LINT304": "instrumented core module lost its repro.obs coverage",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open character span into one source (query text or file).
+
+    ``line``/``col`` are 1-based; ``start``/``end`` are 0-based character
+    offsets.  For file-based diagnostics (lint) only ``line``/``col`` are
+    meaningful and offsets default to 0.
+    """
+
+    start: int = 0
+    end: int = 0
+    line: int = 1
+    col: int = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "end": self.end,
+            "line": self.line,
+            "col": self.col,
+        }
+
+
+def span_from_offsets(
+    text: Optional[str], start: int, end: Optional[int] = None
+) -> Span:
+    """Build a :class:`Span` from offsets, deriving line/col from ``text``."""
+    if end is None:
+        end = start + 1
+    if text is None:
+        return Span(start, end)
+    from repro.dql.parser import line_col
+
+    line, col = line_col(text, start)
+    return Span(start, end, line, col)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a static-analysis pass.
+
+    Attributes:
+        code: Stable identifier from :data:`CODES` (``DQL101`` ...).
+        severity: ``error`` (blocks strict execution / fails CI),
+            ``warning``, or ``info``.
+        message: What is wrong, with the concrete names involved.
+        span: Where in the source, when known.
+        hint: How to fix it, when the pass can tell.
+        source: Which pass produced it (``dql`` / ``net`` / ``lint``).
+        file: File path for lint diagnostics (None for query/graph ones).
+    """
+
+    code: str
+    severity: str
+    message: str
+    span: Optional[Span] = None
+    hint: Optional[str] = None
+    source: str = "dql"
+    file: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+        if self.code not in CODES:
+            raise ValueError(f"unregistered diagnostic code {self.code!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "span": self.span.to_dict() if self.span else None,
+            "hint": self.hint,
+            "source": self.source,
+            "file": self.file,
+        }
+
+
+def format_diagnostic(diag: Diagnostic) -> str:
+    """One-line human rendering: ``where: severity[CODE] message (hint)``."""
+    where = ""
+    if diag.file is not None:
+        where = f"{diag.file}:"
+        if diag.span is not None:
+            where += f"{diag.span.line}:{diag.span.col}:"
+        where += " "
+    elif diag.span is not None:
+        where = f"line {diag.span.line}, col {diag.span.col}: "
+    text = f"{where}{diag.severity}[{diag.code}] {diag.message}"
+    if diag.hint:
+        text += f" (hint: {diag.hint})"
+    return text
+
+
+def format_diagnostics(diagnostics: Iterable[Diagnostic]) -> str:
+    return "\n".join(format_diagnostic(d) for d in diagnostics)
+
+
+def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diagnostics)
+
+
+def record_diagnostics(
+    diagnostics: list[Diagnostic], pass_name: str
+) -> list[Diagnostic]:
+    """Count a pass's findings in the obs registry; returns them unchanged."""
+    counter(f"analysis.{pass_name}.runs").inc()
+    if diagnostics:
+        counter("analysis.diagnostics_emitted").inc(len(diagnostics))
+        for diag in diagnostics:
+            counter(f"analysis.diagnostics.{diag.severity}").inc()
+    return diagnostics
+
+
+class AnalysisError(ValueError):
+    """Raised when strict execution refuses to run on error diagnostics."""
+
+    def __init__(self, message: str, diagnostics: list[Diagnostic]) -> None:
+        self.diagnostics = diagnostics
+        details = format_diagnostics(
+            [d for d in diagnostics if d.severity == "error"]
+        )
+        super().__init__(f"{message}\n{details}" if details else message)

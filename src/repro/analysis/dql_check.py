@@ -1,0 +1,510 @@
+"""Semantic analysis of parsed DQL queries, before the executor runs.
+
+The DQL executor discovers most mistakes deep inside execution — after
+versions have been loaded, networks cloned, or (worst) training started.
+This pass walks the AST from :mod:`repro.dql.parser` and reports every
+statically decidable problem up front as spanned
+:class:`~repro.analysis.diagnostics.Diagnostic` objects: unresolvable
+names, unbound variables, ill-typed comparisons, invalid selectors and
+templates, unusable ``vary`` targets, and enumerations that are provably
+empty or unsatisfiable.
+
+``DQLExecutor(strict=True)`` runs this analyzer first and refuses to
+execute a query with error-severity findings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Span,
+    record_diagnostics,
+    span_from_offsets,
+)
+from repro.dql import hyperparams as hp
+from repro.dql.ast_nodes import (
+    BoolOp,
+    Comparison,
+    Condition,
+    ConstructQuery,
+    EvaluateQuery,
+    HasClause,
+    KeepClause,
+    Path,
+    Query,
+    SelectQuery,
+    SliceQuery,
+    VaryClause,
+)
+from repro.dql.lexer import LexError
+from repro.dql.parser import ParseError, parse
+from repro.dql.selector import SelectorError, compile_selector
+
+__all__ = ["check_query"]
+
+#: Version attributes with a known scalar type.
+_NUMERIC_ATTRS = {"accuracy", "final_accuracy", "loss", "final_loss", "id"}
+_STRING_ATTRS = {"name", "created_at", "creation_time"}
+
+#: Template kinds DQL mutations can instantiate (selector.py).
+_CONSTRUCTIBLE_KINDS = {
+    "RELU", "SIGMOID", "TANH", "SOFTMAX", "FLATTEN", "DROPOUT", "LRN",
+    "POOL", "CONV", "FULL",
+}
+#: Kinds a `has` template may test for (any real layer kind).
+_LAYER_KINDS = _CONSTRUCTIBLE_KINDS | {"ADD", "CONCAT", "BNORM"}
+
+#: Config keys a 1-component vary target may address.
+_KNOWN_CONFIG_KEYS = (
+    set(hp._SOLVER_KEYS)
+    | set(hp.AUTO_GRIDS)
+    | {"input_data", "data_size", "data_classes"}
+)
+
+#: Metrics an evaluation row carries (hyperparams.apply_keep reads these).
+_KEEP_METRICS = {"loss", "accuracy", "iterations"}
+
+
+class _Checker:
+    def __init__(
+        self,
+        repo=None,
+        configs: Optional[dict] = None,
+        results: Optional[dict] = None,
+        text: Optional[str] = None,
+    ) -> None:
+        self.repo = repo
+        self.configs = configs or {}
+        self.results = results or {}
+        self.text = text
+        self.diagnostics: list[Diagnostic] = []
+        self._catalog_names: Optional[set[str]] = None
+        self._metadata_keys: Optional[set[str]] = None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _span(self, node) -> Optional[Span]:
+        span = getattr(node, "span", None) if node is not None else None
+        if span is None:
+            return None
+        return span_from_offsets(self.text, span[0], span[1])
+
+    def report(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        node=None,
+        hint: Optional[str] = None,
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code, severity, message, span=self._span(node), hint=hint,
+                source="dql",
+            )
+        )
+
+    def _catalog(self) -> set[str]:
+        if self._catalog_names is None:
+            self._catalog_names = (
+                {v.name for v in self.repo.list_versions()}
+                if self.repo is not None
+                else set()
+            )
+        return self._catalog_names
+
+    def _known_metadata(self) -> set[str]:
+        if self._metadata_keys is None:
+            keys: set[str] = set()
+            if self.repo is not None:
+                for version in self.repo.list_versions():
+                    keys.update(version.metadata)
+            self._metadata_keys = keys
+        return self._metadata_keys
+
+    # -- conditions --------------------------------------------------------
+
+    def check_condition(self, cond: Optional[Condition], var: str) -> None:
+        if cond is None:
+            return
+        if isinstance(cond, BoolOp):
+            for operand in cond.operands:
+                self.check_condition(operand, var)
+            if cond.op == "and":
+                self._check_satisfiable(cond)
+            return
+        if isinstance(cond, Comparison):
+            self._check_comparison(cond, var)
+        elif isinstance(cond, HasClause):
+            self._check_has(cond, var)
+
+    def _check_path_var(self, path: Path, var: str) -> bool:
+        if path.var != var:
+            self.report(
+                "DQL102", "error",
+                f"condition references {path.var!r} but the query binds "
+                f"{var!r}",
+                path,
+                hint=f"write the condition over {var!r}",
+            )
+            return False
+        return True
+
+    def _check_comparison(self, cond: Comparison, var: str) -> None:
+        if not self._check_path_var(cond.path, var):
+            return
+        if not cond.path.attrs:
+            self.report(
+                "DQL104", "error",
+                "comparison path needs an attribute "
+                f"(e.g. {var}.accuracy)",
+                cond.path,
+            )
+            return
+        attr = cond.path.attrs[0]
+        known = _NUMERIC_ATTRS | _STRING_ATTRS | self._known_metadata()
+        if attr not in known:
+            self.report(
+                "DQL104", "warning",
+                f"unknown attribute {attr!r} — not a built-in version "
+                "attribute"
+                + (
+                    " or a metadata key in this repository"
+                    if self.repo is not None
+                    else ""
+                ),
+                cond.path,
+                hint="built-ins: " + ", ".join(
+                    sorted(_NUMERIC_ATTRS | _STRING_ATTRS)
+                ),
+            )
+        if attr in _NUMERIC_ATTRS:
+            if cond.op == "like":
+                self.report(
+                    "DQL103", "warning",
+                    f"'like' pattern-matches strings but {attr!r} is numeric",
+                    cond.path,
+                )
+            elif isinstance(cond.value, str):
+                self.report(
+                    "DQL103", "error",
+                    f"{attr!r} is numeric but is compared to the string "
+                    f"{cond.value!r}",
+                    cond.path,
+                    hint="compare against a number literal",
+                )
+        elif attr in _STRING_ATTRS and attr != "created_at":
+            if cond.op in ("<", "<=", ">", ">=") and isinstance(
+                cond.value, (int, float)
+            ):
+                self.report(
+                    "DQL103", "error",
+                    f"{attr!r} is a string attribute; ordering it against "
+                    f"the number {cond.value!r} is meaningless",
+                    cond.path,
+                    hint="use = / != / like with a string",
+                )
+        if (
+            attr == "name"
+            and cond.op == "="
+            and isinstance(cond.value, str)
+            and self.repo is not None
+            and cond.value not in self._catalog()
+        ):
+            self.report(
+                "DQL101", "warning",
+                f"no model named {cond.value!r} in the catalog; the "
+                "condition matches nothing",
+                cond.path,
+                hint="check `dlv list` for available names",
+            )
+
+    def _check_has(self, cond: HasClause, var: str) -> None:
+        if not self._check_path_var(cond.path, var):
+            return
+        if cond.path.selector is None:
+            self.report(
+                "DQL105", "error",
+                '"has" conditions need a node selector',
+                cond.path,
+                hint=f'write {var}["conv*"] has ...',
+            )
+        else:
+            self._check_selector(cond.path.selector, cond.path)
+        for attr in cond.path.attrs:
+            if attr not in ("next", "prev"):
+                self.report(
+                    "DQL106", "error",
+                    f"unsupported traversal attribute {attr!r}",
+                    cond.path,
+                    hint="only .next and .prev traverse the DAG",
+                )
+        self._check_template(cond.template, _LAYER_KINDS)
+
+    def _check_selector(self, pattern: str, node) -> None:
+        try:
+            compile_selector(pattern)
+        except SelectorError as exc:
+            self.report("DQL105", "error", str(exc), node)
+
+    def _check_template(self, template, allowed: set[str]) -> None:
+        if template is None:
+            return
+        if template.kind not in allowed:
+            self.report(
+                "DQL109", "error",
+                f"unknown layer-template kind {template.kind!r}",
+                template,
+                hint="known kinds: " + ", ".join(sorted(allowed)),
+            )
+
+    def _check_satisfiable(self, cond: BoolOp) -> None:
+        """Flag provably empty `and` chains of numeric range comparisons."""
+        bounds: dict[str, dict] = {}
+        for operand in cond.operands:
+            if not isinstance(operand, Comparison):
+                continue
+            if not operand.path.attrs or not isinstance(
+                operand.value, (int, float)
+            ):
+                continue
+            attr = operand.path.attrs[0]
+            entry = bounds.setdefault(
+                attr,
+                {"lo": float("-inf"), "hi": float("inf"), "eq": set(),
+                 "node": operand.path},
+            )
+            value = float(operand.value)
+            if operand.op in (">", ">="):
+                entry["lo"] = max(entry["lo"], value)
+            elif operand.op in ("<", "<="):
+                entry["hi"] = min(entry["hi"], value)
+            elif operand.op == "=":
+                entry["eq"].add(value)
+        for attr, entry in bounds.items():
+            contradictory = entry["lo"] > entry["hi"] or len(entry["eq"]) > 1
+            if not contradictory and entry["eq"]:
+                eq = next(iter(entry["eq"]))
+                contradictory = not entry["lo"] <= eq <= entry["hi"]
+            if contradictory:
+                self.report(
+                    "DQL113", "error",
+                    f"conditions on {attr!r} are unsatisfiable — no value "
+                    "meets every bound in the 'and' chain",
+                    entry["node"],
+                    hint="relax one of the contradictory comparisons",
+                )
+
+    # -- per-query checks --------------------------------------------------
+
+    def check(self, query: Query) -> None:
+        if isinstance(query, SelectQuery):
+            self.check_condition(query.where, query.var)
+        elif isinstance(query, SliceQuery):
+            self._check_slice(query)
+        elif isinstance(query, ConstructQuery):
+            self._check_construct(query)
+        elif isinstance(query, EvaluateQuery):
+            self._check_evaluate(query)
+
+    def _check_slice(self, query: SliceQuery) -> None:
+        if query.source_query is not None:
+            self.check(query.source_query)
+        self.check_condition(query.where, query.source_var)
+        for label, path in (
+            ("input", query.input_path), ("output", query.output_path)
+        ):
+            if path.var != query.source_var:
+                self.report(
+                    "DQL107", "error",
+                    f"slice {label} endpoint selects nodes of {path.var!r}, "
+                    f"not the source variable {query.source_var!r}",
+                    path,
+                    hint=f"write {query.source_var}[...] on both endpoints",
+                )
+            if path.selector is None:
+                self.report(
+                    "DQL105", "error",
+                    f"slice {label} endpoint needs a node selector",
+                    path,
+                    hint=f'write {query.source_var}["conv1"]',
+                )
+            else:
+                self._check_selector(path.selector, path)
+
+    def _check_construct(self, query: ConstructQuery) -> None:
+        if query.source_query is not None:
+            self.check(query.source_query)
+        self.check_condition(query.where, query.source_var)
+        for mutation in query.mutations:
+            if mutation.anchor.selector is None:
+                self.report(
+                    "DQL108", "error",
+                    f"{mutation.action} mutation anchor has no node selector",
+                    mutation.anchor,
+                    hint=f'write {query.source_var}["conv*"].{mutation.action}',
+                )
+            else:
+                self._check_selector(mutation.anchor.selector, mutation.anchor)
+            allowed = (
+                _CONSTRUCTIBLE_KINDS
+                if mutation.action == "insert"
+                else _LAYER_KINDS
+            )
+            self._check_template(mutation.template, allowed)
+
+    def _check_evaluate(self, query: EvaluateQuery) -> None:
+        if isinstance(query.source, str):
+            known = query.source in self.results
+            if not known and self.repo is not None:
+                if not self.repo.list_versions(query.source):
+                    self.report(
+                        "DQL101", "error",
+                        f"evaluate source {query.source!r} is neither a "
+                        "registered result nor a model name pattern in the "
+                        "catalog",
+                        _SpanCarrier(query.source_span),
+                        hint="run the producing query first, or check "
+                        "`dlv list`",
+                    )
+        else:
+            self.check(query.source)
+        self._check_config(query)
+        for clause in query.vary:
+            self._check_vary(clause)
+        self._check_keep(query.keep)
+
+    def _check_config(self, query: EvaluateQuery) -> None:
+        try:
+            hp.load_config(query.config_ref, self.configs)
+        except hp.ConfigError as exc:
+            self.report(
+                "DQL112", "error", str(exc),
+                _SpanCarrier(query.config_span),
+                hint="register the config on the executor or point at a "
+                "JSON file",
+            )
+
+    def _check_vary(self, clause: VaryClause) -> None:
+        target = clause.target
+        dotted = "config." + ".".join(target)
+        if len(target) == 1:
+            if target[0] not in _KNOWN_CONFIG_KEYS:
+                self.report(
+                    "DQL110", "warning",
+                    f"{dotted} is not a known hyperparameter dimension",
+                    clause,
+                    hint="known keys: " + ", ".join(
+                        sorted(_KNOWN_CONFIG_KEYS)
+                    ),
+                )
+        elif not (
+            len(target) == 3 and target[0] == "net" and target[2] == "lr"
+        ):
+            self.report(
+                "DQL110", "error",
+                f"unsupported vary target {dotted}; only flat config keys "
+                'and config.net["<layer>"].lr are tunable',
+                clause,
+            )
+        if clause.auto and target[-1] not in hp.AUTO_GRIDS:
+            self.report(
+                "DQL111", "error",
+                f"no auto grid for {dotted}",
+                clause,
+                hint="spell the grid out with `in [...]`, or vary one of: "
+                + ", ".join(sorted(hp.AUTO_GRIDS)),
+            )
+
+    def _check_keep(self, keep: Optional[KeepClause]) -> None:
+        if keep is None:
+            return
+        if keep.mode == "top":
+            if keep.k is not None and keep.k <= 0:
+                self.report(
+                    "DQL113", "error",
+                    f"keep top({keep.k}, ...) keeps nothing — the "
+                    "enumeration result is always empty",
+                    keep,
+                    hint="use k >= 1",
+                )
+            if keep.iterations is not None and keep.iterations <= 0:
+                self.report(
+                    "DQL113", "warning",
+                    f"keep top(..., {keep.iterations}) measures at a "
+                    "non-positive iteration count",
+                    keep,
+                )
+        metric = hp.metric_name(keep)
+        if metric not in _KEEP_METRICS:
+            self.report(
+                "DQL114", "warning",
+                f"keep ranks by unknown metric {metric!r}; candidates "
+                "without it are dropped or unranked",
+                keep,
+                hint="known metrics: " + ", ".join(sorted(_KEEP_METRICS)),
+            )
+
+
+class _SpanCarrier:
+    """Adapter giving plain ``(start, end)`` tuples a ``.span`` attribute."""
+
+    def __init__(self, span) -> None:
+        self.span = span
+
+
+def check_query(
+    query: Union[str, Query],
+    repo=None,
+    configs: Optional[dict] = None,
+    results: Optional[dict] = None,
+    text: Optional[str] = None,
+) -> list[Diagnostic]:
+    """Statically analyze one DQL statement.
+
+    Args:
+        query: Source text or an already-parsed AST.
+        repo: Optional :class:`~repro.dlv.repository.Repository`; when
+            given, names are resolved against its catalog (``DQL101``)
+            and metadata keys inform attribute checks (``DQL104``).
+        configs: Named tuning configs (as registered on an executor).
+        results: Named query results available to ``evaluate ... from``.
+        text: Original source when ``query`` is an AST, for line/col spans.
+
+    Returns:
+        Diagnostics sorted errors-first.  Syntax errors surface as a
+        single ``DQL100`` diagnostic rather than an exception.
+    """
+    if isinstance(query, str):
+        text = query
+        try:
+            ast = parse(query)
+        except ParseError as exc:
+            span = None
+            if exc.offset is not None:
+                span = span_from_offsets(
+                    text, exc.offset, exc.offset + exc.length
+                )
+            return record_diagnostics(
+                [
+                    Diagnostic(
+                        "DQL100", "error", str(exc), span=span, source="dql",
+                        hint="fix the syntax before semantic checks can run",
+                    )
+                ],
+                "dql",
+            )
+        except LexError as exc:
+            return record_diagnostics(
+                [Diagnostic("DQL100", "error", str(exc), source="dql")],
+                "dql",
+            )
+    else:
+        ast = query
+    checker = _Checker(repo=repo, configs=configs, results=results, text=text)
+    checker.check(ast)
+    order = {"error": 0, "warning": 1, "info": 2}
+    checker.diagnostics.sort(key=lambda d: order[d.severity])
+    return record_diagnostics(checker.diagnostics, "dql")

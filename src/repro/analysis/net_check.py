@@ -1,0 +1,265 @@
+"""Static validation of :class:`~repro.dnn.network.Network` DAGs.
+
+The validator re-derives every layer's output shape *symbolically* — the
+same conv/pool arithmetic :mod:`repro.dnn.layers` applies in ``build`` —
+without allocating a single weight array.  That lets DQL ``construct``
+mutations and ``dlv check`` reject a shape-mismatched candidate before
+any parameters exist, let alone any training runs.
+
+Checks performed (codes from :data:`repro.analysis.diagnostics.CODES`):
+
+* structure — cycles (``NET201``), dangling inputs (``NET202``),
+  multi-sink ambiguity (``NET203``), nodes unreachable from the input
+  (``NET204``);
+* shapes — rank mismatches per layer kind (``NET205``), non-positive
+  conv/pool output dimensions (``NET206``), disagreeing multi-input
+  shapes (``NET207``);
+* dtypes — float64 parameters on built networks (``NET208``), which
+  would silently break PAS byte-plane segmentation
+  (:mod:`repro.core.float_schemes` assumes 4-byte float32 patterns).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    has_errors,
+    record_diagnostics,
+)
+from repro.dnn.im2col import conv_output_size
+from repro.dnn.network import INPUT, GraphError, Network
+
+__all__ = ["check_network", "validate_network"]
+
+#: Layer kinds whose output shape equals their input shape.
+_IDENTITY_KINDS = {
+    "RELU", "SIGMOID", "TANH", "SOFTMAX", "DROPOUT", "BNORM",
+}
+
+
+def _diag(code, severity, message, hint=None) -> Diagnostic:
+    return Diagnostic(code, severity, message, hint=hint, source="net")
+
+
+def _check_structure(net: Network) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    dangling = net.dangling_inputs()
+    for node, upstream in dangling:
+        diagnostics.append(
+            _diag(
+                "NET202", "error",
+                f"node {node!r} consumes {upstream!r}, which does not exist",
+                hint="add the missing node first, or rewire the input",
+            )
+        )
+    if dangling:
+        # Cycle/reachability analysis needs a well-formed edge set.
+        return diagnostics
+    cyclic = False
+    try:
+        net.topological_order()
+    except GraphError as exc:
+        cyclic = True
+        diagnostics.append(
+            _diag(
+                "NET201", "error", str(exc),
+                hint="break the cycle by deleting or rewiring one of the "
+                "listed nodes",
+            )
+        )
+    if not cyclic:
+        sinks = net.sinks()
+        if len(net) and len(sinks) > 1:
+            diagnostics.append(
+                _diag(
+                    "NET203", "warning",
+                    f"network has {len(sinks)} sinks {sorted(sinks)}; "
+                    "forward() and training need exactly one output",
+                    hint="slice the intended head or delete the dead branch",
+                )
+            )
+    # Reachability from the input sentinel, following consumer edges.  In a
+    # well-formed DAG every node is reachable (each chain of inputs ends at
+    # INPUT), so this pinpoints the island when a cycle is present.
+    reachable: set[str] = set()
+    frontier = [
+        node.name for node in net.nodes() if INPUT in node.input_names
+    ]
+    while frontier:
+        current = frontier.pop()
+        if current in reachable:
+            continue
+        reachable.add(current)
+        frontier.extend(net.consumers(current))
+    for name in net.node_names():
+        if name not in reachable:
+            diagnostics.append(
+                _diag(
+                    "NET204", "warning",
+                    f"node {name!r} is unreachable from the network input",
+                    hint="connect it to the DAG or delete it",
+                )
+            )
+    return diagnostics
+
+
+def _infer_shape(
+    kind: str,
+    name: str,
+    hyperparams: dict,
+    in_shape,
+    multi_input: bool,
+) -> tuple[Optional[tuple], list[Diagnostic]]:
+    """Output shape of one layer from its input shape(s), plus findings."""
+    diagnostics: list[Diagnostic] = []
+    if multi_input:
+        shapes = [tuple(s) for s in in_shape]
+        if kind == "ADD":
+            if len(set(shapes)) != 1:
+                diagnostics.append(
+                    _diag(
+                        "NET207", "error",
+                        f"Add node {name!r} inputs disagree: {shapes}",
+                        hint="Add requires identical shapes on every input",
+                    )
+                )
+                return None, diagnostics
+            return shapes[0], diagnostics
+        if kind == "CONCAT":
+            tails = {shape[1:] for shape in shapes}
+            if len(tails) != 1 or not all(shapes):
+                diagnostics.append(
+                    _diag(
+                        "NET207", "error",
+                        f"Concat node {name!r} inputs disagree beyond the "
+                        f"channel axis: {shapes}",
+                        hint="Concat inputs may differ only in channels",
+                    )
+                )
+                return None, diagnostics
+            return (sum(s[0] for s in shapes), *shapes[0][1:]), diagnostics
+        return None, diagnostics  # unknown multi-input kind: no inference
+    shape = tuple(in_shape)
+    if kind in _IDENTITY_KINDS:
+        return shape, diagnostics
+    if kind == "FLATTEN":
+        return (int(np.prod(shape)) if shape else 1,), diagnostics
+    if kind in ("CONV", "POOL", "LRN"):
+        if len(shape) != 3:
+            diagnostics.append(
+                _diag(
+                    "NET205", "error",
+                    f"{kind.title()} node {name!r} needs a (C, H, W) input, "
+                    f"got {shape}",
+                    hint="feed it image-shaped activations",
+                )
+            )
+            return None, diagnostics
+        if kind == "LRN":
+            return shape, diagnostics
+        c, h, w = shape
+        k = hyperparams["kernel"]
+        s = hyperparams["stride"]
+        p = hyperparams.get("pad", 0) if kind == "CONV" else 0
+        try:
+            oh = conv_output_size(h, k, s, p)
+            ow = conv_output_size(w, k, s, p)
+        except ValueError:
+            diagnostics.append(
+                _diag(
+                    "NET206", "error",
+                    f"{kind.title()} node {name!r} produces a non-positive "
+                    f"output from input {shape} with kernel={k}, "
+                    f"stride={s}, pad={p}",
+                    hint="shrink the kernel/stride or pad the input",
+                )
+            )
+            return None, diagnostics
+        channels = hyperparams["filters"] if kind == "CONV" else c
+        return (channels, oh, ow), diagnostics
+    if kind == "FULL":
+        if len(shape) != 1:
+            diagnostics.append(
+                _diag(
+                    "NET205", "error",
+                    f"Dense node {name!r} needs a flat (D,) input, got "
+                    f"{shape}",
+                    hint="insert a Flatten layer before it",
+                )
+            )
+            return None, diagnostics
+        return (hyperparams["units"],), diagnostics
+    # Unknown kinds propagate their input shape, best-effort.
+    return shape, diagnostics
+
+
+def _check_shapes(net: Network) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    shapes: dict[str, Optional[tuple]] = {INPUT: tuple(net.input_shape)}
+    for name in net.topological_order():
+        layer = net[name]
+        input_names = net.inputs_of(name)
+        upstream = [shapes.get(i) for i in input_names]
+        if any(s is None for s in upstream):
+            shapes[name] = None  # upstream already failed; don't cascade
+            continue
+        in_shape = upstream if layer.multi_input else upstream[0]
+        shapes[name], found = _infer_shape(
+            layer.kind, name, layer.hyperparams, in_shape, layer.multi_input
+        )
+        diagnostics.extend(found)
+    return diagnostics
+
+
+def _check_dtypes(net: Network) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    if not net.is_built:
+        return diagnostics
+    for layer in net.layers():
+        bad = [
+            key for key, value in layer.params.items()
+            if np.asarray(value).dtype != np.float32
+        ]
+        running = getattr(layer, "running_mean", None)
+        if running is not None and np.asarray(running).dtype != np.float32:
+            bad.append("running_mean")
+        if bad:
+            diagnostics.append(
+                _diag(
+                    "NET208", "error",
+                    f"layer {layer.name!r} parameters {bad} are not float32; "
+                    "PAS byte-plane segmentation assumes 4-byte floats",
+                    hint="cast the parameters to np.float32 before committing",
+                )
+            )
+    return diagnostics
+
+
+def check_network(net: Network) -> list[Diagnostic]:
+    """All static diagnostics for one network, worst severity first."""
+    diagnostics = _check_structure(net)
+    if not has_errors(diagnostics):
+        diagnostics.extend(_check_shapes(net))
+        diagnostics.extend(_check_dtypes(net))
+    order = {"error": 0, "warning": 1, "info": 2}
+    diagnostics.sort(key=lambda d: order[d.severity])
+    return record_diagnostics(diagnostics, "net")
+
+
+def validate_network(net: Network) -> None:
+    """Raise :class:`GraphError` when :func:`check_network` finds errors.
+
+    This is what ``Network.build(validate=True)`` calls before touching
+    any weights.
+    """
+    diagnostics = check_network(net)
+    errors = [d for d in diagnostics if d.severity == "error"]
+    if errors:
+        detail = "; ".join(f"[{d.code}] {d.message}" for d in errors)
+        raise GraphError(
+            f"network {net.name!r} failed static validation: {detail}"
+        )

@@ -355,10 +355,81 @@ def cmd_query(args) -> int:
     from repro.dql.executor import DQLExecutor
 
     with _open_repo(args) as repo:
-        executor = DQLExecutor(repo)
+        executor = DQLExecutor(repo, strict=args.strict)
         result = executor.run(args.dql)
     _print(result.to_dict())
     return 0
+
+
+def cmd_check(args) -> int:
+    from repro import analysis
+    from repro.analysis.diagnostics import CODES
+    from repro.dnn.network import Network
+
+    if args.list_codes:
+        if args.json:
+            _print({"codes": CODES})
+        else:
+            for code, description in CODES.items():
+                print(f"{code}  {description}")
+        return 0
+
+    diagnostics = []
+    checked: dict[str, object] = {}
+    if args.lint:
+        diagnostics.extend(analysis.lint_paths(args.lint))
+        checked["lint_paths"] = list(args.lint)
+    needs_repo = args.dql is not None or not (args.lint or args.dql)
+    if needs_repo:
+        with _open_repo(args) as repo:
+            if args.dql is not None:
+                diagnostics.extend(analysis.check_query(args.dql, repo=repo))
+                checked["dql"] = args.dql
+            else:
+                # Default pass: validate every (or one) version's DAG
+                # statically, from the stored spec, without loading weights.
+                versions = (
+                    [repo.resolve(args.ref)]
+                    if args.ref is not None
+                    else repo.list_versions()
+                )
+                names = []
+                for version in versions:
+                    net = Network.from_spec(version.network)
+                    for diag in analysis.check_network(net):
+                        diagnostics.append(
+                            type(diag)(
+                                diag.code, diag.severity,
+                                f"{version.name}: {diag.message}",
+                                span=diag.span, hint=diag.hint,
+                                source=diag.source, file=diag.file,
+                            )
+                        )
+                    names.append(version.name)
+                checked["networks"] = names
+    errors = sum(1 for d in diagnostics if d.severity == "error")
+    warnings = sum(1 for d in diagnostics if d.severity == "warning")
+    if args.json:
+        _print(
+            {
+                "checked": checked,
+                "diagnostics": [d.to_dict() for d in diagnostics],
+                "summary": {
+                    "errors": errors,
+                    "warnings": warnings,
+                    "total": len(diagnostics),
+                },
+            }
+        )
+    else:
+        for diag in diagnostics:
+            print(analysis.format_diagnostic(diag))
+        print(
+            f"checked {', '.join(f'{k}={v}' for k, v in checked.items()) or 'nothing'}: "
+            f"{len(diagnostics)} finding(s), {errors} error(s), "
+            f"{warnings} warning(s)"
+        )
+    return 1 if errors else 0
 
 
 def cmd_publish(args) -> int:
@@ -528,7 +599,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("query", help="run a DQL statement")
     p.add_argument("dql")
+    p.add_argument(
+        "--strict", action="store_true",
+        help="run static analysis first; refuse to execute on errors",
+    )
     p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser(
+        "check", help="static diagnostics for DQL, networks, and code"
+    )
+    p.add_argument(
+        "--dql", default=None, metavar="QUERY",
+        help="analyze this DQL statement instead of the repo networks",
+    )
+    p.add_argument(
+        "--ref", default=None,
+        help="validate just this version's network (default: all versions)",
+    )
+    p.add_argument(
+        "--lint", nargs="+", default=None, metavar="PATH",
+        help="also run the repo-invariant linter over these files/dirs",
+    )
+    p.add_argument(
+        "--list-codes", action="store_true",
+        help="print the diagnostic code table and exit",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_check)
 
     p = sub.add_parser("publish", help="publish this repository to a hub")
     p.add_argument("--hub", required=True, help="hub directory")

@@ -29,6 +29,15 @@ from repro.dnn.layers import Layer, layer_from_spec
 INPUT = "@input"
 
 
+class GraphError(ValueError):
+    """A structurally invalid network DAG.
+
+    Raised with the offending node names spelled out — cycles, inputs
+    referencing nodes that do not exist, and validation failures from
+    ``build(validate=True)`` all surface through this type.
+    """
+
+
 class NetworkNode:
     """A named node in the model DAG: a layer plus its upstream edges."""
 
@@ -104,8 +113,20 @@ class Network:
         self._built = False
         return self
 
-    def build(self, seed: int = 0) -> "Network":
-        """Allocate all parameters with a deterministic RNG and infer shapes."""
+    def build(self, seed: int = 0, validate: bool = False) -> "Network":
+        """Allocate all parameters with a deterministic RNG and infer shapes.
+
+        With ``validate=True`` the static graph validator
+        (:func:`repro.analysis.net_check.check_network`) runs first and a
+        :class:`GraphError` listing every error-severity diagnostic is
+        raised *before* any weights are allocated — this is the hook DQL's
+        strict mode uses to reject shape-mismatched mutations cheaply.
+        """
+        if validate:
+            # Imported lazily: repro.analysis depends on this module.
+            from repro.analysis.net_check import validate_network
+
+            validate_network(self)
         rng = np.random.default_rng(seed)
         shapes: dict[str, tuple] = {INPUT: self.input_shape}
         for name in self.topological_order():
@@ -182,8 +203,30 @@ class Network:
             raise ValueError(f"network has {len(sinks)} sinks: {sinks}")
         return sinks[0]
 
+    def dangling_inputs(self) -> list[tuple[str, str]]:
+        """``(node, missing_input)`` pairs for edges into nonexistent nodes."""
+        return [
+            (node.name, upstream)
+            for node in self._nodes.values()
+            for upstream in node.input_names
+            if upstream != INPUT and upstream not in self._nodes
+        ]
+
     def topological_order(self) -> list[str]:
-        """Kahn topological order of the node names."""
+        """Kahn topological order of the node names.
+
+        Raises:
+            GraphError: When the graph is not a well-formed DAG — a node
+                consumes an input that does not exist, or the nodes form a
+                cycle.  The message names the offending nodes.
+        """
+        dangling = self.dangling_inputs()
+        if dangling:
+            detail = ", ".join(
+                f"{node!r} consumes missing node {upstream!r}"
+                for node, upstream in dangling
+            )
+            raise GraphError(f"network has dangling inputs: {detail}")
         indegree = {name: 0 for name in self._nodes}
         for node in self._nodes.values():
             for upstream in node.input_names:
@@ -203,7 +246,10 @@ class Network:
                 if indegree[consumer] == 0:
                     ready.append(consumer)
         if len(order) != len(self._nodes):
-            raise ValueError("network contains a cycle")
+            stuck = sorted(set(self._nodes) - set(order))
+            raise GraphError(
+                f"network contains a cycle through nodes: {stuck}"
+            )
         return order
 
     def param_count(self) -> int:

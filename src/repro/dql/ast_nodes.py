@@ -1,9 +1,23 @@
-"""Abstract syntax tree for DQL statements."""
+"""Abstract syntax tree for DQL statements.
+
+Nodes that diagnostics commonly point at (paths, templates, clauses, and
+the queries themselves) carry an optional ``span`` — a ``(start, end)``
+character-offset pair into the source text.  Spans are metadata only:
+they are excluded from equality/repr so AST comparisons in tests and the
+executor are unaffected.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional, Union
+
+#: ``(start_offset, end_offset)`` into the query text.
+Span = tuple[int, int]
+
+
+def _span_field():
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -23,6 +37,7 @@ class Path:
     selector: Optional[str] = None
     attrs: tuple[str, ...] = ()
     selector_pos: int = 0
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -37,6 +52,7 @@ class Template:
     kind: str
     arg: Optional[str] = None
     int_arg: Optional[int] = None
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -73,6 +89,7 @@ class SelectQuery:
 
     var: str
     where: Optional[Condition]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -90,6 +107,7 @@ class SliceQuery:
     input_path: Path
     output_path: Path
     source_query: Optional["Query"] = None
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -104,6 +122,7 @@ class Mutation:
     anchor: Path
     action: str
     template: Optional[Template]
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -119,6 +138,7 @@ class ConstructQuery:
     where: Optional[Condition]
     mutations: tuple[Mutation, ...]
     source_query: Optional["Query"] = None
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -133,6 +153,7 @@ class VaryClause:
     target: tuple[str, ...]
     values: Optional[tuple] = None
     auto: bool = False
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -150,6 +171,7 @@ class KeepClause:
     iterations: Optional[int] = None
     op: Optional[str] = None
     value: Optional[float] = None
+    span: Optional[Span] = _span_field()
 
 
 @dataclass(frozen=True)
@@ -161,6 +183,9 @@ class EvaluateQuery:
     config_ref: str
     vary: tuple[VaryClause, ...] = ()
     keep: Optional[KeepClause] = None
+    span: Optional[Span] = _span_field()
+    source_span: Optional[Span] = _span_field()
+    config_span: Optional[Span] = _span_field()
 
 
 Query = Union[SelectQuery, SliceQuery, ConstructQuery, EvaluateQuery]

@@ -99,11 +99,24 @@ class DQLExecutor:
         commit_kept: When True, candidates surviving an evaluate query's
             ``keep`` clause are committed back into the repository ("save
             and work with", Sec. III-B).
+        strict: When True, every statement is run through the static
+            analyzer (:func:`repro.analysis.check_query`) first and
+            execution is refused — with an
+            :class:`~repro.analysis.AnalysisError` listing the spanned
+            diagnostics — if any error-severity finding exists.  Derived
+            networks are also validated (``build(validate=True)``) before
+            weights are allocated.
     """
 
-    def __init__(self, repo: Repository, commit_kept: bool = False) -> None:
+    def __init__(
+        self,
+        repo: Repository,
+        commit_kept: bool = False,
+        strict: bool = False,
+    ) -> None:
         self.repo = repo
         self.commit_kept = commit_kept
+        self.strict = strict
         self.results: dict[str, QueryResult] = {}
         self.configs: dict[str, dict] = {}
 
@@ -119,12 +132,15 @@ class DQLExecutor:
 
     def run(self, query: Union[str, Query], name: Optional[str] = None) -> QueryResult:
         """Execute one statement; optionally register the result by name."""
+        text = query if isinstance(query, str) else None
         if isinstance(query, str):
             with trace_span("dql.parse") as parse_span:
                 ast = parse(query)
             histogram("dql.parse_seconds").observe(parse_span.elapsed)
         else:
             ast = query
+        if self.strict:
+            self._analyze(ast, text)
         if isinstance(ast, SelectQuery):
             runner = self._run_select
         elif isinstance(ast, SliceQuery):
@@ -144,6 +160,24 @@ class DQLExecutor:
         if name is not None:
             self.results[name] = result
         return result
+
+    def _analyze(self, ast: Query, text: Optional[str]) -> None:
+        """Strict-mode gate: refuse to execute on error diagnostics."""
+        from repro.analysis.diagnostics import AnalysisError
+        from repro.analysis.dql_check import check_query
+
+        with trace_span("dql.analyze"):
+            diagnostics = check_query(
+                ast, repo=self.repo, configs=self.configs,
+                results=self.results, text=text,
+            )
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if errors:
+            counter("dql.strict_rejections").inc()
+            raise AnalysisError(
+                f"refusing to execute: {len(errors)} error diagnostic(s)",
+                diagnostics,
+            )
 
     # -- condition evaluation ---------------------------------------------------
 
@@ -380,7 +414,7 @@ class DQLExecutor:
                                     derived.delete_node(downstream)
                                     mutated = True
             if mutated:
-                derived.build(seed=0)
+                derived.build(seed=0, validate=self.strict)
                 networks.append(derived)
         return QueryResult("construct", versions=versions, networks=networks)
 
@@ -420,7 +454,10 @@ class DQLExecutor:
             for config in configs:
                 candidate = net.clone()
                 if not candidate.is_built:
-                    candidate.build(seed=int(config.get("seed", 0)))
+                    candidate.build(
+                        seed=int(config.get("seed", 0)),
+                        validate=self.strict,
+                    )
                 dataset = hp.dataset_from_config(config)
                 if tuple(dataset.input_shape) != tuple(candidate.input_shape):
                     raise ExecutionError(

@@ -43,12 +43,19 @@ class Token:
     ``kind`` is one of ``keyword``, ``ident``, ``string``, ``number``,
     ``op``, ``lbracket``, ``rbracket``, ``lparen``, ``rparen``, ``comma``,
     ``dot``, or ``eof``; ``value`` is the normalized payload (keywords
-    lowercased, strings unquoted, numbers as float/int).
+    lowercased, strings unquoted, numbers as float/int).  ``length`` is
+    the raw source length of the token, so parse errors and analyzer
+    diagnostics can report exact spans.
     """
 
     kind: str
     value: object
     position: int
+    length: int = 0
+
+    @property
+    def end(self) -> int:
+        return self.position + self.length
 
 
 class LexError(ValueError):
@@ -77,7 +84,9 @@ def tokenize(text: str) -> list[Token]:
             lowered = value.lower()
             if lowered in KEYWORDS:
                 kind, value = "keyword", lowered
-        tokens.append(Token(kind, value, match.start()))
+        tokens.append(
+            Token(kind, value, match.start(), match.end() - match.start())
+        )
     tokens.append(Token("eof", None, len(text)))
     return tokens
 

@@ -23,6 +23,10 @@ Grammar (keywords case-insensitive)::
     vary       := path ("in" "[" literal ("," literal)* "]" | "auto")
     keep       := "top" "(" NUMBER "," path "," NUMBER ")"
                 | path OP NUMBER
+
+Parse errors carry the offending token's position — character ``offset``
+plus 1-based ``line``/``col`` — in the same span format the static
+analyzer (:mod:`repro.analysis`) uses for its diagnostics.
 """
 
 from __future__ import annotations
@@ -48,13 +52,55 @@ from repro.dql.ast_nodes import (
 from repro.dql.lexer import Token, tokenize
 
 
+def line_col(text: str, offset: int) -> tuple[int, int]:
+    """1-based ``(line, col)`` of a character offset into ``text``."""
+    offset = max(0, min(offset, len(text)))
+    line = text.count("\n", 0, offset) + 1
+    col = offset - text.rfind("\n", 0, offset)
+    return line, col
+
+
 class ParseError(ValueError):
-    """Raised on syntactically invalid DQL."""
+    """Raised on syntactically invalid DQL.
+
+    Attributes:
+        offset: 0-based character offset of the offending token (or None
+            when the error carries no position).
+        length: Source length of the offending token (>= 1).
+        line, col: 1-based position, computed when the source text is
+            known.  The formatted message always repeats the offset so
+            the error and analyzer diagnostics share one span format.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        offset: Optional[int] = None,
+        length: int = 1,
+        text: Optional[str] = None,
+    ) -> None:
+        self.offset = offset
+        self.length = max(length, 1)
+        self.line: Optional[int] = None
+        self.col: Optional[int] = None
+        if offset is not None and text is not None:
+            self.line, self.col = line_col(text, offset)
+        if offset is None:
+            full = message
+        elif self.line is not None:
+            full = (
+                f"{message} at line {self.line}, col {self.col} "
+                f"(offset {offset})"
+            )
+        else:
+            full = f"{message} at offset {offset}"
+        super().__init__(full)
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]) -> None:
+    def __init__(self, tokens: list[Token], text: str = "") -> None:
         self.tokens = tokens
+        self.text = text
         self.pos = 0
 
     # -- token plumbing ------------------------------------------------------
@@ -79,22 +125,39 @@ class _Parser:
             return self.advance()
         return None
 
+    def error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        """Build a :class:`ParseError` pinned to a token's source span."""
+        token = token if token is not None else self.current
+        return ParseError(
+            message, offset=token.position, length=token.length,
+            text=self.text,
+        )
+
     def expect(self, kind: str, value: Optional[object] = None) -> Token:
         if not self.check(kind, value):
             token = self.current
             want = f"{kind}" + (f" {value!r}" if value is not None else "")
-            raise ParseError(
-                f"expected {want} at offset {token.position}, "
-                f"found {token.kind} {token.value!r}"
+            raise self.error(
+                f"expected {want}, found {token.kind} {token.value!r}"
             )
         return self.advance()
+
+    def _start(self) -> int:
+        """Offset where the next construct begins."""
+        return self.current.position
+
+    def _end(self) -> int:
+        """Offset just past the last consumed token."""
+        if self.pos == 0:
+            return 0
+        return self.tokens[self.pos - 1].end
 
     # -- entry ---------------------------------------------------------------
 
     def parse_query(self) -> Query:
         token = self.current
         if token.kind != "keyword":
-            raise ParseError(
+            raise self.error(
                 f"query must start with a verb, found {token.value!r}"
             )
         if token.value == "select":
@@ -105,17 +168,18 @@ class _Parser:
             return self._construct()
         if token.value == "evaluate":
             return self._evaluate()
-        raise ParseError(f"unknown query verb {token.value!r}")
+        raise self.error(f"unknown query verb {token.value!r}")
 
     # -- statements -----------------------------------------------------------
 
     def _select(self) -> SelectQuery:
+        start = self._start()
         self.expect("keyword", "select")
         var = self.expect("ident").value
         where = None
         if self.accept("keyword", "where"):
             where = self._condition()
-        return SelectQuery(var, where)
+        return SelectQuery(var, where, span=(start, self._end()))
 
     def _source(self) -> tuple[str, Optional[Query]]:
         """The ``from`` clause of slice/construct: a variable or a subquery."""
@@ -129,6 +193,7 @@ class _Parser:
         return self.expect("ident").value, None
 
     def _slice(self) -> SliceQuery:
+        start = self._start()
         self.expect("keyword", "slice")
         new_var = self.expect("ident").value
         self.expect("keyword", "from")
@@ -139,16 +204,20 @@ class _Parser:
         self.expect("keyword", "mutate")
         assignments: dict[str, Path] = {}
         while True:
+            var_token = self.current
             var = self.expect("ident").value
             self.expect("dot")
+            endpoint_token = self.current
             endpoint = self.expect("ident").value
             if endpoint not in ("input", "output"):
-                raise ParseError(
-                    f"slice mutate assigns input/output, got {endpoint!r}"
+                raise self.error(
+                    f"slice mutate assigns input/output, got {endpoint!r}",
+                    endpoint_token,
                 )
             if var != new_var:
-                raise ParseError(
-                    f"slice mutate must assign to {new_var!r}, got {var!r}"
+                raise self.error(
+                    f"slice mutate must assign to {new_var!r}, got {var!r}",
+                    var_token,
                 )
             self.expect("op", "=")
             assignments[endpoint] = self._path()
@@ -156,14 +225,16 @@ class _Parser:
                 break
         missing = {"input", "output"} - set(assignments)
         if missing:
-            raise ParseError(f"slice mutate is missing {sorted(missing)}")
+            raise self.error(f"slice mutate is missing {sorted(missing)}")
         return SliceQuery(
             new_var, source_var, where,
             assignments["input"], assignments["output"],
             source_query,
+            span=(start, self._end()),
         )
 
     def _construct(self) -> ConstructQuery:
+        start = self._start()
         self.expect("keyword", "construct")
         new_var = self.expect("ident").value
         self.expect("keyword", "from")
@@ -176,44 +247,55 @@ class _Parser:
         while self.accept("keyword", "and"):
             mutations.append(self._mutation())
         return ConstructQuery(
-            new_var, source_var, where, tuple(mutations), source_query
+            new_var, source_var, where, tuple(mutations), source_query,
+            span=(start, self._end()),
         )
 
     def _mutation(self) -> Mutation:
+        start = self._start()
         path = self._path()
         if not path.attrs or path.attrs[-1] not in ("insert", "delete"):
-            raise ParseError(
-                "construct mutations must end in .insert or .delete"
+            raise self.error(
+                "construct mutations must end in .insert or .delete",
+                self.tokens[self.pos - 1],
             )
         action = path.attrs[-1]
-        anchor = Path(path.var, path.selector, path.attrs[:-1])
+        anchor = Path(
+            path.var, path.selector, path.attrs[:-1], path.selector_pos,
+            span=path.span,
+        )
         template = None
         if self.accept("op", "="):
             template = self._template()
         if action == "insert" and template is None:
-            raise ParseError(".insert requires a layer template")
-        return Mutation(anchor, action, template)
+            raise self.error(".insert requires a layer template")
+        return Mutation(anchor, action, template, span=(start, self._end()))
 
     def _evaluate(self) -> EvaluateQuery:
+        start = self._start()
         self.expect("keyword", "evaluate")
         var = self.expect("ident").value
         self.expect("keyword", "from")
+        source_start = self._start()
         if self.check("string"):
             source: object = self.advance().value
         elif self.accept("lparen"):
             source = self.parse_query()
             self.expect("rparen")
         else:
-            raise ParseError(
+            raise self.error(
                 'evaluate "from" takes a quoted result-set name or a '
                 "parenthesized subquery"
             )
+        source_span = (source_start, self._end())
         self.expect("keyword", "with")
         config_word = self.expect("ident")
         if config_word.value != "config":
-            raise ParseError('expected "config" after with')
+            raise self.error('expected "config" after with', config_word)
         self.expect("op", "=")
+        config_start = self._start()
         config_ref = self.expect("string").value
+        config_span = (config_start, self._end())
         vary: list[VaryClause] = []
         if self.accept("keyword", "vary"):
             vary.append(self._vary())
@@ -222,27 +304,32 @@ class _Parser:
         keep = None
         if self.accept("keyword", "keep"):
             keep = self._keep()
-        return EvaluateQuery(var, source, config_ref, tuple(vary), keep)
+        return EvaluateQuery(
+            var, source, config_ref, tuple(vary), keep,
+            span=(start, self._end()),
+            source_span=source_span,
+            config_span=config_span,
+        )
 
     # -- clauses --------------------------------------------------------------
 
     def _vary(self) -> VaryClause:
+        start = self._start()
         path = self._path()
         target = self._vary_target(path)
         if self.accept("keyword", "auto"):
-            return VaryClause(target, auto=True)
+            return VaryClause(target, auto=True, span=(start, self._end()))
         self.expect("keyword", "in")
         self.expect("lbracket")
         values = [self._literal()]
         while self.accept("comma"):
             values.append(self._literal())
         self.expect("rbracket")
-        return VaryClause(target, tuple(values))
+        return VaryClause(target, tuple(values), span=(start, self._end()))
 
-    @staticmethod
-    def _vary_target(path: Path) -> tuple[str, ...]:
+    def _vary_target(self, path: Path) -> tuple[str, ...]:
         if path.var != "config":
-            raise ParseError(
+            raise self.error(
                 f"vary dimensions live under config.*, got {path.var!r}"
             )
         parts: list[str] = list(path.attrs)
@@ -252,6 +339,7 @@ class _Parser:
         return tuple(parts)
 
     def _keep(self) -> KeepClause:
+        start = self._start()
         if self.accept("keyword", "top"):
             self.expect("lparen")
             k = int(self.expect("number").value)
@@ -260,11 +348,17 @@ class _Parser:
             self.expect("comma")
             iterations = int(self.expect("number").value)
             self.expect("rparen")
-            return KeepClause("top", k=k, metric=metric, iterations=iterations)
+            return KeepClause(
+                "top", k=k, metric=metric, iterations=iterations,
+                span=(start, self._end()),
+            )
         metric = self._path()
         op = self.expect("op").value
         value = float(self.expect("number").value)
-        return KeepClause("threshold", metric=metric, op=op, value=value)
+        return KeepClause(
+            "threshold", metric=metric, op=op, value=value,
+            span=(start, self._end()),
+        )
 
     def _condition(self) -> Condition:
         left = self._and_expr()
@@ -302,6 +396,7 @@ class _Parser:
         return Comparison(path, op, value)
 
     def _path(self) -> Path:
+        start = self._start()
         var = self.expect("ident").value
         selector = None
         selector_pos = 0
@@ -317,9 +412,13 @@ class _Parser:
                 attrs.append(self.expect("ident").value)
                 continue
             break
-        return Path(var, selector, tuple(attrs), selector_pos)
+        return Path(
+            var, selector, tuple(attrs), selector_pos,
+            span=(start, self._end()),
+        )
 
     def _template(self) -> Template:
+        start = self._start()
         kind = self.expect("ident").value.upper()
         self.expect("lparen")
         arg = None
@@ -329,7 +428,7 @@ class _Parser:
         elif self.check("number"):
             int_arg = int(self.advance().value)
         self.expect("rparen")
-        return Template(kind, arg, int_arg)
+        return Template(kind, arg, int_arg, span=(start, self._end()))
 
     def _literal(self) -> object:
         if self.check("string"):
@@ -337,15 +436,14 @@ class _Parser:
         if self.check("number"):
             return self.advance().value
         token = self.current
-        raise ParseError(
-            f"expected a literal at offset {token.position}, "
-            f"found {token.kind} {token.value!r}"
+        raise self.error(
+            f"expected a literal, found {token.kind} {token.value!r}"
         )
 
 
 def parse(text: str) -> Query:
     """Parse one DQL statement; raises :class:`ParseError` on bad input."""
-    parser = _Parser(tokenize(text))
+    parser = _Parser(tokenize(text), text)
     query = parser.parse_query()
     parser.expect("eof")
     return query

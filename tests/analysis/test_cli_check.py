@@ -1,0 +1,206 @@
+"""`dlv check` end-to-end: golden JSON, every mode, and `query --strict`."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.analysis.diagnostics import CODES, AnalysisError
+from repro.dlv.cli import main
+from repro.dql.executor import DQLExecutor
+
+BROKEN_QUERY = (
+    'select m where m.accuracy > "high" '
+    "and m.accuracy < 0.1 and m.accuracy > 0.5"
+)
+
+#: Expected `dlv check --dql --json` payload for BROKEN_QUERY, minus the
+#: repository-independent noise.  Golden in the sense that any change to
+#: diagnostic codes, spans, messages, or the envelope must show up here.
+GOLDEN = {
+    "checked": {"dql": BROKEN_QUERY},
+    "diagnostics": [
+        {
+            "code": "DQL103",
+            "severity": "error",
+            "message": (
+                "'accuracy' is numeric but is compared to the string 'high'"
+            ),
+            "span": {"start": 15, "end": 25, "line": 1, "col": 16},
+            "hint": "compare against a number literal",
+            "source": "dql",
+            "file": None,
+        },
+        {
+            "code": "DQL113",
+            "severity": "error",
+            "message": (
+                "conditions on 'accuracy' are unsatisfiable — no value "
+                "meets every bound in the 'and' chain"
+            ),
+            "span": {"start": 39, "end": 49, "line": 1, "col": 40},
+            "hint": "relax one of the contradictory comparisons",
+            "source": "dql",
+            "file": None,
+        },
+    ],
+    "summary": {"errors": 2, "warnings": 0, "total": 2},
+}
+
+
+@pytest.fixture
+def fixture_repo(repo, trained_tiny):
+    net, result, config = trained_tiny
+    repo.commit(
+        net, name="tiny-fixture", message="seed", train_result=result,
+        hyperparams=config.to_dict(),
+    )
+    repo.close()
+    return str(repo.root)
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr()
+
+
+class TestCheckDql:
+    def test_golden_json(self, fixture_repo, capsys):
+        code, captured = run_cli(
+            capsys,
+            "--repo", fixture_repo, "check", "--dql", BROKEN_QUERY, "--json",
+        )
+        assert code == 1
+        assert json.loads(captured.out) == GOLDEN
+
+    def test_text_mode_shows_span_and_hint(self, fixture_repo, capsys):
+        code, captured = run_cli(
+            capsys, "--repo", fixture_repo, "check", "--dql", BROKEN_QUERY
+        )
+        assert code == 1
+        assert "line 1, col 16: error[DQL103]" in captured.out
+        assert "(hint: compare against a number literal)" in captured.out
+        assert "2 error(s)" in captured.out
+
+    def test_clean_query_exits_zero(self, fixture_repo, capsys):
+        code, captured = run_cli(
+            capsys,
+            "--repo", fixture_repo, "check",
+            "--dql", 'select m where m.name = "tiny-fixture"', "--json",
+        )
+        assert code == 0
+        assert json.loads(captured.out)["summary"]["total"] == 0
+
+
+class TestCheckNetworks:
+    def test_default_pass_validates_all_versions(self, fixture_repo, capsys):
+        code, captured = run_cli(
+            capsys, "--repo", fixture_repo, "check", "--json"
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["checked"]["networks"] == ["tiny-fixture"]
+        assert payload["summary"] == {
+            "errors": 0, "warnings": 0, "total": 0,
+        }
+
+    def test_single_ref(self, fixture_repo, capsys):
+        code, captured = run_cli(
+            capsys,
+            "--repo", fixture_repo, "check", "--ref", "tiny-fixture",
+            "--json",
+        )
+        assert code == 0
+        assert json.loads(captured.out)["checked"]["networks"] == [
+            "tiny-fixture"
+        ]
+
+
+class TestCheckLint:
+    def test_lint_mode_needs_no_repository(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("try:\n    pass\nexcept:\n    pass\n")
+        # --repo points nowhere; lint-only checks must not open it.
+        code, captured = run_cli(
+            capsys,
+            "--repo", str(tmp_path / "no-such-repo"),
+            "check", "--lint", str(bad), "--json",
+        )
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert payload["diagnostics"][0]["code"] == "LINT301"
+
+    def test_list_codes_reports_the_full_table(self, capsys):
+        code, captured = run_cli(capsys, "check", "--list-codes")
+        assert code == 0
+        listed = [
+            line.split()[0] for line in captured.out.splitlines() if line
+        ]
+        assert listed == list(CODES)
+        assert len(listed) >= 10
+
+
+class TestQueryStrict:
+    def test_strict_flag_rejects_before_execution(self, fixture_repo, capsys):
+        code = main(
+            ["--repo", fixture_repo, "query", BROKEN_QUERY, "--strict"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "refusing to execute" in captured.err
+        assert "DQL103" in captured.err
+
+    def test_without_strict_still_executes(self, fixture_repo, capsys):
+        code = main(
+            [
+                "--repo", fixture_repo, "query",
+                'select m where m.name like "tiny%"',
+            ]
+        )
+        assert code == 0
+        assert "tiny-fixture" in capsys.readouterr().out
+
+
+class TestExecutorStrict:
+    def test_strict_rejection_counts_and_carries_diagnostics(self, repo):
+        obs.reset_metrics()
+        executor = DQLExecutor(repo, strict=True)
+        with pytest.raises(AnalysisError) as excinfo:
+            executor.run(BROKEN_QUERY)
+        assert [d.code for d in excinfo.value.diagnostics] == [
+            "DQL103", "DQL113",
+        ]
+        counters = obs.dump_metrics()["counters"]
+        assert counters["dql.strict_rejections"] == 1
+
+    def test_non_strict_executes_unsatisfiable_query(self, repo):
+        executor = DQLExecutor(repo)
+        result = executor.run(BROKEN_QUERY)
+        assert result.versions == []
+
+    def test_strict_allows_clean_queries(self, repo, trained_tiny):
+        net, result, config = trained_tiny
+        repo.commit(
+            net, name="tiny-fixture", message="seed", train_result=result,
+            hyperparams=config.to_dict(),
+        )
+        executor = DQLExecutor(repo, strict=True)
+        out = executor.run('select m where m.name like "tiny%"')
+        assert [v.name for v in out.versions] == ["tiny-fixture"]
+
+    def test_strict_construct_rejects_shape_mismatch(self, repo, trained_tiny):
+        # The mutated network must be rejected by static validation before
+        # any training/evaluation touches it: inserting a CONV after the
+        # final dense layer feeds image arithmetic a flat vector.
+        net, result, config = trained_tiny
+        repo.commit(
+            net, name="tiny-fixture", message="seed", train_result=result,
+            hyperparams=config.to_dict(),
+        )
+        query = (
+            'construct m2 from m1 where m1.name like "tiny%" '
+            'mutate m1["fc2"].insert = CONV("c9")'
+        )
+        strict = DQLExecutor(repo, strict=True)
+        with pytest.raises(ValueError, match=r"\[NET205\]"):
+            strict.run(query)

@@ -1,0 +1,136 @@
+"""Unit tests for the shared diagnostic model."""
+
+import pytest
+
+from repro import obs
+from repro.analysis.diagnostics import (
+    CODES,
+    SEVERITIES,
+    AnalysisError,
+    Diagnostic,
+    Span,
+    format_diagnostic,
+    format_diagnostics,
+    has_errors,
+    record_diagnostics,
+    span_from_offsets,
+)
+
+
+class TestCodesTable:
+    def test_all_passes_represented(self):
+        prefixes = {code[:3] for code in CODES}
+        assert prefixes == {"DQL", "NET", "LIN"}
+
+    def test_enough_codes_for_dlv_check(self):
+        # Acceptance: `dlv check --list-codes` reports >= 10 distinct codes.
+        assert len(CODES) >= 10
+
+    def test_every_description_is_one_line(self):
+        for description in CODES.values():
+            assert "\n" not in description and description
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic("DQL999", "error", "nope")
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(ValueError, match="severity"):
+            Diagnostic("DQL100", "fatal", "nope")
+
+    def test_severities_accepted(self):
+        for severity in SEVERITIES:
+            Diagnostic("DQL100", severity, "ok")
+
+    def test_to_dict_round_trip(self):
+        diag = Diagnostic(
+            "NET205", "error", "bad shape", span=Span(3, 9, 1, 4),
+            hint="flatten first", source="net",
+        )
+        data = diag.to_dict()
+        assert data["code"] == "NET205"
+        assert data["span"] == {"start": 3, "end": 9, "line": 1, "col": 4}
+        assert data["hint"] == "flatten first"
+        assert data["file"] is None
+
+
+class TestSpan:
+    def test_from_offsets_derives_line_col(self):
+        text = "select m\nwhere m.x = 1"
+        span = span_from_offsets(text, text.index("where"), None)
+        assert (span.line, span.col) == (2, 1)
+        assert span.end == span.start + 1
+
+    def test_without_text_offsets_only(self):
+        span = span_from_offsets(None, 5, 9)
+        assert (span.start, span.end, span.line, span.col) == (5, 9, 1, 1)
+
+
+class TestFormatting:
+    def test_query_style(self):
+        diag = Diagnostic(
+            "DQL103", "error", "bad compare", span=Span(0, 4, 2, 7),
+            hint="use a number",
+        )
+        line = format_diagnostic(diag)
+        assert line == (
+            "line 2, col 7: error[DQL103] bad compare (hint: use a number)"
+        )
+
+    def test_file_style(self):
+        diag = Diagnostic(
+            "LINT301", "error", "bare except", span=Span(line=12, col=5),
+            source="lint", file="src/x.py",
+        )
+        assert format_diagnostic(diag).startswith("src/x.py:12:5: ")
+
+    def test_multi_line(self):
+        diags = [
+            Diagnostic("DQL100", "error", "a"),
+            Diagnostic("DQL100", "warning", "b"),
+        ]
+        assert format_diagnostics(diags).count("\n") == 1
+
+    def test_has_errors(self):
+        assert not has_errors([Diagnostic("DQL104", "warning", "w")])
+        assert has_errors([Diagnostic("DQL104", "error", "e")])
+
+
+class TestObsIntegration:
+    def test_record_diagnostics_counts(self):
+        obs.reset_metrics()
+        diags = [
+            Diagnostic("DQL103", "error", "e"),
+            Diagnostic("DQL104", "warning", "w"),
+        ]
+        assert record_diagnostics(diags, "dql") is diags
+        counters = obs.dump_metrics()["counters"]
+        assert counters["analysis.dql.runs"] == 1
+        assert counters["analysis.diagnostics_emitted"] == 2
+        assert counters["analysis.diagnostics.error"] == 1
+        assert counters["analysis.diagnostics.warning"] == 1
+
+    def test_empty_run_still_counted(self):
+        obs.reset_metrics()
+        record_diagnostics([], "net")
+        counters = obs.dump_metrics()["counters"]
+        assert counters["analysis.net.runs"] == 1
+        assert counters.get("analysis.diagnostics_emitted", 0) == 0
+
+
+class TestAnalysisError:
+    def test_carries_diagnostics_and_lists_errors(self):
+        diags = [
+            Diagnostic("DQL103", "error", "bad compare"),
+            Diagnostic("DQL104", "warning", "odd attr"),
+        ]
+        exc = AnalysisError("refusing to execute", diags)
+        assert exc.diagnostics == diags
+        assert "bad compare" in str(exc)
+        assert "odd attr" not in str(exc)  # warnings not in the message
+
+    def test_is_a_value_error(self):
+        # The dlv CLI maps ValueError to exit 1; strict rejections ride that.
+        assert issubclass(AnalysisError, ValueError)

@@ -1,0 +1,269 @@
+"""Every DQL diagnostic code: a triggering query and a clean counterpart."""
+
+import pytest
+
+from repro.analysis.dql_check import check_query
+from repro.dql.ast_nodes import Comparison, Path, SelectQuery
+
+CONFIGS = {"cfg": {"base_lr": 0.1, "epochs": 1}}
+RESULTS = {"r": object()}
+
+
+def codes(query, **kwargs):
+    kwargs.setdefault("configs", CONFIGS)
+    kwargs.setdefault("results", RESULTS)
+    return [(d.code, d.severity) for d in check_query(query, **kwargs)]
+
+
+class TestCleanQueries:
+    def test_paper_query_1_is_clean(self):
+        assert codes(
+            'select m1 where m1.name like "alexnet_%" and '
+            'm1.creation_time > "2015-11-22" and '
+            'm1["conv[1,3,5]"].next has POOL("MAX")'
+        ) == []
+
+    def test_slice_is_clean(self):
+        assert codes(
+            'slice m2 from m1 where m1.name like "a%" '
+            'mutate m2.input = m1["conv1"] and m2.output = m1["fc7"]'
+        ) == []
+
+    def test_construct_is_clean(self):
+        assert codes(
+            'construct m2 from m1 mutate m1["conv*"].insert = RELU("r$1")'
+        ) == []
+
+    def test_evaluate_with_vary_and_keep_is_clean(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" '
+            "vary config.base_lr in [0.1, 0.01] "
+            'and config.net["conv*"].lr auto '
+            'keep top(5, m["loss"], 100)'
+        ) == []
+
+
+class TestSyntaxErrors:
+    def test_dql100_parse_error_with_span(self):
+        diags = check_query("select m1 where m1.name like like")
+        assert [d.code for d in diags] == ["DQL100"]
+        assert diags[0].span is not None
+        assert diags[0].span.line == 1
+
+    def test_dql100_lex_error(self):
+        diags = check_query("select m1 ~ 3 !!!")
+        assert [d.code for d in diags] == ["DQL100"]
+
+
+class TestConditionChecks:
+    def test_dql102_unbound_variable(self):
+        assert codes('select m1 where m2.name like "x"') == [
+            ("DQL102", "error")
+        ]
+
+    def test_dql103_numeric_vs_string(self):
+        assert codes('select m where m.accuracy > "high"') == [
+            ("DQL103", "error")
+        ]
+
+    def test_dql103_like_on_numeric_warns(self):
+        assert codes('select m where m.loss like "x%"') == [
+            ("DQL103", "warning")
+        ]
+
+    def test_dql103_ordering_string_attr_by_number(self):
+        assert codes("select m where m.name > 5") == [("DQL103", "error")]
+
+    def test_dql103_created_at_ordering_allowed(self):
+        # Timestamps compare lexicographically; string ordering is the point.
+        assert codes('select m where m.created_at > "2015-11-22"') == []
+
+    def test_dql104_unknown_attribute_warns(self):
+        diags = check_query("select m where m.acuracy > 0.9")
+        assert [(d.code, d.severity) for d in diags] == [("DQL104", "warning")]
+        assert "accuracy" in diags[0].hint
+
+    def test_dql104_missing_attribute_is_error(self):
+        # Unreachable through the parser; the AST path still must be safe.
+        query = SelectQuery(
+            var="m", where=Comparison(Path("m", None, ()), "=", 1)
+        )
+        assert [(d.code, d.severity) for d in check_query(query)] == [
+            ("DQL104", "error")
+        ]
+
+
+class TestGraphConditionChecks:
+    def test_dql105_has_without_selector(self):
+        assert codes("select m where m.next has RELU()") == [
+            ("DQL105", "error")
+        ]
+
+    def test_dql105_malformed_selector(self):
+        diags = check_query('select m where m["conv["].next has RELU()')
+        assert [d.code for d in diags] == ["DQL105"]
+        assert "unclosed" in diags[0].message
+
+    def test_dql106_bad_traversal(self):
+        assert codes('select m where m["c1"].sideways has RELU()') == [
+            ("DQL106", "error")
+        ]
+
+    def test_dql109_unknown_template_kind_in_has(self):
+        assert codes('select m where m["c1"].next has FROB("x")') == [
+            ("DQL109", "error")
+        ]
+
+
+class TestSliceAndConstruct:
+    def test_dql107_wrong_endpoint_variable(self):
+        assert codes(
+            'slice m2 from m1 mutate m2.input = m3["a"] and '
+            'm2.output = m1["b"]'
+        ) == [("DQL107", "error")]
+
+    def test_dql108_anchor_without_selector(self):
+        assert codes('construct m2 from m1 mutate m1.insert = RELU("r")') == [
+            ("DQL108", "error")
+        ]
+
+    def test_dql109_unknown_template_kind_in_insert(self):
+        assert codes(
+            'construct m2 from m1 mutate m1["a"].insert = FROB("x")'
+        ) == [("DQL109", "error")]
+
+    def test_nested_source_query_is_checked(self):
+        assert codes(
+            'construct m2 from (select m1 where m1.accuracy > "high") '
+            'mutate m1["a"].delete'
+        ) == [("DQL103", "error")]
+
+
+class TestEvaluateChecks:
+    def test_dql110_unknown_flat_key_warns(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" '
+            "vary config.bogus in [1, 2]"
+        ) == [("DQL110", "warning")]
+
+    def test_dql110_unsupported_net_target(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" '
+            'vary config.net["c*"].momentum in [0.5]'
+        ) == [("DQL110", "error")]
+
+    def test_dql111_no_auto_grid(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" '
+            "vary config.input_data auto"
+        ) == [("DQL111", "error")]
+
+    def test_dql112_unresolvable_config(self):
+        assert codes('evaluate m from "r" with config = "nope"') == [
+            ("DQL112", "error")
+        ]
+
+    def test_dql114_unknown_keep_metric(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" keep m["f1"] > 0.5'
+        ) == [("DQL114", "warning")]
+
+
+class TestSatisfiability:
+    def test_dql113_contradictory_range(self):
+        assert codes(
+            "select m where m.accuracy > 0.9 and m.accuracy < 0.1"
+        ) == [("DQL113", "error")]
+
+    def test_dql113_contradictory_equalities(self):
+        assert codes("select m where m.loss = 1 and m.loss = 2") == [
+            ("DQL113", "error")
+        ]
+
+    def test_dql113_equality_outside_range(self):
+        assert codes(
+            "select m where m.accuracy = 0.5 and m.accuracy > 0.8"
+        ) == [("DQL113", "error")]
+
+    def test_tight_but_satisfiable_range_is_clean(self):
+        assert codes(
+            "select m where m.accuracy >= 0.5 and m.accuracy <= 0.5"
+        ) == []
+
+    def test_or_chains_not_flagged(self):
+        assert codes(
+            "select m where m.accuracy > 0.9 or m.accuracy < 0.1"
+        ) == []
+
+    def test_dql113_empty_keep_top(self):
+        assert codes(
+            'evaluate m from "r" with config = "cfg" '
+            'keep top(0, m["loss"], 100)'
+        ) == [("DQL113", "error")]
+
+
+class TestCatalogResolution:
+    @pytest.fixture
+    def stocked_repo(self, repo, trained_tiny):
+        net, result, config = trained_tiny
+        repo.commit(
+            net, name="tiny-fixture", message="seed", train_result=result,
+            hyperparams=config.to_dict(),
+        )
+        return repo
+
+    def test_dql101_unknown_name_equality_warns(self, stocked_repo):
+        diags = check_query(
+            'select m where m.name = "ghost"', repo=stocked_repo
+        )
+        assert [(d.code, d.severity) for d in diags] == [("DQL101", "warning")]
+
+    def test_known_name_is_clean(self, stocked_repo):
+        assert (
+            check_query(
+                'select m where m.name = "tiny-fixture"', repo=stocked_repo
+            )
+            == []
+        )
+
+    def test_dql101_unknown_evaluate_source_is_error(self, stocked_repo):
+        diags = check_query(
+            'evaluate m from "ghost-%" with config = "cfg"',
+            repo=stocked_repo, configs=CONFIGS,
+        )
+        assert [(d.code, d.severity) for d in diags] == [("DQL101", "error")]
+
+    def test_evaluate_source_matching_catalog_is_clean(self, stocked_repo):
+        assert (
+            check_query(
+                'evaluate m from "tiny-%" with config = "cfg"',
+                repo=stocked_repo, configs=CONFIGS,
+            )
+            == []
+        )
+
+    def test_metadata_keys_extend_known_attributes(self, stocked_repo):
+        # final_accuracy is recorded as commit metadata and as a built-in.
+        assert (
+            check_query(
+                "select m where m.final_accuracy > 0.1", repo=stocked_repo
+            )
+            == []
+        )
+
+
+class TestSpans:
+    def test_diagnostic_points_at_the_condition(self):
+        text = 'select m where m.accuracy > "high"'
+        (diag,) = check_query(text)
+        assert diag.span is not None
+        assert text[diag.span.start:].startswith("m.accuracy")
+
+    def test_errors_sort_before_warnings(self):
+        diags = check_query(
+            'select m where m.acuracy like "x" and m.accuracy > "high"'
+        )
+        severities = [d.severity for d in diags]
+        assert severities == sorted(
+            severities, key=["error", "warning", "info"].index
+        )

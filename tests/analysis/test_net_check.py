@@ -1,0 +1,215 @@
+"""Every NET diagnostic code against hand-built DAGs — no weights needed."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_network, validate_network
+from repro.dnn.layers import (
+    Add,
+    Concat,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+from repro.dnn.network import GraphError, Network
+from repro.dnn.zoo import lenet
+
+
+def codes(net):
+    return [(d.code, d.severity) for d in check_network(net)]
+
+
+def conv_chain():
+    net = Network((1, 8, 8), name="chain")
+    net.add(Conv2D("conv1", filters=4, kernel=3))
+    net.add(ReLU("relu1"))
+    net.add(MaxPool2D("pool1", kernel=2))
+    net.add(Flatten("flat"))
+    net.add(Dense("fc1", units=10))
+    return net
+
+
+class TestCleanNetworks:
+    def test_conv_chain_is_clean(self):
+        assert codes(conv_chain()) == []
+
+    def test_zoo_lenet_is_clean(self):
+        assert codes(lenet(input_shape=(1, 12, 12), num_classes=4)) == []
+
+    def test_unbuilt_networks_need_no_weights(self):
+        net = conv_chain()
+        check_network(net)
+        assert not net.is_built
+        assert all(layer.params.get("W") is None for layer in net.layers())
+
+    def test_residual_block_is_clean(self):
+        net = Network((8,), name="res")
+        net.add(Dense("fc1", units=8))
+        net.add(ReLU("relu1"))
+        net.add(Add("add"), "relu1", extra_inputs=["fc1"])
+        assert codes(net) == []
+
+
+class TestStructure:
+    def test_net201_cycle_names_nodes(self):
+        net = Network((4,), name="cyc")
+        net.add(Dense("a", units=4))
+        net.add(Dense("b", units=4))
+        net._nodes["a"].input_names = ("b",)
+        diags = check_network(net)
+        assert diags[0].code == "NET201" and diags[0].severity == "error"
+        assert "'a'" in diags[0].message and "'b'" in diags[0].message
+
+    def test_net202_dangling_input(self):
+        net = Network((4,), name="dang")
+        net.add(Dense("a", units=4))
+        net._nodes["a"].input_names = ("ghost",)
+        diags = check_network(net)
+        assert [(d.code, d.severity) for d in diags] == [("NET202", "error")]
+        assert "ghost" in diags[0].message
+
+    def test_net203_multiple_sinks_warn(self):
+        net = Network((4,), name="forked")
+        net.add(Dense("a", units=4))
+        net.add(Dense("head1", units=2), "a")
+        net.add(Dense("head2", units=2), "a")
+        assert ("NET203", "warning") in codes(net)
+
+    def test_net204_pinpoints_the_cycle_island(self):
+        # A healthy main path plus a two-node island cycling into itself:
+        # the island is both the cycle (NET201) and unreachable (NET204).
+        net = Network((4,), name="island")
+        net.add(Dense("a", units=4))
+        net.add(Dense("p", units=4), "a")
+        net.add(Dense("q", units=4), "p")
+        net._nodes["p"].input_names = ("q",)
+        found = [(d.code, d.severity) for d in check_network(net)]
+        assert ("NET201", "error") in found
+        assert found.count(("NET204", "warning")) == 2
+        messages = [
+            d.message for d in check_network(net) if d.code == "NET204"
+        ]
+        assert any("'p'" in m for m in messages)
+        assert any("'q'" in m for m in messages)
+
+
+class TestShapes:
+    def test_net205_dense_on_image_input(self):
+        net = Network((1, 8, 8), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Dense("fc1", units=10))
+        diags = check_network(net)
+        assert [(d.code, d.severity) for d in diags] == [("NET205", "error")]
+        assert "Flatten" in diags[0].hint
+
+    def test_net205_conv_on_flat_input(self):
+        net = Network((16,), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        assert codes(net) == [("NET205", "error")]
+
+    def test_net206_kernel_exceeds_input(self):
+        net = Network((1, 4, 4), name="bad")
+        net.add(Conv2D("conv1", filters=2, kernel=7))
+        diags = check_network(net)
+        assert [(d.code, d.severity) for d in diags] == [("NET206", "error")]
+        assert "kernel=7" in diags[0].message
+
+    def test_net206_pool_too_large(self):
+        net = Network((1, 4, 4), name="bad")
+        net.add(MaxPool2D("pool1", kernel=6))
+        assert codes(net) == [("NET206", "error")]
+
+    def test_net207_add_shape_disagreement(self):
+        net = Network((8,), name="bad")
+        net.add(Dense("fc1", units=8))
+        net.add(Dense("fc2", units=4), "fc1")
+        net.add(Add("add"), "fc2", extra_inputs=["fc1"])
+        assert codes(net) == [("NET207", "error")]
+
+    def test_net207_concat_tail_disagreement(self):
+        net = Network((1, 8, 8), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Conv2D("conv2", filters=4, kernel=5), "conv1")
+        net.add(Concat("cat"), "conv1", extra_inputs=["conv2"])
+        assert codes(net) == [("NET207", "error")]
+
+    def test_concat_differing_channels_is_clean(self):
+        net = Network((1, 8, 8), name="ok")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Conv2D("conv2", filters=2, kernel=3), "conv1")
+        net.add(Conv2D("conv3", filters=6, kernel=3), "conv1")
+        net.add(Concat("cat"), "conv2", extra_inputs=["conv3"])
+        assert codes(net) == []
+
+    def test_failure_does_not_cascade_downstream(self):
+        net = Network((1, 8, 8), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Dense("fc1", units=10))
+        net.add(Dense("fc2", units=10))
+        # Only the first mismatch reports; fc2 has no known input shape.
+        assert codes(net) == [("NET205", "error")]
+
+
+class TestDtypes:
+    def test_net208_float64_params_on_built_net(self):
+        net = conv_chain().build(0)
+        layer = net["fc1"]
+        layer.params["W"] = layer.params["W"].astype(np.float64)
+        diags = check_network(net)
+        assert [(d.code, d.severity) for d in diags] == [("NET208", "error")]
+        assert "fc1" in diags[0].message
+
+    def test_built_float32_net_is_clean(self):
+        assert codes(conv_chain().build(0)) == []
+
+
+class TestValidateNetwork:
+    def test_raises_graph_error_listing_codes(self):
+        net = Network((1, 8, 8), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Dense("fc1", units=10))
+        with pytest.raises(GraphError, match=r"\[NET205\]"):
+            validate_network(net)
+
+    def test_warnings_do_not_raise(self):
+        net = Network((4,), name="forked")
+        net.add(Dense("a", units=4))
+        net.add(Dense("h1", units=2), "a")
+        net.add(Dense("h2", units=2), "a")
+        validate_network(net)  # NET203 is only a warning
+
+    def test_build_validate_rejects_before_allocating(self):
+        net = Network((1, 8, 8), name="bad")
+        net.add(Conv2D("conv1", filters=4, kernel=3))
+        net.add(Dense("fc1", units=10))
+        with pytest.raises(GraphError):
+            net.build(validate=True)
+        assert net["conv1"].params.get("W") is None
+
+    def test_build_validate_passes_clean_net(self):
+        net = conv_chain().build(0, validate=True)
+        assert net.is_built
+
+
+class TestGraphErrorMessages:
+    def test_topological_order_names_cycle_nodes(self):
+        net = Network((4,), name="cyc")
+        net.add(Dense("p", units=4))
+        net.add(Dense("q", units=4))
+        net._nodes["p"].input_names = ("q",)
+        with pytest.raises(GraphError, match=r"cycle through nodes: \['p', 'q'\]"):
+            net.topological_order()
+
+    def test_topological_order_names_dangling_edge(self):
+        net = Network((4,), name="dang")
+        net.add(Dense("a", units=4))
+        net._nodes["a"].input_names = ("ghost",)
+        with pytest.raises(
+            GraphError, match="'a' consumes missing node 'ghost'"
+        ):
+            net.topological_order()
+
+    def test_graph_error_is_a_value_error(self):
+        assert issubclass(GraphError, ValueError)

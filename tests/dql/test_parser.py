@@ -213,3 +213,48 @@ class TestErrors:
     def test_error_mentions_offset(self):
         with pytest.raises(ParseError, match="offset"):
             parse("select m1 where m1.name like like")
+
+
+class TestErrorPositions:
+    def test_error_carries_line_and_col(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("select m1 where m1.name like like")
+        exc = excinfo.value
+        assert exc.line == 1
+        assert exc.col == exc.offset + 1  # single-line query
+        assert f"line {exc.line}, col {exc.col}" in str(exc)
+
+    def test_multiline_error_position(self):
+        text = 'select m1\nwhere m1.name like like'
+        with pytest.raises(ParseError) as excinfo:
+            parse(text)
+        exc = excinfo.value
+        assert exc.line == 2
+        assert text[exc.offset:].startswith("like")
+        assert exc.col == exc.offset - text.index("\n")
+
+    def test_error_at_end_of_input(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse("select")
+        assert excinfo.value.offset is not None
+
+
+class TestSpans:
+    def test_query_span_covers_the_statement(self):
+        text = "  select m1 where m1.accuracy > 0.5  "
+        q = parse(text)
+        start, end = q.span
+        assert text[start:end] == text.strip()
+
+    def test_condition_span_points_at_the_path(self):
+        text = "select m1 where m1.accuracy > 0.5"
+        q = parse(text)
+        start, end = q.where.path.span
+        assert text[start:end] == "m1.accuracy"
+
+    def test_spans_do_not_affect_equality(self):
+        # The executor compares subtrees; spans must stay out of __eq__.
+        a = parse("select m where m.a = 1")
+        b = parse("   select m where m.a = 1")
+        assert a == b
+        assert a.span != b.span
