@@ -14,16 +14,31 @@ benchmark sidecars can report where bytes actually go.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import os
 import zlib
 from pathlib import Path
 from typing import Iterator, Optional
 
+from repro.faults import fs as ffs
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 
 def _digest(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
+
+
+class ChunkIntegrityError(ValueError):
+    """A stored blob failed verification (hash mismatch or undecodable)."""
+
+    def __init__(self, sha: str, reason: str) -> None:
+        super().__init__(f"chunk {sha} is corrupt ({reason})")
+        self.sha = sha
+        self.reason = reason
+
+
+#: Process-wide sequence making concurrent writers' tmp names distinct.
+_tmp_counter = itertools.count()
 
 
 class _StoreMetrics:
@@ -63,25 +78,63 @@ class ChunkStore:
         root: str | Path,
         level: int = 6,
         registry: Optional[MetricsRegistry] = None,
+        durable: bool = True,
     ) -> None:
         self.root = Path(root)
         self.level = level
+        self.durable = durable
         self.metrics = _StoreMetrics(registry)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.sweep_stale_tmps()
 
     def _path(self, sha: str) -> Path:
         return self.root / sha[:2] / sha
 
+    def blob_path(self, sha: str) -> Path:
+        """On-disk location of one blob (it may not exist)."""
+        return self._path(sha)
+
+    def sweep_stale_tmps(self) -> int:
+        """Remove ``*.tmp`` litter left by crashed writers; returns count."""
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp"):
+            ffs.unlink(tmp, site="chunkstore.sweep", missing_ok=True)
+            removed += 1
+        if removed:
+            self.metrics.registry.counter("chunkstore.tmps_swept").inc(removed)
+        return removed
+
     def put(self, data: bytes) -> str:
-        """Store a blob; returns its content address (idempotent)."""
+        """Store a blob; returns its content address (idempotent).
+
+        The write is crash-safe: the compressed blob goes to a tmp file
+        unique to this call (concurrent writers of the same sha never
+        collide), is fsynced, renamed into place, and the bucket
+        directory is fsynced so the entry survives power loss.  A crash
+        leaves at worst a stale tmp, swept on the next store open.
+        """
         sha = _digest(data)
         path = self._path(sha)
         existed = path.exists()
         if not existed:
             path.parent.mkdir(exist_ok=True)
-            tmp = path.with_suffix(".tmp")
-            tmp.write_bytes(zlib.compress(data, self.level))
-            os.replace(tmp, path)
+            tmp = path.parent / f"{sha}.{os.getpid()}-{next(_tmp_counter)}.tmp"
+            try:
+                ffs.write_bytes(
+                    tmp,
+                    zlib.compress(data, self.level),
+                    site="chunkstore.put.write",
+                    fsync=self.durable,
+                )
+                ffs.replace(tmp, path, site="chunkstore.put.replace")
+            except Exception:
+                # Graceful failure: clean our tmp.  A CrashSimulated
+                # (BaseException) deliberately skips this — a dead
+                # process leaves litter, which the sweep handles.
+                tmp.unlink(missing_ok=True)
+                raise
+            if self.durable:
+                ffs.fsync_dir(path.parent, site="chunkstore.put.dirsync")
         self.metrics.record_put(len(data), deduplicated=existed)
         return sha
 
@@ -90,16 +143,28 @@ class ChunkStore:
 
         Raises:
             KeyError: when the address is unknown.
-            ValueError: when the stored content fails integrity checking.
+            ChunkIntegrityError: when the stored content fails integrity
+                checking (a :class:`ValueError` subclass).
         """
         path = self._path(sha)
         if not path.exists():
             raise KeyError(f"no chunk {sha}")
-        data = zlib.decompress(path.read_bytes())
+        try:
+            data = zlib.decompress(path.read_bytes())
+        except zlib.error as exc:
+            raise ChunkIntegrityError(sha, f"undecodable: {exc}") from exc
         if _digest(data) != sha:
-            raise ValueError(f"chunk {sha} is corrupt")
+            raise ChunkIntegrityError(sha, "hash mismatch")
         self.metrics.record_get(len(data))
         return data
+
+    def verify_blob(self, sha: str) -> bool:
+        """Re-hash one stored blob; ``False`` when corrupt or undecodable."""
+        try:
+            self.get(sha)
+        except ChunkIntegrityError:
+            return False
+        return True
 
     def __contains__(self, sha: str) -> bool:
         return self._path(sha).exists()
@@ -121,12 +186,16 @@ class ChunkStore:
 
     def total_size(self) -> int:
         """Total on-disk bytes across all blobs."""
-        return sum(p.stat().st_size for p in self.root.glob("*/*") if p.is_file())
+        return sum(
+            p.stat().st_size
+            for p in self.root.glob("*/*")
+            if p.is_file() and p.suffix != ".tmp"
+        )
 
     def addresses(self) -> Iterator[str]:
         """Iterate over every stored content address."""
         for path in sorted(self.root.glob("*/*")):
-            if path.is_file():
+            if path.is_file() and path.suffix != ".tmp":
                 yield path.name
 
 

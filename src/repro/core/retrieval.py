@@ -59,6 +59,55 @@ class RecreationResult:
 
 
 @dataclass
+class RecoveryEvent:
+    """One plane read that needed the recovery path.
+
+    ``action`` is ``"replica"`` (exact bytes served from the replica
+    tier) or ``"zero-fill"`` (low-order plane lost; zeros substituted —
+    the partial-retrieval semantics of Table V, so the value is
+    approximate but the snapshot stays readable).
+    """
+
+    matrix_id: str
+    sha: str
+    plane: int
+    action: str
+    exact: bool
+    error: str
+
+    def to_dict(self) -> dict:
+        return {
+            "matrix_id": self.matrix_id,
+            "sha": self.sha,
+            "plane": self.plane,
+            "action": self.action,
+            "exact": self.exact,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """Structured account of every degraded/recovered read on an archive."""
+
+    events: list[RecoveryEvent] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one recovery was inexact (zero-filled)."""
+        return any(not e.exact for e in self.events)
+
+    def to_dict(self) -> dict:
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "degraded": self.degraded,
+        }
+
+
+@dataclass
 class _StoredPayload:
     """Manifest entry for one archived matrix."""
 
@@ -80,6 +129,16 @@ class PlanArchive:
             design.  When given, planes with index >= ``offload_from`` are
             written to and read from it.
         offload_from: First plane index routed to ``low_order_store``.
+        replica_store: Optional redundancy tier holding second copies of
+            the high-order planes (written for plane indexes below
+            ``replicate_planes``).  On a failed integrity check, reads
+            fall back to it — the archive's "alternate path".
+        replicate_planes: How many leading planes are mirrored on write.
+        degraded: Permit lossy recovery — when a plane with index >= 1
+            cannot be read from either store, substitute zeros instead of
+            raising, recording a :class:`RecoveryEvent`.  Plane 0
+            (sign/exponent) is never zero-filled: without it the value
+            would be garbage rather than an approximation.
     """
 
     def __init__(
@@ -88,11 +147,18 @@ class PlanArchive:
         level: int = 6,
         low_order_store=None,
         offload_from: int = 2,
+        replica_store=None,
+        replicate_planes: int = 2,
+        degraded: bool = False,
     ) -> None:
         self.store = store
         self.level = level
         self.low_order_store = low_order_store
         self.offload_from = offload_from
+        self.replica_store = replica_store
+        self.replicate_planes = replicate_planes
+        self.degraded = degraded
+        self.recovery = RecoveryReport()
         self._manifest: dict[str, _StoredPayload] = {}
         self._snapshots: dict[str, list[str]] = {}
 
@@ -113,6 +179,8 @@ class PlanArchive:
         delta_kind: str = "sub",
         low_order_store=None,
         offload_from: int = 2,
+        replica_store=None,
+        replicate_planes: int = 2,
     ) -> "PlanArchive":
         """Archive ``matrices`` according to ``plan``.
 
@@ -126,10 +194,16 @@ class PlanArchive:
             delta_kind: ``"sub"`` or ``"xor"``.
             low_order_store / offload_from: Optional remote tier for the
                 low-order byte planes (see class docs).
+            replica_store / replicate_planes: Optional redundancy tier for
+                the high-order byte planes (see class docs).
         """
         plan.validate()
         archive = cls(
-            store, low_order_store=low_order_store, offload_from=offload_from
+            store,
+            low_order_store=low_order_store,
+            offload_from=offload_from,
+            replica_store=replica_store,
+            replicate_planes=replicate_planes,
         )
         archive._snapshots = plan.graph.snapshots
         # Write parents before children so delta bases conceptually exist;
@@ -180,6 +254,8 @@ class PlanArchive:
         entry = _StoredPayload(matrix_id, parent, kind, target.shape)
         for index, plane in enumerate(planes):
             entry.chunk_ids.append(self.plane_store(index).put(plane))
+            if self.replica_store is not None and index < self.replicate_planes:
+                self.replica_store.put(plane)
         self._manifest[matrix_id] = entry
 
     # -- manifest -------------------------------------------------------------
@@ -205,11 +281,23 @@ class PlanArchive:
 
     @classmethod
     def from_manifest_dict(
-        cls, store, manifest: dict, low_order_store=None, offload_from: int = 2
+        cls,
+        store,
+        manifest: dict,
+        low_order_store=None,
+        offload_from: int = 2,
+        replica_store=None,
+        replicate_planes: int = 2,
+        degraded: bool = False,
     ) -> "PlanArchive":
         """Reopen an archive from its serialized manifest."""
         archive = cls(
-            store, low_order_store=low_order_store, offload_from=offload_from
+            store,
+            low_order_store=low_order_store,
+            offload_from=offload_from,
+            replica_store=replica_store,
+            replicate_planes=replicate_planes,
+            degraded=degraded,
         )
         archive._snapshots = {
             k: list(v) for k, v in manifest["snapshots"].items()
@@ -250,13 +338,59 @@ class PlanArchive:
         bytes_read = 0
         for i in range(NUM_PLANES):
             if i < planes:
-                sha = entry.chunk_ids[i]
-                store = self.plane_store(i)
-                bytes_read += store.stored_size(sha)
-                buffers.append(store.get(sha))
+                data, nbytes = self._fetch_plane(entry, i)
+                buffers.append(data if data is not None else b"\x00" * count)
+                bytes_read += nbytes
             else:
                 buffers.append(b"\x00" * count)
         return assemble_planes(buffers, entry.shape), bytes_read
+
+    def _fetch_plane(
+        self, entry: _StoredPayload, index: int
+    ) -> tuple[Optional[bytes], int]:
+        """Read one plane chunk, taking the recovery path on failure.
+
+        Returns ``(bytes, stored_size)``; ``(None, 0)`` means the plane
+        was lost and the caller should zero-fill it (degraded mode).
+        """
+        sha = entry.chunk_ids[index]
+        store = self.plane_store(index)
+        try:
+            return store.get(sha), store.stored_size(sha)
+        except (KeyError, ValueError) as exc:
+            return self._recover_plane(entry, index, sha, exc)
+
+    def _recover_plane(
+        self, entry: _StoredPayload, index: int, sha: str, exc: Exception
+    ) -> tuple[Optional[bytes], int]:
+        """Alternate-path read: replica tier first, then zero-fill."""
+        if self.replica_store is not None:
+            try:
+                data = self.replica_store.get(sha)
+            except (KeyError, ValueError):
+                pass
+            else:
+                self.recovery.events.append(
+                    RecoveryEvent(
+                        entry.matrix_id, sha, index, "replica", True, str(exc)
+                    )
+                )
+                counter("recovery.replica_reads").inc()
+                try:
+                    nbytes = self.replica_store.stored_size(sha)
+                except KeyError:  # pragma: no cover - store raced away
+                    nbytes = len(data)
+                return data, nbytes
+        if self.degraded and index >= 1:
+            self.recovery.events.append(
+                RecoveryEvent(
+                    entry.matrix_id, sha, index, "zero-fill", False, str(exc)
+                )
+            )
+            counter("recovery.degraded_planes").inc()
+            return None, 0
+        counter("recovery.failures").inc()
+        raise exc
 
     def _resolve(
         self,

@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import json
 import sqlite3
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.dlv.objects import ModelVersion, Snapshot
+from repro.faults import fs as ffs
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS model_version (
@@ -96,6 +98,11 @@ CREATE TABLE IF NOT EXISTS payload (
     kind         TEXT NOT NULL,
     chunks       TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS commit_marker (
+    txid        TEXT PRIMARY KEY,
+    version_id  INTEGER NOT NULL,
+    created_at  TEXT NOT NULL DEFAULT ''
+);
 CREATE INDEX IF NOT EXISTS idx_matrix_snapshot
     ON matrix(version_id, snapshot_idx);
 """
@@ -110,9 +117,65 @@ class Catalog:
         self._conn.row_factory = sqlite3.Row
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
+        self._txn_depth = 0
 
     def close(self) -> None:
         self._conn.close()
+
+    # -- transactions ---------------------------------------------------------
+
+    def _maybe_commit(self) -> None:
+        """Commit now, unless a :meth:`transaction` is open (deferred)."""
+        if self._txn_depth == 0:
+            self._conn.commit()
+
+    @contextmanager
+    def transaction(self) -> Iterator["Catalog"]:
+        """Group catalog writes into one atomic sqlite transaction.
+
+        Every write method inside the block defers its commit; the block
+        exit commits once (all rows become visible together, which is
+        what makes a crash mid-commit leave *zero* dangling rows) or
+        rolls everything back on error.  Nesting is allowed — only the
+        outermost exit commits.  The commit point is an instrumented
+        fault site (``catalog.commit``), so crash-matrix tests cover
+        "died just before the transaction landed".
+        """
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self._conn.rollback()
+            raise
+        self._txn_depth -= 1
+        if self._txn_depth == 0:
+            try:
+                ffs.checkpoint("catalog.commit")
+            except BaseException:
+                self._conn.rollback()
+                raise
+            self._conn.commit()
+
+    # -- commit markers (journal protocol) ------------------------------------
+
+    def add_commit_marker(
+        self, txid: str, version_id: int, created_at: str = ""
+    ) -> None:
+        """Record that the transaction ``txid`` reached durability."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO commit_marker (txid, version_id, "
+            "created_at) VALUES (?, ?, ?)",
+            (txid, version_id, created_at),
+        )
+        self._maybe_commit()
+
+    def has_commit_marker(self, txid: str) -> bool:
+        row = self._conn.execute(
+            "SELECT txid FROM commit_marker WHERE txid = ?", (txid,)
+        ).fetchone()
+        return row is not None
 
     def __enter__(self) -> "Catalog":
         return self
@@ -151,7 +214,7 @@ class Catalog:
                 "INSERT INTO edge (version_id, src, dst) VALUES (?, ?, ?)",
                 (version_id, entry["input"], layer["name"]),
             )
-        self._conn.commit()
+        self._maybe_commit()
         return version_id
 
     def get_version(self, version_id: int) -> Optional[ModelVersion]:
@@ -200,7 +263,7 @@ class Catalog:
                 "VALUES (?, ?, ?)",
                 (version_id, key, json.dumps(value)),
             )
-        self._conn.commit()
+        self._maybe_commit()
 
     def get_metadata(self, version_id: int) -> dict:
         rows = self._conn.execute(
@@ -225,7 +288,7 @@ class Catalog:
                 for e in entries
             ],
         )
-        self._conn.commit()
+        self._maybe_commit()
 
     def get_training_log(self, version_id: int) -> list[dict]:
         rows = self._conn.execute(
@@ -240,13 +303,18 @@ class Catalog:
             "INSERT OR REPLACE INTO file (version_id, path, sha) VALUES (?, ?, ?)",
             [(version_id, p, s) for p, s in files.items()],
         )
-        self._conn.commit()
+        self._maybe_commit()
 
     def get_files(self, version_id: int) -> dict[str, str]:
         rows = self._conn.execute(
             "SELECT path, sha FROM file WHERE version_id = ?", (version_id,)
         ).fetchall()
         return {r["path"]: r["sha"] for r in rows}
+
+    def all_file_shas(self) -> set[str]:
+        """Every associated-file digest referenced by any version."""
+        rows = self._conn.execute("SELECT DISTINCT sha FROM file").fetchall()
+        return {r["sha"] for r in rows}
 
     # -- lineage ----------------------------------------------------------------
 
@@ -256,7 +324,7 @@ class Catalog:
             "VALUES (?, ?, ?)",
             (base, derived, message),
         )
-        self._conn.commit()
+        self._maybe_commit()
 
     def get_parents(self, version_id: int) -> list[int]:
         rows = self._conn.execute(
@@ -290,7 +358,7 @@ class Catalog:
                 snapshot.created_at,
             ),
         )
-        self._conn.commit()
+        self._maybe_commit()
 
     def get_snapshots(self, version_id: int) -> list[Snapshot]:
         rows = self._conn.execute(
@@ -394,4 +462,4 @@ class Catalog:
         ]
 
     def commit(self) -> None:
-        self._conn.commit()
+        self._maybe_commit()

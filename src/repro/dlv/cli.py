@@ -197,6 +197,38 @@ def cmd_verify(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_fsck(args) -> int:
+    from repro.dlv.fsck import run_fsck
+
+    with _open_repo(args) as repo:
+        report = run_fsck(repo, repair=args.repair)
+    data = report.to_dict()
+    if args.json:
+        _print(data)
+    else:
+        for finding in report.findings:
+            status = (
+                f" [repaired: {finding.repair}]" if finding.repaired else ""
+            )
+            print(
+                f"{finding.code} {finding.severity}: "
+                f"{finding.message}{status}"
+            )
+        print(
+            "fsck: {chunks} chunks + {replica} replica blobs re-hashed, "
+            "{payloads} payloads checked; {errors} error(s), "
+            "{warnings} warning(s) -> {verdict}".format(
+                chunks=report.chunks_checked,
+                replica=report.replica_checked,
+                payloads=report.payloads_checked,
+                errors=data["summary"]["error"],
+                warnings=data["summary"]["warning"],
+                verdict="clean" if report.clean else "NOT clean",
+            )
+        )
+    return 0 if report.clean else 1
+
+
 def cmd_diff(args) -> int:
     with _open_repo(args) as repo:
         a, b = repo.resolve(args.a), repo.resolve(args.b)
@@ -542,6 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("verify", help="check repository integrity")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "fsck", help="deep integrity check (re-hash blobs, catalog audit)"
+    )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="quarantine corrupt blobs and restore/re-materialize payloads",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_fsck)
 
     p = sub.add_parser(
         "inspect", help="segment-only stats/histogram of a parameter matrix"

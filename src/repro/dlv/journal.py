@@ -1,0 +1,101 @@
+"""Write-ahead intent journal for repository mutations.
+
+Crash-safe commits follow a write-ahead protocol: before any chunk
+lands, an *intent file* is written (and fsynced) into
+``.dlv/journal/`` recording what is about to happen — the operation,
+the content addresses that will be written, and a transaction id.  The
+catalog then applies all of its rows in one sqlite transaction whose
+last act records the same txid in the ``commit_marker`` table, and only
+after that does the intent file retire.
+
+On every :meth:`~repro.dlv.repository.Repository.open`, pending intent
+files are replayed:
+
+* ``commit`` intents whose txid reached the catalog are simply retired
+  (the crash happened between durability and cleanup);
+* ``commit`` intents whose txid is absent mean the catalog transaction
+  never committed — the listed chunks/files are swept if nothing else
+  references them, restoring the pre-commit state exactly;
+* ``archive`` / ``convert`` / ``prune`` intents trigger a garbage
+  sweep: their catalog transaction is atomic on its own, so either the
+  old or the new payload table is in effect and the sweep removes
+  whichever chunk generation lost.
+
+Journal entry format (JSON, one file per in-flight operation)::
+
+    .dlv/journal/<txid>.json
+    {
+      "txid": "<32 hex chars>",
+      "op": "commit" | "archive" | "convert" | "prune",
+      "created_at": "<iso8601>",
+      "chunks": ["<sha256>", ...],   # commit only: planned chunk writes
+      "files":  ["<sha256>", ...],   # commit only: planned file copies
+      ...                            # op-specific context (name, ref)
+    }
+
+A torn journal write (unparseable JSON) is safe by construction: the
+intent is written *before* any data it describes, so an unreadable
+intent means the operation never touched the store and the file is
+discarded.
+"""
+
+from __future__ import annotations
+
+import json
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.faults import fs as ffs
+
+
+@dataclass
+class JournalEntry:
+    """One intent file: its path, txid, and parsed payload (None = torn)."""
+
+    path: Path
+    txid: str
+    data: Optional[dict]
+
+    @property
+    def op(self) -> Optional[str]:
+        return self.data.get("op") if self.data else None
+
+
+class Journal:
+    """Owns the ``.dlv/journal/`` directory of intent files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def record(self, op: str, **payload) -> JournalEntry:
+        """Durably write an intent file; returns the entry to retire later."""
+        txid = uuid.uuid4().hex
+        data = {"txid": txid, "op": op, **payload}
+        path = self.root / f"{txid}.json"
+        ffs.write_bytes(
+            path,
+            json.dumps(data, indent=2, default=str).encode(),
+            site="journal.write",
+        )
+        ffs.fsync_dir(self.root, site="journal.dirsync")
+        return JournalEntry(path=path, txid=txid, data=data)
+
+    def retire(self, entry: JournalEntry) -> None:
+        """Remove a fulfilled (or rolled-back) intent."""
+        ffs.unlink(entry.path, site="journal.retire", missing_ok=True)
+        ffs.fsync_dir(self.root)
+
+    def pending(self) -> list[JournalEntry]:
+        """All intent files on disk, oldest first; torn ones have data=None."""
+        entries = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                data = None
+            txid = data.get("txid", path.stem) if data else path.stem
+            entries.append(JournalEntry(path=path, txid=txid, data=data))
+        return entries

@@ -8,6 +8,9 @@ the PAS chunk store, and content-addressed copies of associated files:
     <repo>/.dlv/
         catalog.db      relational catalog (repro.dlv.catalog)
         chunks/         PAS byte-plane chunk store
+        replica/        redundant copies of high-order planes (recovery tier)
+        journal/        write-ahead intent files for in-flight mutations
+        quarantine/     corrupt blobs set aside by `dlv fsck --repair`
         files/          associated files, content addressed
         stage.json      files staged by `dlv add` for the next commit
 
@@ -16,6 +19,14 @@ Weights are written at commit time as materialized byte-plane payloads;
 storage plan (Problem 1) and rewrites the payload table accordingly —
 queries are unaffected because retrieval always goes through the payload
 manifest.
+
+Mutations are crash-safe (see :mod:`repro.dlv.journal`): chunks land
+first under a journaled intent, catalog rows apply in one sqlite
+transaction, and :meth:`Repository.open` replays any pending intent —
+rolling back commits that never reached the catalog and sweeping the
+orphaned chunks they left behind.  The high-order byte planes of every
+payload are mirrored into a small replica store, which is what lets
+retrieval and ``dlv fsck --repair`` survive a corrupt blob.
 """
 
 from __future__ import annotations
@@ -23,7 +34,7 @@ from __future__ import annotations
 import datetime
 import hashlib
 import json
-import shutil
+import os
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
@@ -44,10 +55,19 @@ from repro.core.storage_graph import (
 )
 from repro.dlv.objects import ModelVersion, Snapshot
 from repro.dlv.catalog import Catalog
+from repro.dlv.journal import Journal
 from repro.dnn.network import Network
 from repro.dnn.training import TrainResult
+from repro.faults import fs as ffs
+from repro.obs.metrics import counter
 
 VersionLike = Union[int, str, ModelVersion]
+
+#: How many high-order byte planes of every payload are mirrored into the
+#: replica store.  Planes 0-1 (sign/exponent and high mantissa) carry most
+#: of the information yet compress best, so the mirror is cheap — and it
+#: is the "alternate path" degraded retrieval and fsck repair fall back to.
+REPLICA_PLANES = 2
 
 
 def _now() -> str:
@@ -73,9 +93,82 @@ class Repository:
                 f"{self.root} is not a dlv repository (run Repository.init)"
             )
         self.catalog = Catalog(self.dlv_dir / "catalog.db")
+        # Opening the stores sweeps any stale tmp litter from a crash.
         self.store = ChunkStore(self.dlv_dir / "chunks")
+        self.replica = ChunkStore(self.dlv_dir / "replica")
         self.files_dir = self.dlv_dir / "files"
         self.files_dir.mkdir(exist_ok=True)
+        self.journal = Journal(self.dlv_dir / "journal")
+        self.last_replay = self._replay_journal()
+
+    # -- journal replay -------------------------------------------------------
+
+    def _replay_journal(self) -> dict:
+        """Resolve every pending write-ahead intent (crash recovery).
+
+        Returns a small report; also counts outcomes into ``repro.obs``
+        (``journal.*`` counters) so recoveries show up in ``dlv stats``.
+        """
+        report = {
+            "retired": 0,
+            "rolled_back": 0,
+            "swept_chunks": 0,
+            "swept_files": 0,
+        }
+        entries = self.journal.pending()
+        if not entries:
+            return report
+        for entry in entries:
+            if entry.data is None or entry.op is None:
+                # Torn intent write: the journal lands before any data it
+                # describes, so nothing else can exist — discard it.
+                counter("journal.torn_discarded").inc()
+            elif entry.op == "commit":
+                if self.catalog.has_commit_marker(entry.txid):
+                    # Died between catalog durability and journal cleanup.
+                    counter("journal.completed").inc()
+                else:
+                    chunks, files = self._sweep_listed(
+                        entry.data.get("chunks", []),
+                        entry.data.get("files", []),
+                    )
+                    report["rolled_back"] += 1
+                    report["swept_chunks"] += chunks
+                    report["swept_files"] += files
+                    counter("journal.rollbacks").inc()
+            else:
+                # archive / convert / prune: their catalog transaction is
+                # atomic on its own, so either generation of payloads won;
+                # sweep whichever generation of chunks lost.
+                report["swept_chunks"] += self.gc()
+                counter("journal.sweeps").inc()
+            self.journal.retire(entry)
+            report["retired"] += 1
+        counter("journal.replays").inc()
+        return report
+
+    def _sweep_listed(
+        self, chunk_shas: Sequence[str], file_shas: Sequence[str]
+    ) -> tuple[int, int]:
+        """Remove listed chunks/files unless the catalog references them."""
+        referenced: set[str] = set()
+        for payload in self.catalog.all_payloads():
+            referenced.update(payload["chunks"])
+        swept_chunks = 0
+        for sha in chunk_shas:
+            if sha not in referenced:
+                if self.store.delete(sha):
+                    swept_chunks += 1
+                self.replica.delete(sha)
+        referenced_files = self.catalog.all_file_shas()
+        swept_files = 0
+        for sha in file_shas:
+            if sha not in referenced_files:
+                dest = self.files_dir / sha
+                if dest.exists():
+                    dest.unlink()
+                    swept_files += 1
+        return swept_chunks, swept_files
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -129,13 +222,15 @@ class Repository:
             return json.loads(self._stage_path.read_text())
         return []
 
-    def _store_file(self, path: Path) -> str:
-        data = path.read_bytes()
-        sha = hashlib.sha256(data).hexdigest()
+    def _store_file_blob(self, sha: str, data: bytes) -> None:
+        """Land one associated file durably (write-tmp, fsync, rename)."""
         dest = self.files_dir / sha
-        if not dest.exists():
-            shutil.copyfile(path, dest)
-        return sha
+        if dest.exists():
+            return
+        tmp = dest.with_name(f"{sha}.{os.getpid()}.tmp")
+        ffs.write_bytes(tmp, data, site="repo.files.write")
+        ffs.replace(tmp, dest, site="repo.files.replace")
+        ffs.fsync_dir(self.files_dir)
 
     def get_file(self, sha: str) -> bytes:
         """Read an associated file's content by digest."""
@@ -184,79 +279,126 @@ class Repository:
         """
         if not network.is_built:
             raise RuntimeError("commit requires a built network")
-        version_id = self.catalog.insert_version(
-            name, message, _now(), network.spec()
-        )
 
-        meta: dict = {"param_count": network.param_count()}
-        if hyperparams:
-            meta["hyperparams"] = hyperparams
-        if metadata:
-            meta.update(metadata)
-        if train_result is not None:
-            meta["final_accuracy"] = train_result.final_accuracy
-            meta["final_loss"] = train_result.final_loss
-            self.catalog.add_training_log(version_id, train_result.log)
-        self.catalog.set_metadata(version_id, meta)
+        # Phase 0 — validate everything that can fail *before* any write.
+        base = self.resolve(parent) if parent is not None else None
+        staged_paths: list[Path] = []
+        if include_staged:
+            for path in self.staged_files():
+                p = Path(path)
+                if not p.exists():
+                    raise FileNotFoundError(
+                        f"staged file vanished before commit: {p}"
+                    )
+                staged_paths.append(p)
 
-        if parent is not None:
-            base = self.resolve(parent)
-            self.catalog.add_lineage(base.id, version_id, message)
-
+        # Phase 1 — encode all snapshots into byte planes in memory, so
+        # the journal can list every content address before anything lands.
+        scheme = get_scheme(float_scheme)
         snapshots = (
             train_result.snapshots
             if train_result is not None
             else [(0, network.get_weights())]
         )
+        encoded: list[tuple[int, int, list[tuple]]] = []
+        chunk_shas: set[str] = set()
         for index, (iteration, weights) in enumerate(snapshots):
-            self._store_snapshot(
-                version_id, index, iteration, weights, float_scheme
+            entries = []
+            for layer, params in weights.items():
+                for key, matrix in params.items():
+                    stored = (
+                        matrix if scheme.lossless else scheme.roundtrip(matrix)
+                    )
+                    planes = segment_planes(stored)
+                    plane_shas = [
+                        hashlib.sha256(p).hexdigest() for p in planes
+                    ]
+                    chunk_shas.update(plane_shas)
+                    entries.append(
+                        (layer, key, stored.shape, stored.nbytes,
+                         planes, plane_shas)
+                    )
+            encoded.append((index, iteration, entries))
+        file_blobs = []
+        for p in staged_paths:
+            data = p.read_bytes()
+            file_blobs.append((p.name, hashlib.sha256(data).hexdigest(), data))
+
+        # Phase 2 — journal the intent, then land every content-addressed
+        # artifact.  A crash from here on leaves only orphans the journal
+        # replay knows how to sweep.
+        intent = self.journal.record(
+            "commit",
+            name=name,
+            created_at=_now(),
+            chunks=sorted(chunk_shas),
+            files=sorted({sha for _, sha, _ in file_blobs}),
+        )
+        for _index, _iteration, entries in encoded:
+            for _layer, _key, _shape, _nbytes, planes, _shas in entries:
+                self._put_planes(planes)
+        for _name, sha, data in file_blobs:
+            self._store_file_blob(sha, data)
+
+        # Phase 3 — all catalog rows in one transaction, closed by the
+        # commit marker that tells journal replay this commit completed.
+        with self.catalog.transaction():
+            version_id = self.catalog.insert_version(
+                name, message, _now(), network.spec()
             )
+            meta: dict = {"param_count": network.param_count()}
+            if hyperparams:
+                meta["hyperparams"] = hyperparams
+            if metadata:
+                meta.update(metadata)
+            if train_result is not None:
+                meta["final_accuracy"] = train_result.final_accuracy
+                meta["final_loss"] = train_result.final_loss
+                self.catalog.add_training_log(version_id, train_result.log)
+            self.catalog.set_metadata(version_id, meta)
+            if base is not None:
+                self.catalog.add_lineage(base.id, version_id, message)
+            for index, iteration, entries in encoded:
+                self.catalog.add_snapshot(
+                    Snapshot(
+                        version_id=version_id,
+                        index=index,
+                        iteration=iteration,
+                        float_scheme=float_scheme,
+                        created_at=_now(),
+                    )
+                )
+                for layer, key, shape, nbytes, _planes, plane_shas in entries:
+                    matrix_id = f"v{version_id}/s{index}/{layer}.{key}"
+                    self.catalog.add_matrix(
+                        matrix_id, version_id, index, layer, key,
+                        shape, nbytes,
+                    )
+                    self.catalog.set_payload(
+                        matrix_id, ROOT, "materialize", plane_shas
+                    )
+            if file_blobs:
+                self.catalog.add_files(
+                    version_id, {n: sha for n, sha, _ in file_blobs}
+                )
+            self.catalog.add_commit_marker(intent.txid, version_id, _now())
 
-        if include_staged:
-            stored = {}
-            for path in self.staged_files():
-                p = Path(path)
-                if p.exists():
-                    stored[p.name] = self._store_file(p)
-            if stored:
-                self.catalog.add_files(version_id, stored)
-            if self._stage_path.exists():
-                self._stage_path.unlink()
-
+        # Phase 4 — the commit is durable; clean up intent and stage.
+        self.journal.retire(intent)
+        if include_staged and self._stage_path.exists():
+            self._stage_path.unlink()
+        counter("dlv.commits").inc()
         return self.catalog.get_version(version_id)
 
-    def _store_snapshot(
-        self,
-        version_id: int,
-        index: int,
-        iteration: int,
-        weights: dict[str, dict[str, np.ndarray]],
-        float_scheme: str,
-    ) -> None:
-        scheme = get_scheme(float_scheme)
-        snapshot = Snapshot(
-            version_id=version_id,
-            index=index,
-            iteration=iteration,
-            float_scheme=float_scheme,
-            created_at=_now(),
-        )
-        self.catalog.add_snapshot(snapshot)
-        for layer, params in weights.items():
-            for key, matrix in params.items():
-                stored = matrix if scheme.lossless else scheme.roundtrip(matrix)
-                matrix_id = f"v{version_id}/s{index}/{layer}.{key}"
-                self.catalog.add_matrix(
-                    matrix_id, version_id, index, layer, key,
-                    stored.shape, stored.nbytes,
-                )
-                chunks = [
-                    self.store.put(plane)
-                    for plane in segment_planes(stored)
-                ]
-                self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
-        self.catalog.commit()
+    def _put_planes(self, planes: Sequence[bytes]) -> list[str]:
+        """Store one payload's byte planes, mirroring high-order planes."""
+        shas = []
+        for index, plane in enumerate(planes):
+            sha = self.store.put(plane)
+            if index < REPLICA_PLANES:
+                self.replica.put(plane)
+            shas.append(sha)
+        return shas
 
     # -- resolution & exploration ------------------------------------------------------
 
@@ -411,7 +553,13 @@ class Repository:
                 for p in self.catalog.all_payloads()
             },
         }
-        return PlanArchive.from_manifest_dict(self.store, manifest)
+        return PlanArchive.from_manifest_dict(
+            self.store,
+            manifest,
+            replica_store=self.replica,
+            replicate_planes=REPLICA_PLANES,
+            degraded=True,
+        )
 
     def archive_view(self) -> PlanArchive:
         """Public accessor for the current PAS layout."""
@@ -601,13 +749,17 @@ class Repository:
         graph, matrices = self.build_storage_graph()
         constraints = alpha_constraints(graph, alpha, scheme)
         plan = solve(graph, constraints, scheme, algorithm)
-        archive = PlanArchive.build(self.store, matrices, plan)
-        for matrix_id, entry in archive.manifest.items():
-            self.catalog.set_payload(
-                matrix_id, entry.parent, entry.kind, entry.chunk_ids
-            )
-        self.catalog.commit()
+        intent = self.journal.record("archive", alpha=alpha, algorithm=algorithm)
+        archive = PlanArchive.build(
+            self.store, matrices, plan, replica_store=self.replica
+        )
+        with self.catalog.transaction():
+            for matrix_id, entry in archive.manifest.items():
+                self.catalog.set_payload(
+                    matrix_id, entry.parent, entry.kind, entry.chunk_ids
+                )
         self.gc()
+        self.journal.retire(intent)
         after = self.store.total_size()
         report = {
             "algorithm": algorithm,
@@ -678,33 +830,41 @@ class Repository:
             matrix_id: archive.recreate_matrix(matrix_id)
             for matrix_id in (*converted_ids, *dependents)
         }
-        for matrix_id in dependents:
-            chunks = [
-                self.store.put(plane)
-                for plane in segment_planes(exact_values[matrix_id])
-            ]
-            self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
+        intent = self.journal.record(
+            "convert", ref=version.ref, snapshot=snapshot.index,
+            float_scheme=float_scheme,
+        )
         before = 0
         after = 0
-        for row in rows:
-            matrix_id = row["matrix_id"]
-            payload = self.catalog.get_payload(matrix_id)
-            for sha in payload["chunks"]:
-                before += self.store.stored_size(sha)
-            lossy = scheme.roundtrip(exact_values[matrix_id])
-            chunks = [self.store.put(plane) for plane in segment_planes(lossy)]
-            # Converted snapshots are re-materialized: a lossy matrix is no
-            # longer a valid delta base/target for its old neighbours.
-            self.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
-            for sha in chunks:
-                after += self.store.stored_size(sha)
-        self.catalog._conn.execute(
-            "UPDATE snapshot SET float_scheme = ? "
-            "WHERE version_id = ? AND idx = ?",
-            (float_scheme, version.id, snapshot.index),
-        )
-        self.catalog.commit()
+        with self.catalog.transaction():
+            for matrix_id in dependents:
+                chunks = self._put_planes(
+                    segment_planes(exact_values[matrix_id])
+                )
+                self.catalog.set_payload(
+                    matrix_id, ROOT, "materialize", chunks
+                )
+            for row in rows:
+                matrix_id = row["matrix_id"]
+                payload = self.catalog.get_payload(matrix_id)
+                for sha in payload["chunks"]:
+                    before += self.store.stored_size(sha)
+                lossy = scheme.roundtrip(exact_values[matrix_id])
+                chunks = self._put_planes(segment_planes(lossy))
+                # Converted snapshots are re-materialized: a lossy matrix is
+                # no longer a valid delta base/target for its old neighbours.
+                self.catalog.set_payload(
+                    matrix_id, ROOT, "materialize", chunks
+                )
+                for sha in chunks:
+                    after += self.store.stored_size(sha)
+            self.catalog._conn.execute(
+                "UPDATE snapshot SET float_scheme = ? "
+                "WHERE version_id = ? AND idx = ?",
+                (float_scheme, version.id, snapshot.index),
+            )
         self.gc()
+        self.journal.retire(intent)
         return {"bytes_before": before, "bytes_after": after}
 
     def prune_snapshots(
@@ -738,33 +898,33 @@ class Repository:
             for row in self.catalog.get_matrices(version.id, idx)
         }
         archive = self._plan_archive()
-        # Rebase survivors that delta off dropped matrices.
-        for payload in self.catalog.all_payloads():
-            if (
-                payload["parent"] in dropped_matrix_ids
-                and payload["matrix_id"] not in dropped_matrix_ids
-            ):
-                exact = archive.recreate_matrix(payload["matrix_id"])
-                chunks = [
-                    self.store.put(plane) for plane in segment_planes(exact)
-                ]
-                self.catalog.set_payload(
-                    payload["matrix_id"], ROOT, "materialize", chunks
+        intent = self.journal.record("prune", ref=version.ref, dropped=dropped)
+        with self.catalog.transaction():
+            # Rebase survivors that delta off dropped matrices.
+            for payload in self.catalog.all_payloads():
+                if (
+                    payload["parent"] in dropped_matrix_ids
+                    and payload["matrix_id"] not in dropped_matrix_ids
+                ):
+                    exact = archive.recreate_matrix(payload["matrix_id"])
+                    chunks = self._put_planes(segment_planes(exact))
+                    self.catalog.set_payload(
+                        payload["matrix_id"], ROOT, "materialize", chunks
+                    )
+            for matrix_id in dropped_matrix_ids:
+                self.catalog._conn.execute(
+                    "DELETE FROM payload WHERE matrix_id = ?", (matrix_id,)
                 )
-        for matrix_id in dropped_matrix_ids:
-            self.catalog._conn.execute(
-                "DELETE FROM payload WHERE matrix_id = ?", (matrix_id,)
-            )
-            self.catalog._conn.execute(
-                "DELETE FROM matrix WHERE matrix_id = ?", (matrix_id,)
-            )
-        for idx in dropped:
-            self.catalog._conn.execute(
-                "DELETE FROM snapshot WHERE version_id = ? AND idx = ?",
-                (version.id, idx),
-            )
-        self.catalog.commit()
+                self.catalog._conn.execute(
+                    "DELETE FROM matrix WHERE matrix_id = ?", (matrix_id,)
+                )
+            for idx in dropped:
+                self.catalog._conn.execute(
+                    "DELETE FROM snapshot WHERE version_id = ? AND idx = ?",
+                    (version.id, idx),
+                )
         self.gc()
+        self.journal.retire(intent)
         return {"kept": kept, "dropped": dropped}
 
     def export_model_dir(
@@ -795,7 +955,11 @@ class Repository:
         return wrapper.save_model_dir(path, net, config, result)
 
     def gc(self) -> int:
-        """Delete chunks not referenced by any payload; returns count removed."""
+        """Delete chunks not referenced by any payload; returns count removed.
+
+        Sweeps the replica tier too (replica blobs share the main store's
+        addresses); the return value counts main-store removals only.
+        """
         referenced: set[str] = set()
         for payload in self.catalog.all_payloads():
             referenced.update(payload["chunks"])
@@ -804,6 +968,9 @@ class Repository:
             if sha not in referenced:
                 self.store.delete(sha)
                 removed += 1
+        for sha in list(self.replica.addresses()):
+            if sha not in referenced:
+                self.replica.delete(sha)
         return removed
 
     # -- copy (`dlv copy`) -----------------------------------------------------------------

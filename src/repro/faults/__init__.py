@@ -1,0 +1,40 @@
+"""``repro.faults`` — deterministic fault injection for storage code.
+
+The durability story of PAS/DLV (journaled commits, fsck, degraded
+retrieval) is only trustworthy if every crash point is actually
+exercised.  This package provides:
+
+* :class:`FaultPlan` / :class:`FaultPoint` — a declarative schedule of
+  injected failures: ``OSError`` at a site, torn writes, bit flips, or a
+  hard crash at the N-th instrumented filesystem operation;
+* :func:`inject` — context manager installing the process-global plan;
+* :mod:`repro.faults.fs` — instrumented filesystem primitives
+  (write+fsync, atomic replace, dir fsync, copy) used by
+  :class:`~repro.core.chunkstore.ChunkStore`, the DLV journal, and the
+  hub, each a named fault site.
+
+See ``docs/api.md`` ("Durability & recovery") for the site table and a
+worked crash-matrix example.
+"""
+
+from repro.faults.plan import (
+    CrashSimulated,
+    FaultError,
+    FaultPlan,
+    FaultPoint,
+    FiredFault,
+    get_plan,
+    inject,
+    set_plan,
+)
+
+__all__ = [
+    "CrashSimulated",
+    "FaultError",
+    "FaultPlan",
+    "FaultPoint",
+    "FiredFault",
+    "get_plan",
+    "inject",
+    "set_plan",
+]

@@ -1,0 +1,106 @@
+"""Fault-instrumented filesystem primitives with explicit durability.
+
+Every mutation the storage layer performs — chunk blobs, journal intent
+files, hub trees — goes through these wrappers so that
+
+1. an injected :class:`~repro.faults.plan.FaultPlan` can fail, tear,
+   corrupt, or crash any individual operation, and
+2. durability is uniform: data files are fsynced before rename, and
+   parent directories are fsynced after entry creation/removal, which is
+   what makes ``os.replace``-based commits actually crash-safe on POSIX.
+
+With no plan injected the wrappers add one ``is None`` check per call.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Optional
+
+from repro.faults.plan import CrashSimulated, get_plan
+
+__all__ = [
+    "checkpoint",
+    "copyfile",
+    "copytree",
+    "fsync_dir",
+    "replace",
+    "unlink",
+    "write_bytes",
+]
+
+
+def checkpoint(site: str) -> None:
+    """Count a logical operation (e.g. a catalog commit) as a fault site."""
+    plan = get_plan()
+    if plan is not None:
+        plan.on_op(site)
+
+
+def write_bytes(
+    path: str | Path, data: bytes, *, site: str, fsync: bool = True
+) -> None:
+    """Write ``data`` to ``path``, fsyncing the file before returning.
+
+    Under an active fault plan the payload may be torn (partial bytes are
+    persisted, then :class:`CrashSimulated` is raised) or bit-flipped
+    (corrupt bytes persist silently), modelling the two classic
+    half-write outcomes.
+    """
+    plan = get_plan()
+    crash_after = False
+    if plan is not None:
+        data, crash_after = plan.on_write(site, data)
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    if crash_after:
+        raise CrashSimulated(f"simulated crash after torn write ({site})")
+
+
+def replace(src: str | Path, dst: str | Path, *, site: str) -> None:
+    """Atomic rename (the commit point of a write-then-rename protocol)."""
+    checkpoint(site)
+    os.replace(src, dst)
+
+
+def fsync_dir(path: str | Path, *, site: Optional[str] = None) -> None:
+    """Fsync a directory so renames/creations inside it are durable.
+
+    Directory fsync is advisory on some platforms; failures to *open*
+    the directory are ignored (Windows), but an injected fault at the
+    site still fires.
+    """
+    if site is not None:
+        checkpoint(site)
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory semantics
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def unlink(path: str | Path, *, site: str, missing_ok: bool = False) -> None:
+    """Remove a file."""
+    checkpoint(site)
+    Path(path).unlink(missing_ok=missing_ok)
+
+
+def copyfile(src: str | Path, dst: str | Path, *, site: str) -> None:
+    """Copy one file (associated-file ingestion, quarantine moves)."""
+    checkpoint(site)
+    shutil.copyfile(src, dst)
+
+
+def copytree(src: str | Path, dst: str | Path, *, site: str) -> None:
+    """Copy a directory tree (hub publish/pull)."""
+    checkpoint(site)
+    shutil.copytree(src, dst)

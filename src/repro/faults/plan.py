@@ -1,0 +1,242 @@
+"""Deterministic fault injection: plans, points, and the active-plan hook.
+
+Crash safety cannot be tested by waiting for real crashes.  This module
+lets a test declare *exactly* which storage operation misbehaves and how:
+
+* raise :class:`OSError` at a named I/O site,
+* tear a write at a byte offset (partial data lands, then the process
+  "dies"),
+* flip a bit in the bytes being written (silent corruption),
+* simulate a hard crash at the N-th instrumented filesystem operation —
+  after which every further instrumented operation also fails, exactly as
+  a dead process performs no further I/O.
+
+Instrumented sites (:mod:`repro.faults.fs` wrappers inside
+:class:`~repro.core.chunkstore.ChunkStore`, the DLV journal, the catalog
+commit point, and the hub) consult the process-global *active plan*.
+With no plan installed every hook is a no-op, so production code pays a
+single ``is None`` check.
+
+Typical use::
+
+    plan = FaultPlan.crash_at_op(7)
+    with inject(plan):
+        with pytest.raises(CrashSimulated):
+            repo.commit(net, name="doomed")
+    # plan.ops now reports how far the commit got; the repository on disk
+    # is whatever a real crash at that point would have left behind.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+__all__ = [
+    "CrashSimulated",
+    "FaultError",
+    "FaultPoint",
+    "FaultPlan",
+    "FiredFault",
+    "get_plan",
+    "set_plan",
+    "inject",
+]
+
+#: Fault actions a :class:`FaultPoint` can request.
+ACTIONS = ("error", "crash", "torn", "bitflip")
+
+
+class CrashSimulated(BaseException):
+    """A simulated hard crash.
+
+    Deliberately *not* an :class:`Exception` subclass: recovery code and
+    retry wrappers must never be able to catch and absorb a simulated
+    crash — a dead process does not handle exceptions.  Tests catch it
+    explicitly.
+    """
+
+
+class FaultError(OSError):
+    """The default injected I/O failure (an ``OSError`` subclass)."""
+
+
+@dataclass
+class FaultPoint:
+    """One trigger: when a matching op runs, perform ``action``.
+
+    Attributes:
+        site: ``fnmatch`` pattern matched against the instrumented site
+            name (e.g. ``"chunkstore.put.*"``); ``"*"`` matches any site.
+        op: Fire on the N-th *matching* operation (0-based).  ``None``
+            fires on the first match.
+        action: ``"error"`` raises :class:`FaultError`; ``"crash"``
+            raises :class:`CrashSimulated` and kills all later ops;
+            ``"torn"`` truncates the write to ``offset`` bytes and then
+            crashes; ``"bitflip"`` flips bit ``bit`` of the written
+            payload and lets the write proceed (silent corruption).
+        offset: Torn-write length in bytes.
+        bit: Bit index flipped by ``bitflip`` (into the full payload).
+        message: Text carried by the raised error.
+        once: Fire at most one time (default) — a second matching op
+            proceeds normally, which is what retry tests need.
+    """
+
+    site: str = "*"
+    op: Optional[int] = None
+    action: str = "error"
+    offset: int = 0
+    bit: int = 0
+    message: str = "injected fault"
+    once: bool = True
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {ACTIONS}"
+            )
+        self.fired = False
+        self._matches_seen = 0
+
+    def matches(self, site: str, is_write: bool) -> bool:
+        """Does this point trigger for the current operation?"""
+        if self.fired and self.once:
+            return False
+        if not fnmatch.fnmatch(site, self.site):
+            return False
+        index = self._matches_seen
+        self._matches_seen += 1
+        if self.op is not None and index != self.op:
+            return False
+        if self.action in ("torn", "bitflip") and not is_write:
+            return False
+        return True
+
+
+@dataclass
+class FiredFault:
+    """Record of one fault that actually triggered (for assertions)."""
+
+    site: str
+    op: int
+    action: str
+
+
+class FaultPlan:
+    """A deterministic schedule of faults plus an op counter.
+
+    A plan with no points and no ``crash_at`` never raises — it just
+    counts instrumented operations, which is how the crash-matrix test
+    measures how many ops a scenario performs before replaying it with a
+    crash at every index.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[FaultPoint] = (),
+        crash_at: Optional[int] = None,
+    ) -> None:
+        self.points = list(points)
+        self.crash_at = crash_at
+        self.ops = 0
+        self.crashed = False
+        self.fired: list[FiredFault] = []
+        self._lock = threading.RLock()
+
+    @classmethod
+    def crash_at_op(cls, n: int) -> "FaultPlan":
+        """Plan that hard-crashes at the ``n``-th instrumented op (0-based)."""
+        return cls(crash_at=n)
+
+    # -- hooks called by repro.faults.fs ------------------------------------
+
+    def on_op(self, site: str) -> None:
+        """Count a non-write operation and maybe fault it."""
+        with self._lock:
+            self._step(site, is_write=False)
+
+    def on_write(self, site: str, data: bytes) -> tuple[bytes, bool]:
+        """Count a write; returns ``(data_to_write, crash_after_write)``.
+
+        Torn writes return a truncated payload with ``crash_after=True``
+        so the caller persists the partial bytes *before* the simulated
+        death.  Bit flips return corrupted bytes that are written
+        normally.
+        """
+        with self._lock:
+            point = self._step(site, is_write=True)
+            if point is None:
+                return data, False
+            if point.action == "torn":
+                return data[: point.offset], True
+            # bitflip
+            flipped = bytearray(data)
+            if flipped:
+                index = (point.bit // 8) % len(flipped)
+                flipped[index] ^= 1 << (point.bit % 8)
+            return bytes(flipped), False
+
+    def _step(self, site: str, is_write: bool) -> Optional[FaultPoint]:
+        """Common counting/matching; raises for error/crash actions."""
+        if self.crashed:
+            raise CrashSimulated(
+                f"operation {site!r} after simulated crash (op {self.ops})"
+            )
+        op_index = self.ops
+        self.ops += 1
+        if self.crash_at is not None and op_index == self.crash_at:
+            self.crashed = True
+            self.fired.append(FiredFault(site, op_index, "crash"))
+            raise CrashSimulated(f"simulated crash at op {op_index} ({site})")
+        for point in self.points:
+            if not point.matches(site, is_write):
+                continue
+            point.fired = True
+            self.fired.append(FiredFault(site, op_index, point.action))
+            if point.action == "error":
+                raise FaultError(f"{point.message} [site={site} op={op_index}]")
+            if point.action == "crash":
+                self.crashed = True
+                raise CrashSimulated(
+                    f"{point.message} [site={site} op={op_index}]"
+                )
+            if point.action == "torn":
+                self.crashed = True
+            return point
+        return None
+
+
+# -- the process-global active plan ---------------------------------------------
+
+_active_plan: Optional[FaultPlan] = None
+
+
+def get_plan() -> Optional[FaultPlan]:
+    """The currently injected plan, or ``None`` (the default)."""
+    return _active_plan
+
+
+def set_plan(plan: Optional[FaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-global fault plan."""
+    global _active_plan
+    _active_plan = plan
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scope a fault plan: active inside the block, cleared on exit.
+
+    The plan is cleared even when the block dies with
+    :class:`CrashSimulated`, so recovery code running *after* the
+    simulated crash sees a healthy filesystem again — exactly like a
+    process restart.
+    """
+    previous = get_plan()
+    set_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_plan(previous)

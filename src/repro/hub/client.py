@@ -1,13 +1,25 @@
-"""Hub client: the ``dlv publish`` / ``dlv search`` / ``dlv pull`` verbs."""
+"""Hub client: the ``dlv publish`` / ``dlv search`` / ``dlv pull`` verbs.
+
+All verbs run under a :class:`~repro.hub.retry.Retrier` (exponential
+backoff, deterministic jitter), so transient I/O failures are absorbed.
+``pull`` is atomic: the tree is copied into a temporary directory beside
+the destination, verified against the revision's checksum manifest, and
+only then renamed into place — an interrupted or corrupt pull never
+leaves a half-installed repository behind.
+"""
 
 from __future__ import annotations
 
+import os
 import shutil
 from pathlib import Path
 from typing import Optional
 
 from repro.dlv.repository import Repository
-from repro.hub.server import HubRecord, HubServer
+from repro.faults import fs as ffs
+from repro.hub.retry import Retrier
+from repro.hub.server import HubRecord, HubServer, verify_tree
+from repro.obs.metrics import counter
 
 
 class HubClient:
@@ -15,23 +27,33 @@ class HubClient:
 
     Args:
         hub: Hub directory path or an existing :class:`HubServer`.
+        retrier: Retry policy for hub I/O (a default one when omitted).
     """
 
-    def __init__(self, hub: str | Path | HubServer) -> None:
+    def __init__(
+        self,
+        hub: str | Path | HubServer,
+        retrier: Optional[Retrier] = None,
+    ) -> None:
         self.server = hub if isinstance(hub, HubServer) else HubServer(hub)
+        self.retrier = retrier if retrier is not None else Retrier()
 
     def publish(
         self, repo: Repository, name: str, description: str = ""
     ) -> HubRecord:
         """``dlv publish``: push a whole repository to the hub."""
         model_names = sorted({v.name for v in repo.list_versions()})
-        return self.server.publish(
-            name, repo.dlv_dir, description=description, model_names=model_names
+        return self.retrier.call(
+            self.server.publish,
+            name,
+            repo.dlv_dir,
+            description=description,
+            model_names=model_names,
         )
 
     def search(self, pattern: str = "*") -> list[HubRecord]:
         """``dlv search``: find published repositories."""
-        return self.server.search(pattern)
+        return self.retrier.call(self.server.search, pattern)
 
     def pull(
         self,
@@ -41,16 +63,44 @@ class HubClient:
     ) -> Path:
         """``dlv pull``: materialize a published repository locally.
 
+        The copy lands in a temp directory, is verified against the
+        published checksum manifest (when one exists), and is renamed
+        into place atomically.  A failed attempt is re-copied from
+        scratch under the retry policy; on final failure any partially
+        created destination is removed.
+
         Returns the destination path, which is a ready-to-open DLV
         repository.
         """
         dest = Path(dest)
-        source = self.server.get(name, revision)
         target = dest / Repository.DLV_DIR
         if target.exists():
             raise FileExistsError(f"{dest} already contains a dlv repository")
+        created_dest = not dest.exists()
         dest.mkdir(parents=True, exist_ok=True)
-        shutil.copytree(source, target)
+        tmp = dest / f".dlv.pull.{os.getpid()}.tmp"
+
+        def attempt() -> None:
+            if tmp.exists():
+                shutil.rmtree(tmp)
+            source = self.server.get(name, revision)
+            ffs.copytree(source, tmp, site="hub.pull.copytree")
+            manifest = self.server.manifest(name, revision)
+            if manifest is not None:
+                verify_tree(tmp, manifest)
+                counter("hub.pulls_verified").inc()
+
+        try:
+            self.retrier.call(attempt)
+            ffs.replace(tmp, target, site="hub.pull.replace")
+        except Exception:
+            # Graceful failure: never leave a half-pulled repository.  A
+            # CrashSimulated (BaseException) deliberately skips this — a
+            # dead process leaves litter for fsck/sweep to report.
+            shutil.rmtree(tmp, ignore_errors=True)
+            if created_dest:
+                shutil.rmtree(dest, ignore_errors=True)
+            raise
         return dest
 
     def pull_repository(

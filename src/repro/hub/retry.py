@@ -1,0 +1,80 @@
+"""Retrying wrapper for hub operations.
+
+Hub traffic is the one place this system talks to storage it does not
+own, so transient I/O failures (NFS hiccups, racing publishers) are
+expected.  :class:`Retrier` retries a callable under exponential backoff
+with *deterministic* jitter — the jitter is a hash of ``(seed, attempt)``
+rather than a PRNG draw, so tests can assert exact sleep sequences and
+two processes with different seeds still de-synchronize.
+
+Only exceptions in ``retry_on`` (default :class:`OSError`) are retried.
+:class:`~repro.faults.plan.CrashSimulated` is a ``BaseException`` and
+passes straight through — a retry wrapper must not resurrect a process
+the fault plan declared dead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.obs.metrics import counter
+
+
+class Retrier:
+    """Call a function, retrying transient failures with backoff.
+
+    Args:
+        attempts: Total tries (first call included); must be >= 1.
+        base_delay: Backoff before the second try, doubled per retry.
+        max_delay: Ceiling on the un-jittered backoff.
+        retry_on: Exception types that trigger a retry; anything else
+            propagates immediately.
+        sleep: Injectable sleep function (tests pass a recorder).
+        seed: Jitter seed — retries are fully deterministic given it.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        retry_on: Sequence[type] = (OSError,),
+        sleep: Optional[Callable[[float], None]] = None,
+        seed: int = 0,
+    ) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.retry_on = tuple(retry_on)
+        self.sleep = sleep if sleep is not None else time.sleep
+        self.seed = seed
+
+    def jitter(self, attempt: int) -> float:
+        """Deterministic uniform-ish value in ``[0, 1)`` for one attempt."""
+        digest = hashlib.sha256(f"{self.seed}:{attempt}".encode()).digest()
+        return int.from_bytes(digest[:4], "big") / 2**32
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based), jittered.
+
+        The jitter scales the exponential base delay by a factor in
+        ``[0.5, 1.5)`` so concurrent clients spread out.
+        """
+        base = min(self.base_delay * (2**attempt), self.max_delay)
+        return base * (0.5 + self.jitter(attempt))
+
+    def call(self, fn: Callable, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)``, retrying per this policy."""
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except self.retry_on:
+                counter("hub.retry.attempts").inc()
+                if attempt + 1 == self.attempts:
+                    counter("hub.retry.giveups").inc()
+                    raise
+                self.sleep(self.delay(attempt))

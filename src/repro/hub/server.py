@@ -3,23 +3,71 @@
 Hub layout::
 
     <hub-root>/
-        index.json                     name -> record
-        repos/<name>/<revision>/       full copies of published .dlv trees
+        index.json                          name -> record
+        repos/<name>/<revision>/            full copies of published .dlv trees
+        repos/<name>/<revision>.manifest.json   per-file sha256 checksums
 
 Revisions are monotonically increasing integers per name, so repeated
 publishes never clobber history — collaborators can pull any revision.
+The manifest written beside each revision lists the sha256 of every file
+in the tree; clients verify it after pulling, so a torn or bit-flipped
+transfer is detected before the repository is installed.
 """
 
 from __future__ import annotations
 
 import datetime
+import hashlib
 import json
 import shutil
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro.faults import fs as ffs
 from repro.obs.metrics import counter
+
+
+class HubIntegrityError(OSError):
+    """A pulled tree does not match its published manifest.
+
+    An :class:`OSError` subclass so the hub's :class:`~repro.hub.retry.Retrier`
+    treats a failed verification as transient and re-copies.
+    """
+
+
+def compute_manifest(root: str | Path) -> dict[str, str]:
+    """``relative path -> sha256`` for every file under ``root``."""
+    root = Path(root)
+    manifest = {}
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            manifest[path.relative_to(root).as_posix()] = hashlib.sha256(
+                path.read_bytes()
+            ).hexdigest()
+    return manifest
+
+
+def verify_tree(root: str | Path, manifest: dict[str, str]) -> None:
+    """Check a tree against a manifest; raises :class:`HubIntegrityError`.
+
+    Extra local files are permitted (a pulled repository immediately
+    grows journal/replay artifacts); missing or mismatched files are not.
+    """
+    root = Path(root)
+    problems = []
+    for rel, expected in manifest.items():
+        path = root / rel
+        if not path.exists():
+            problems.append(f"missing {rel}")
+        elif hashlib.sha256(path.read_bytes()).hexdigest() != expected:
+            problems.append(f"checksum mismatch {rel}")
+    if problems:
+        counter("hub.verify_failures").inc()
+        raise HubIntegrityError(
+            f"pulled tree fails verification: {'; '.join(problems[:5])}"
+            + (f" (+{len(problems) - 5} more)" if len(problems) > 5 else "")
+        )
 
 
 def _count_request(operation: str) -> None:
@@ -76,7 +124,25 @@ class HubServer:
         return {}
 
     def _save_index(self, index: dict[str, dict]) -> None:
-        self._index_path.write_text(json.dumps(index, indent=2))
+        ffs.write_bytes(
+            self._index_path,
+            json.dumps(index, indent=2).encode(),
+            site="hub.publish.index",
+        )
+
+    def _manifest_path(self, name: str, revision: int) -> Path:
+        return self.root / "repos" / name / f"{revision}.manifest.json"
+
+    def manifest(self, name: str, revision: Optional[int] = None) -> Optional[dict]:
+        """Checksum manifest of one published revision (None when absent)."""
+        index = self._load_index()
+        if name not in index:
+            raise KeyError(f"hub has no repository {name!r}")
+        revision = revision or index[name]["revision"]
+        path = self._manifest_path(name, revision)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     def publish(
         self,
@@ -85,14 +151,25 @@ class HubServer:
         description: str = "",
         model_names: Optional[list[str]] = None,
     ) -> HubRecord:
-        """Store a copy of a repository's ``.dlv`` tree under ``name``."""
+        """Store a copy of a repository's ``.dlv`` tree under ``name``.
+
+        A checksum manifest is written beside the revision so pullers can
+        verify the transfer; the index update comes last, so a publish
+        that dies midway never becomes visible.
+        """
         _count_request("publish")
         index = self._load_index()
         revision = index.get(name, {}).get("revision", 0) + 1
         dest = self.root / "repos" / name / str(revision)
         if dest.exists():
             shutil.rmtree(dest)
-        shutil.copytree(dlv_dir, dest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        ffs.copytree(dlv_dir, dest, site="hub.publish.copytree")
+        ffs.write_bytes(
+            self._manifest_path(name, revision),
+            json.dumps(compute_manifest(dest), indent=2).encode(),
+            site="hub.publish.manifest",
+        )
         record = HubRecord(
             name=name,
             description=description,

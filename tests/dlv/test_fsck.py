@@ -1,0 +1,170 @@
+"""Tests for ``dlv fsck``: detection, repair, and CLI exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dlv.cli import main as dlv_main
+from repro.dlv.fsck import FSCK_CODES, run_fsck
+from repro.dlv.repository import Repository
+from repro.dnn.zoo import tiny_mlp
+
+
+def _commit_tiny(repo, seed=0, name="m", message="v1", parent=None):
+    net = tiny_mlp(
+        input_shape=(1, 4, 4), num_classes=3, hidden=4, name=name
+    ).build(seed)
+    return repo.commit(net, name=name, message=message, parent=parent)
+
+
+def _flip_blob(store, sha):
+    path = store.blob_path(sha)
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0x20
+    path.write_bytes(bytes(data))
+
+
+@pytest.fixture
+def committed_repo(repo):
+    _commit_tiny(repo)
+    return repo
+
+
+def test_code_table_is_consistent():
+    for code, (severity, _description) in FSCK_CODES.items():
+        assert code.startswith("F") and len(code) == 4
+        assert severity in ("error", "warning", "info")
+
+
+def test_clean_repo(committed_repo):
+    report = run_fsck(committed_repo)
+    assert report.clean
+    assert report.findings == []
+    assert report.chunks_checked > 0
+    assert report.payloads_checked > 0
+    data = report.to_dict()
+    assert data["clean"] and data["summary"]["error"] == 0
+
+
+def test_corrupt_blob_detected_and_repaired(committed_repo):
+    repo = committed_repo
+    payload = repo.catalog.all_payloads()[0]
+    sha = payload["chunks"][3]  # low plane: repair must re-materialize
+    _flip_blob(repo.store, sha)
+
+    report = run_fsck(repo)
+    assert not report.clean
+    assert any(f.code == "F101" and f.sha == sha for f in report.findings)
+
+    report = run_fsck(repo, repair=True)
+    assert report.clean
+    quarantined = list((repo.dlv_dir / "quarantine").iterdir())
+    assert [p.name for p in quarantined] == [sha]
+    # Post-repair audit is clean and weights still load.
+    assert run_fsck(repo).clean
+    assert repo.get_snapshot_weights(1)
+
+
+def test_replicated_blob_restored_exactly(committed_repo):
+    repo = committed_repo
+    payload = repo.catalog.all_payloads()[0]
+    sha = payload["chunks"][0]  # plane 0 is mirrored in the replica
+    original = repo.store.get(sha)
+    _flip_blob(repo.store, sha)
+
+    report = run_fsck(repo, repair=True)
+    assert report.clean
+    finding = next(f for f in report.findings if f.code == "F101")
+    assert finding.repaired and "replica" in finding.repair
+    assert repo.store.get(sha) == original
+
+
+def test_missing_chunk_rematerialized(committed_repo):
+    repo = committed_repo
+    baseline = repo.get_snapshot_weights(1)
+    payload = repo.catalog.all_payloads()[0]
+    repo.store.delete(payload["chunks"][1])  # plane 1: replica has it
+
+    report = run_fsck(repo)
+    assert any(f.code == "F103" for f in report.findings)
+    assert not report.clean
+
+    report = run_fsck(repo, repair=True)
+    assert report.clean
+    recovered = repo.get_snapshot_weights(1)
+    for layer, params in baseline.items():
+        for key, value in params.items():
+            np.testing.assert_array_equal(recovered[layer][key], value)
+
+
+def test_orphan_chunk_is_info_and_swept(committed_repo):
+    repo = committed_repo
+    repo.store.put(b"nobody references me")
+    report = run_fsck(repo)
+    assert report.clean  # info-severity findings don't fail fsck
+    assert any(f.code == "F303" for f in report.findings)
+    report = run_fsck(repo, repair=True)
+    assert not any(
+        f.code == "F303" and not f.repaired for f in report.findings
+    )
+    assert run_fsck(repo).findings == []
+
+
+def test_dangling_catalog_rows(committed_repo):
+    repo = committed_repo
+    repo.catalog._conn.execute(
+        "INSERT INTO snapshot (version_id, idx, iteration, float_scheme, "
+        "created_at) VALUES (999, 0, 0, 'float32', '')"
+    )
+    repo.catalog._conn.execute(
+        "INSERT OR REPLACE INTO lineage (base, derived, message) "
+        "VALUES (1, 888, 'ghost')"
+    )
+    repo.catalog._conn.commit()
+
+    report = run_fsck(repo)
+    codes = {f.code for f in report.findings}
+    assert {"F201", "F207"} <= codes
+    assert not report.clean
+
+    report = run_fsck(repo, repair=True)
+    assert report.clean
+    assert run_fsck(repo).findings == []
+
+
+def test_stale_tmp_reported_and_removed(committed_repo):
+    repo = committed_repo
+    bucket = next(p for p in repo.store.root.iterdir() if p.is_dir())
+    (bucket / "deadbeef.123.tmp").write_bytes(b"litter")
+    report = run_fsck(repo)
+    assert any(f.code == "F302" for f in report.findings)
+    assert report.clean  # warning severity
+    run_fsck(repo, repair=True)
+    assert not list(repo.store.root.glob("*/*.tmp"))
+
+
+def test_cli_fsck_exit_codes(tmp_path, capsys):
+    root = tmp_path / "repo"
+    repo = Repository.init(root)
+    _commit_tiny(repo)
+    payload = repo.catalog.all_payloads()[0]
+    repo.close()
+
+    assert dlv_main(["--repo", str(root), "fsck", "--json"]) == 0
+    out = json.loads(capsys.readouterr().out)
+    assert out["clean"] is True
+
+    store = Repository.open(root)
+    _flip_blob(store.store, payload["chunks"][3])
+    store.close()
+
+    assert dlv_main(["--repo", str(root), "fsck", "--json"]) == 1
+    out = json.loads(capsys.readouterr().out)
+    assert out["summary"]["error"] >= 1
+
+    assert dlv_main(["--repo", str(root), "fsck", "--repair"]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert dlv_main(["--repo", str(root), "fsck"]) == 0

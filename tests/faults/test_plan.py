@@ -1,0 +1,112 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CrashSimulated,
+    FaultError,
+    FaultPlan,
+    FaultPoint,
+    get_plan,
+    inject,
+)
+from repro.faults import fs as ffs
+
+
+def test_empty_plan_counts_ops(tmp_path):
+    plan = FaultPlan()
+    with inject(plan):
+        ffs.write_bytes(tmp_path / "a", b"x", site="s.write")
+        ffs.replace(tmp_path / "a", tmp_path / "b", site="s.replace")
+        ffs.checkpoint("s.logical")
+    assert plan.ops == 3
+    assert not plan.fired
+    assert (tmp_path / "b").read_bytes() == b"x"
+
+
+def test_error_fault_raises_oserror(tmp_path):
+    plan = FaultPlan([FaultPoint(site="s.write", action="error")])
+    with inject(plan):
+        with pytest.raises(OSError):
+            ffs.write_bytes(tmp_path / "a", b"x", site="s.write")
+        # once=True: the second matching call proceeds.
+        ffs.write_bytes(tmp_path / "a", b"x", site="s.write")
+    assert not (tmp_path / "a").exists() or (tmp_path / "a").read_bytes() == b"x"
+    assert [f.action for f in plan.fired] == ["error"]
+
+
+def test_error_is_oserror_subclass():
+    assert issubclass(FaultError, OSError)
+    assert issubclass(CrashSimulated, BaseException)
+    assert not issubclass(CrashSimulated, Exception)
+
+
+def test_crash_kills_all_later_ops(tmp_path):
+    plan = FaultPlan.crash_at_op(1)
+    with inject(plan):
+        ffs.checkpoint("a")
+        with pytest.raises(CrashSimulated):
+            ffs.checkpoint("b")
+        with pytest.raises(CrashSimulated):
+            ffs.write_bytes(tmp_path / "x", b"x", site="c")
+    assert plan.crashed
+    assert not (tmp_path / "x").exists()
+
+
+def test_torn_write_persists_prefix_then_crashes(tmp_path):
+    plan = FaultPlan([FaultPoint(site="s.write", action="torn", offset=3)])
+    with inject(plan):
+        with pytest.raises(CrashSimulated):
+            ffs.write_bytes(tmp_path / "a", b"abcdef", site="s.write")
+    assert (tmp_path / "a").read_bytes() == b"abc"
+    # torn implies the process is dead afterwards
+    with inject(plan):
+        with pytest.raises(CrashSimulated):
+            ffs.checkpoint("anything")
+
+
+def test_bitflip_corrupts_silently(tmp_path):
+    plan = FaultPlan([FaultPoint(site="s.write", action="bitflip", bit=0)])
+    with inject(plan):
+        ffs.write_bytes(tmp_path / "a", b"\x00\x00", site="s.write")
+    assert (tmp_path / "a").read_bytes() == b"\x01\x00"
+    assert not plan.crashed
+
+
+def test_site_pattern_and_op_targeting(tmp_path):
+    plan = FaultPlan(
+        [FaultPoint(site="store.*", op=1, action="error")]
+    )
+    with inject(plan):
+        ffs.checkpoint("journal.write")  # not matched
+        ffs.checkpoint("store.put")      # match 0: passes
+        with pytest.raises(OSError):
+            ffs.checkpoint("store.del")  # match 1: fires
+    assert plan.fired[0].site == "store.del"
+
+
+def test_inject_restores_previous_plan():
+    assert get_plan() is None
+    plan = FaultPlan()
+    with inject(plan):
+        assert get_plan() is plan
+        inner = FaultPlan()
+        with inject(inner):
+            assert get_plan() is inner
+        assert get_plan() is plan
+    assert get_plan() is None
+
+
+def test_inject_clears_plan_on_crash():
+    plan = FaultPlan.crash_at_op(0)
+    with pytest.raises(CrashSimulated):
+        with inject(plan):
+            ffs.checkpoint("x")
+    assert get_plan() is None
+
+
+def test_unknown_action_rejected():
+    with pytest.raises(ValueError):
+        FaultPoint(action="explode")

@@ -1,0 +1,221 @@
+"""Hub robustness: retries, checksum manifests, and atomic pulls."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dlv.repository import Repository
+from repro.dnn.zoo import tiny_mlp
+from repro.faults import CrashSimulated, FaultPlan, FaultPoint, inject
+from repro.hub.client import HubClient
+from repro.hub.retry import Retrier
+from repro.hub.server import (
+    HubIntegrityError,
+    HubServer,
+    compute_manifest,
+    verify_tree,
+)
+
+
+@pytest.fixture
+def published(tmp_path):
+    """A hub with one published single-version repository."""
+    repo = Repository.init(tmp_path / "repo")
+    net = tiny_mlp(
+        input_shape=(1, 4, 4), num_classes=3, hidden=4, name="m"
+    ).build(0)
+    repo.commit(net, name="m", message="v1")
+    server = HubServer(tmp_path / "hub")
+    client = HubClient(server, retrier=Retrier(sleep=lambda s: None))
+    record = client.publish(repo, name="pub", description="test")
+    repo.close()
+    return server, client, record, tmp_path
+
+
+# -- Retrier ---------------------------------------------------------------------
+
+
+def test_retrier_delays_are_deterministic():
+    a = Retrier(seed=42)
+    b = Retrier(seed=42)
+    assert [a.delay(i) for i in range(4)] == [b.delay(i) for i in range(4)]
+    assert Retrier(seed=1).delay(0) != Retrier(seed=2).delay(0)
+    for i in range(6):
+        assert 0.0 <= a.jitter(i) < 1.0
+
+
+def test_retrier_backoff_grows():
+    r = Retrier(base_delay=0.1, max_delay=10.0, seed=0)
+    # Un-jittered base doubles; jitter scales by [0.5, 1.5) so a 4x gap
+    # between consecutive attempts' bases always dominates it.
+    assert r.delay(2) > r.delay(0)
+
+
+def test_retrier_retries_then_succeeds():
+    sleeps = []
+    r = Retrier(attempts=4, sleep=sleeps.append, seed=0)
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert r.call(flaky) == "ok"
+    assert calls["n"] == 3
+    assert sleeps == [r.delay(0), r.delay(1)]
+
+
+def test_retrier_gives_up_and_reraises():
+    r = Retrier(attempts=3, sleep=lambda s: None)
+
+    def always_fails():
+        raise OSError("persistent")
+
+    with pytest.raises(OSError, match="persistent"):
+        r.call(always_fails)
+
+
+def test_retrier_ignores_non_retryable():
+    r = Retrier(attempts=5, sleep=lambda s: None)
+    calls = {"n": 0}
+
+    def typed():
+        calls["n"] += 1
+        raise ValueError("not io")
+
+    with pytest.raises(ValueError):
+        r.call(typed)
+    assert calls["n"] == 1
+
+
+def test_retrier_never_absorbs_simulated_crash():
+    r = Retrier(attempts=5, sleep=lambda s: None)
+    calls = {"n": 0}
+
+    def dead():
+        calls["n"] += 1
+        raise CrashSimulated("process died")
+
+    with pytest.raises(CrashSimulated):
+        r.call(dead)
+    assert calls["n"] == 1
+
+
+def test_retrier_validates_attempts():
+    with pytest.raises(ValueError):
+        Retrier(attempts=0)
+
+
+# -- manifests --------------------------------------------------------------------
+
+
+def test_publish_writes_manifest(published):
+    server, _client, record, _tmp = published
+    manifest = server.manifest("pub", record.revision)
+    assert manifest is not None
+    tree = server.get("pub", record.revision)
+    assert manifest == compute_manifest(tree)
+    assert "catalog.db" in manifest
+
+
+def test_verify_tree_detects_tamper(published):
+    server, _client, record, tmp = published
+    tree = server.get("pub", record.revision)
+    manifest = server.manifest("pub", record.revision)
+    verify_tree(tree, manifest)  # intact: no raise
+    victim = tree / "catalog.db"
+    victim.write_bytes(victim.read_bytes() + b"x")
+    with pytest.raises(HubIntegrityError, match="checksum mismatch"):
+        verify_tree(tree, manifest)
+
+
+def test_verify_tree_detects_missing_file(tmp_path):
+    (tmp_path / "present").write_text("x")
+    manifest = compute_manifest(tmp_path)
+    manifest["gone"] = "0" * 64
+    with pytest.raises(HubIntegrityError, match="missing gone"):
+        verify_tree(tmp_path, manifest)
+
+
+# -- pull -----------------------------------------------------------------------
+
+
+def test_pull_verifies_and_opens(published):
+    _server, client, _record, tmp = published
+    pulled = client.pull_repository("pub", tmp / "pulled")
+    assert [v.message for v in pulled.list_versions()] == ["v1"]
+    assert not list((tmp / "pulled").glob(".dlv.pull.*"))
+    pulled.close()
+
+
+def test_pull_retries_transient_copy_failure(published):
+    _server, client, _record, tmp = published
+    plan = FaultPlan(
+        [FaultPoint(site="hub.pull.copytree", action="error")]
+    )
+    with inject(plan):
+        dest = client.pull("pub", tmp / "retried")
+    assert [f.action for f in plan.fired] == ["error"]
+    repo = Repository.open(dest)
+    assert repo.list_versions()
+    repo.close()
+
+
+def test_pull_cleans_up_on_persistent_failure(published):
+    _server, client, _record, tmp = published
+    plan = FaultPlan(
+        [FaultPoint(site="hub.pull.copytree", action="error", once=False)]
+    )
+    with inject(plan):
+        with pytest.raises(OSError):
+            client.pull("pub", tmp / "doomed")
+    assert not (tmp / "doomed").exists()
+
+
+def test_pull_rejects_corrupt_transfer(published):
+    server, client, record, tmp = published
+    # Corrupt the published tree but NOT its manifest: every copy is bad.
+    tree = server.get("pub", record.revision)
+    victim = tree / "catalog.db"
+    victim.write_bytes(victim.read_bytes() + b"tampered")
+    with pytest.raises(HubIntegrityError):
+        client.pull("pub", tmp / "rejected")
+    assert not (tmp / "rejected").exists()
+
+
+def test_pull_preserves_existing_dest_dir(published):
+    _server, client, _record, tmp = published
+    dest = tmp / "existing"
+    dest.mkdir()
+    (dest / "keep.txt").write_text("mine")
+    plan = FaultPlan(
+        [FaultPoint(site="hub.pull.copytree", action="error", once=False)]
+    )
+    with inject(plan):
+        with pytest.raises(OSError):
+            client.pull("pub", dest)
+    # The user's directory survives; only pull litter is removed.
+    assert (dest / "keep.txt").read_text() == "mine"
+    assert not list(dest.glob(".dlv.pull.*"))
+
+
+def test_pull_refuses_to_clobber(published):
+    _server, client, _record, tmp = published
+    client.pull("pub", tmp / "once")
+    with pytest.raises(FileExistsError):
+        client.pull("pub", tmp / "once")
+
+
+def test_old_revision_without_manifest_still_pulls(published):
+    server, client, record, tmp = published
+    # Simulate a pre-manifest publish by deleting the manifest file.
+    server._manifest_path("pub", record.revision).unlink()
+    assert server.manifest("pub", record.revision) is None
+    dest = client.pull("pub", tmp / "legacy")
+    repo = Repository.open(dest)
+    assert repo.list_versions()
+    repo.close()
