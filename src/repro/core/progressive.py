@@ -12,6 +12,7 @@ the stored bytes.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -23,6 +24,21 @@ from repro.dnn.interval import Interval, argmax_determined, tight_intervals
 from repro.dnn.network import Network
 from repro.obs.metrics import counter, histogram
 from repro.obs.tracing import trace_span
+
+
+def _bounds_nbytes(bounds: dict[str, dict[str, Interval]]) -> int:
+    """Memory footprint of a bounds mapping (both bound arrays)."""
+    return sum(
+        interval.lo.nbytes + interval.hi.nbytes
+        for params in bounds.values()
+        for interval in params.values()
+    )
+
+
+def _weights_nbytes(weights: dict[str, dict[str, np.ndarray]]) -> int:
+    return sum(
+        array.nbytes for params in weights.values() for array in params.values()
+    )
 
 
 @dataclass
@@ -47,8 +63,17 @@ class ProgressiveResult:
 
 
 def _weights_key(matrix_id: str) -> tuple[str, str]:
-    """Split ``"layer.param"`` matrix ids used by snapshot archives."""
-    layer, _, param = matrix_id.rpartition(".")
+    """Split a matrix id into its ``(layer, param)`` network address.
+
+    Snapshot archives name matrices ``"layer.param"``; repository
+    archives prefix the snapshot key (``"v3/s1/layer.param"``).  The
+    network only knows bare layer names, so any path prefix is dropped —
+    keying bounds by the prefixed id would silently miss every layer in
+    ``forward_interval`` (which falls back to the network's installed
+    weights, making the interval pass vacuous).
+    """
+    tail = matrix_id.rsplit("/", 1)[-1]
+    layer, _, param = tail.rpartition(".")
     if not layer:
         raise ValueError(
             f"matrix id {matrix_id!r} is not of the form 'layer.param'"
@@ -71,6 +96,20 @@ class ProgressiveEvaluator:
         tight: Use the tighter (costlier) interval products — pays off on
             deep networks, where the default midpoint-radius bound
             compounds layer by layer and rarely determines predictions.
+        plane_cache: Optional shared cache with a
+            ``get_or_load(key, loader)`` method (the serving layer's
+            :class:`repro.serve.PlaneCache`); ``loader`` returns a
+            ``(value, nbytes)`` pair.  When given, per-plane bounds and
+            the exact weights are stored there — shared across every
+            evaluator serving the same snapshot — instead of in the
+            evaluator's private memo.
+
+    The evaluator is *reusable*: interval bounds per plane count, the
+    exact weights, and the stored-plane-size accounting are each computed
+    from the archive once and memoized, so repeated ``evaluate`` calls
+    against the same snapshot do not re-read any chunks.  The memo is
+    guarded by a lock, making concurrent queries against one evaluator
+    safe (the weight-installing exact fallback is serialized).
     """
 
     def __init__(
@@ -80,6 +119,7 @@ class ProgressiveEvaluator:
         snapshot_id: str,
         logits_node: Optional[str] = None,
         tight: bool = False,
+        plane_cache=None,
     ) -> None:
         if not net.is_built:
             raise RuntimeError("network must be built")
@@ -87,6 +127,7 @@ class ProgressiveEvaluator:
         self.archive = archive
         self.snapshot_id = snapshot_id
         self.tight = tight
+        self.plane_cache = plane_cache
         if logits_node is None:
             sink = net.output_name
             logits_node = (
@@ -97,11 +138,20 @@ class ProgressiveEvaluator:
         if snapshot_id not in snapshots:
             raise KeyError(f"archive has no snapshot {snapshot_id!r}")
         self._members = snapshots[snapshot_id]
+        self._lock = threading.RLock()
+        self._bounds_memo: dict[int, dict[str, dict[str, Interval]]] = {}
+        self._weights_memo: Optional[dict[str, dict[str, np.ndarray]]] = None
+        self._plane_sizes_memo: Optional[list[int]] = None
+        self._exact_installed = False
 
     # -- bounds ------------------------------------------------------------
 
     def _param_bounds(self, planes: int) -> dict[str, dict[str, Interval]]:
-        """Interval bounds for every archived parameter at ``planes`` depth."""
+        """Interval bounds for every archived parameter at ``planes`` depth.
+
+        Uncached — this is the raw archive read; use :meth:`param_bounds`
+        for the memoized entry point.
+        """
         bounds: dict[str, dict[str, Interval]] = {}
         for matrix_id in self._members:
             layer, param = _weights_key(matrix_id)
@@ -114,18 +164,72 @@ class ProgressiveEvaluator:
             bounds.setdefault(layer, {})[param] = interval
         return bounds
 
-    def _load_exact(self) -> None:
-        """Install the archive's full-precision weights into the network."""
+    def param_bounds(self, planes: int) -> dict[str, dict[str, Interval]]:
+        """Memoized interval bounds at ``planes`` depth (thread-safe).
+
+        With a ``plane_cache`` the bounds live in the shared cache under
+        ``("bounds", snapshot_id, planes)``; otherwise in a private memo.
+        Either way the archive is read at most once per plane count.
+        """
+        planes = min(planes, NUM_PLANES)
+        if self.plane_cache is not None:
+            def load() -> tuple[dict, int]:
+                bounds = self._param_bounds(planes)
+                return bounds, _bounds_nbytes(bounds)
+
+            return self.plane_cache.get_or_load(
+                ("bounds", self.snapshot_id, planes), load
+            )
+        with self._lock:
+            bounds = self._bounds_memo.get(planes)
+            if bounds is None:
+                bounds = self._param_bounds(planes)
+                self._bounds_memo[planes] = bounds
+            return bounds
+
+    def exact_weights(self) -> dict[str, dict[str, np.ndarray]]:
+        """The snapshot's full-precision weights, read from PAS once."""
+        if self.plane_cache is not None:
+            def load() -> tuple[dict, int]:
+                weights = self._read_exact_weights()
+                return weights, _weights_nbytes(weights)
+
+            return self.plane_cache.get_or_load(
+                ("weights", self.snapshot_id), load
+            )
+        with self._lock:
+            if self._weights_memo is None:
+                self._weights_memo = self._read_exact_weights()
+            return self._weights_memo
+
+    def _read_exact_weights(self) -> dict[str, dict[str, np.ndarray]]:
         weights: dict[str, dict[str, np.ndarray]] = {}
         for matrix_id in self._members:
             layer, param = _weights_key(matrix_id)
             weights.setdefault(layer, {})[param] = self.archive.recreate_matrix(
                 matrix_id
             )
-        self.net.set_weights(weights)
+        return weights
+
+    def _load_exact(self, force: bool = False) -> None:
+        """Install the archive's full-precision weights into the network.
+
+        Idempotent between calls that truncate the weights: repeated
+        progressive queries skip the (re-)install unless something
+        installed other weights in between (``evaluate_at_planes`` resets
+        the flag; pass ``force=True`` after external mutation).
+        """
+        with self._lock:
+            if self._exact_installed and not force:
+                return
+            self.net.set_weights(self.exact_weights())
+            self._exact_installed = True
 
     def _stored_plane_sizes(self) -> list[int]:
         """Stored bytes per plane index across the snapshot's payload chains."""
+        with self._lock:
+            if self._plane_sizes_memo is not None:
+                return self._plane_sizes_memo
         sizes = [0] * NUM_PLANES
         seen: set[str] = set()
         for matrix_id in self._members:
@@ -138,6 +242,8 @@ class ProgressiveEvaluator:
                 for i, sha in enumerate(entry.chunk_ids):
                     sizes[i] += self.archive.plane_store(i).stored_size(sha)
                 current = entry.parent
+        with self._lock:
+            self._plane_sizes_memo = sizes
         return sizes
 
     # -- evaluation ------------------------------------------------------------
@@ -178,7 +284,7 @@ class ProgressiveEvaluator:
                 planes=planes,
                 unresolved=int(unresolved.size),
             ) as plane_span:
-                bounds = self._param_bounds(planes)
+                bounds = self.param_bounds(planes)
                 still_open = []
                 for start in range(0, unresolved.size, batch):
                     idx = unresolved[start : start + batch]
@@ -211,7 +317,7 @@ class ProgressiveEvaluator:
                 "progressive.exact",
                 snapshot=self.snapshot_id,
                 unresolved=int(unresolved.size),
-            ) as exact_span:
+            ) as exact_span, self._lock:
                 self._load_exact()
                 planes_used = NUM_PLANES
                 for start in range(0, unresolved.size, batch):
@@ -235,6 +341,39 @@ class ProgressiveEvaluator:
             bytes_fraction=read / total,
         )
 
+    def evaluate_bounded(
+        self, x: np.ndarray, planes: int, k: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One interval pass at a fixed plane budget — no escalation.
+
+        This is the serving layer's primitive: the
+        :class:`~repro.serve.BatchScheduler` batches concurrent requests
+        at a shared budget, keeps the rows Lemma 4 determines, and
+        re-submits only the ambiguous remainder at the next budget.
+
+        Returns:
+            ``(determined, labels)`` per row — labels are trustworthy
+            exactly where ``determined`` is True.
+        """
+        bounds = self.param_bounds(planes)
+        if self.tight:
+            with tight_intervals():
+                logit_iv = self.net.forward_interval(
+                    x, bounds, upto=self.logits_node
+                )
+        else:
+            logit_iv = self.net.forward_interval(
+                x, bounds, upto=self.logits_node
+            )
+        return argmax_determined(logit_iv, k=k)
+
+    def evaluate_exact(self, x: np.ndarray) -> np.ndarray:
+        """Full-precision predictions from the (cached) archive weights."""
+        with self._lock:
+            self._load_exact()
+            out = self.net.forward(x, upto=self.logits_node)
+        return np.argmax(out, axis=1)
+
     def evaluate_at_planes(
         self, x: np.ndarray, planes: int, batch: int = 256
     ) -> np.ndarray:
@@ -251,9 +390,13 @@ class ProgressiveEvaluator:
             weights.setdefault(layer, {})[param] = self.archive.recreate_matrix(
                 matrix_id, planes=planes
             )
-        self.net.set_weights(weights)
-        preds = []
-        for start in range(0, len(x), batch):
-            out = self.net.forward(x[start : start + batch], upto=self.logits_node)
-            preds.append(np.argmax(out, axis=1))
+        with self._lock:
+            self.net.set_weights(weights)
+            self._exact_installed = planes >= NUM_PLANES
+            preds = []
+            for start in range(0, len(x), batch):
+                out = self.net.forward(
+                    x[start : start + batch], upto=self.logits_node
+                )
+                preds.append(np.argmax(out, axis=1))
         return np.concatenate(preds) if preds else np.empty(0, dtype=np.int64)

@@ -464,6 +464,55 @@ def cmd_check(args) -> int:
     return 1 if errors else 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ModelServer, ServeConfig
+
+    repo_path = args.repo
+    if args.hub is not None:
+        if not args.name:
+            raise ValueError("--hub requires --name <published repo>")
+        from repro.hub.client import HubClient
+
+        repo_path = HubClient(args.hub).pull_for_serving(args.name)
+    config = ServeConfig().with_overrides(
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+        cache_bytes=args.cache_mb << 20 if args.cache_mb else None,
+        start_planes=args.start_planes,
+        drain_timeout_s=args.drain_timeout,
+    )
+    server = ModelServer(
+        repo_path,
+        config,
+        models=args.model or None,
+        strict=args.strict,
+    )
+    server.start()
+    # One flushed JSON line so wrappers can discover the bound port.
+    _print(
+        {
+            "serving": server.address,
+            "port": server.port,
+            "models": server.scheduler.models(),
+            "rejected": server.rejected,
+        }
+    )
+    sys.stdout.flush()
+    stop_event = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop_event.set())
+    stop_event.wait()
+    drained = server.stop(drain=True)
+    _print({"stopped": True, "drained": drained})
+    return 0 if drained else 1
+
+
 def cmd_publish(args) -> int:
     from repro.hub.client import HubClient
 
@@ -668,6 +717,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "serve", help="serve model snapshots over HTTP (progressive + batched)"
+    )
+    p.add_argument("--host", default=None, help="bind address")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default 0: OS-assigned, reported on stdout)",
+    )
+    p.add_argument(
+        "--model", action="append", default=None, metavar="NAME",
+        help="serve only this version name (repeatable; default: all)",
+    )
+    p.add_argument("--max-batch", type=int, default=None)
+    p.add_argument("--max-wait-ms", type=float, default=None)
+    p.add_argument("--queue-limit", type=int, default=None)
+    p.add_argument("--cache-mb", type=int, default=None)
+    p.add_argument("--start-planes", type=int, default=None)
+    p.add_argument("--drain-timeout", type=float, default=None)
+    p.add_argument(
+        "--strict", action="store_true",
+        help="abort startup when any snapshot fails network validation",
+    )
+    p.add_argument(
+        "--hub", default=None,
+        help="pull --name from this hub into a scratch dir and serve it",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="published repository name (with --hub)",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("publish", help="publish this repository to a hub")
     p.add_argument("--hub", required=True, help="hub directory")

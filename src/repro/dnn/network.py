@@ -19,7 +19,7 @@ through fan-out and fan-in.
 from __future__ import annotations
 
 import copy
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -353,6 +353,31 @@ class Network:
             if name == target:
                 break
         return values[target]
+
+    def forward_many(
+        self,
+        batches: Sequence[np.ndarray],
+        upto: Optional[str] = None,
+    ) -> list[np.ndarray]:
+        """Run several input batches through one concatenated forward pass.
+
+        The serving layer's batching entry point: concurrent predict
+        requests coalesce here so the DAG is traversed once per batch
+        window instead of once per request.  Per-batch outputs come back
+        in submission order, split along the batch axis.
+        """
+        arrays = [np.asarray(batch, dtype=np.float32) for batch in batches]
+        if not arrays:
+            return []
+        for array in arrays:
+            if tuple(array.shape[1:]) != self.input_shape:
+                raise ValueError(
+                    f"input shape {tuple(array.shape[1:])} does not match "
+                    f"the network's {self.input_shape} (batch dim excluded)"
+                )
+        out = self.forward(np.concatenate(arrays, axis=0), upto=upto)
+        offsets = np.cumsum([len(a) for a in arrays])[:-1]
+        return np.split(out, offsets, axis=0)
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Predicted label per example (argmax of the sink output)."""

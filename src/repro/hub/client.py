@@ -108,3 +108,21 @@ class HubClient:
     ) -> Repository:
         """Pull and open in one step."""
         return Repository.open(self.pull(name, dest, revision))
+
+    def pull_for_serving(
+        self, name: str, revision: Optional[int] = None
+    ) -> Path:
+        """Pull into a fresh scratch directory (``dlv serve --hub``).
+
+        Serving does not care where the bytes live, only that they are a
+        verified, openable repository — so the destination is a new
+        temporary directory the caller may delete after shutdown.
+        """
+        import tempfile
+
+        scratch = Path(tempfile.mkdtemp(prefix=f"dlv-serve-{name}-"))
+        try:
+            return self.pull(name, scratch / "repo", revision)
+        except Exception:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise

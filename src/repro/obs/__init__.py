@@ -26,10 +26,16 @@ registry / recorder):
 ``dql.*``                 parse/execute latency, query counts per verb
 ``training.*``            per-iteration loss, examples, step latency
 ``hub.*``                 request counters per operation
+``serve.*``               serving tier: requests/completed/shed/errors,
+                          escalations, degraded responses, batch shape
+                          histograms, per-model queue-depth gauges
+``serve.cache.*``         shared plane-cache hits/misses/evictions plus
+                          cached-bytes and entry-count gauges
 ========================  =====================================================
 
 Spans use the same dotted names (``pas.matrix``, ``pas.snapshot``,
-``archival.solve``, ``progressive.plane``, ``dql.parse``, ``dql.execute``).
+``archival.solve``, ``progressive.plane``, ``dql.parse``, ``dql.execute``,
+``serve.batch``).
 """
 
 from repro.obs.log import configure, get_logger, log_level

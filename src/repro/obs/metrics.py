@@ -8,8 +8,22 @@ registry (``repro.obs.get_registry()``) is what the built-in
 instrumentation writes to, while components that need isolated counts
 (tests, per-cache accounting) construct their own registry and inject it.
 
-All metrics are thread-safe: retrieval uses thread pools and the hub may
-serve concurrent requests.
+All metrics are thread-safe: retrieval uses thread pools, the hub may
+serve concurrent requests, and the serving tier (:mod:`repro.serve`)
+hammers one registry from every request thread.  The contract, audited
+per primitive:
+
+* Every *mutation* (``Counter.inc``, ``Gauge.set/inc/dec``,
+  ``Histogram.observe``) holds the metric's lock, so no update is lost
+  under contention — concurrent increments always sum exactly.
+* *Reads* (``.value``, ``.count``, ``.sum``) are deliberately lockless:
+  each is a single aligned attribute load, atomic under CPython, and a
+  momentarily stale read is acceptable for telemetry.  Compound
+  snapshots that must be internally consistent (``bucket_counts``,
+  ``quantile``, ``to_dict``) do take the lock.
+* :class:`MetricsRegistry` creation is get-or-create under the registry
+  lock: racing threads asking for the same name always receive the
+  *same* metric object, never two.
 """
 
 from __future__ import annotations

@@ -1,0 +1,166 @@
+"""Minimal stdlib client for a running :class:`~repro.serve.ModelServer`.
+
+``http.client`` only — the examples, benchmarks, and CI smoke test all
+talk to the server through this, so the whole serving round-trip is
+exercised without any third-party HTTP dependency.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Prediction", "ServeClient", "ServeError", "ServerOverloaded"]
+
+
+class ServeError(RuntimeError):
+    """Non-2xx response from the serving tier."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServerOverloaded(ServeError):
+    """429 — the model's queue shed this request; retry after a backoff."""
+
+
+class Prediction:
+    """Parsed ``/v1/predict`` response."""
+
+    def __init__(self, payload: dict) -> None:
+        self.model: str = payload["model"]
+        self.predictions = np.asarray(payload["predictions"], dtype=np.int64)
+        self.resolved_planes = np.asarray(
+            payload["resolved_planes"], dtype=np.int64
+        )
+        self.degraded: bool = bool(payload["degraded"])
+        self.escalations: int = int(payload["escalations"])
+        self.latency_ms: float = float(payload["latency_ms"])
+        self.raw = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Prediction(model={self.model!r}, n={len(self.predictions)}, "
+            f"max_planes={int(self.resolved_planes.max(initial=0))}, "
+            f"degraded={self.degraded})"
+        )
+
+
+class ServeClient:
+    """Talks JSON-over-HTTP to one server over a keep-alive connection.
+
+    The connection is reused across calls (the server speaks HTTP/1.1
+    with explicit Content-Length) and transparently re-established if
+    the server closed it; under concurrent load this keeps clients out
+    of the listener's accept backlog.  One client instance per thread —
+    the underlying ``http.client`` connection is not thread-safe.
+
+    Args:
+        host / port: Where the server listens (``ModelServer.port``).
+        timeout: Socket timeout per request, seconds.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080,
+        timeout: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened on next call)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(
+        self, method: str, path: str, payload: Optional[bytes]
+    ) -> tuple[int, bytes]:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Without TCP_NODELAY, Nagle holds the request body until
+            # the header segment is ACKed (~40 ms with delayed ACKs).
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        headers = {"Content-Type": "application/json"} if payload else {}
+        self._conn.request(method, path, body=payload, headers=headers)
+        response = self._conn.getresponse()
+        return response.status, response.read()
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        payload = json.dumps(body).encode() if body is not None else None
+        try:
+            status, raw = self._roundtrip(method, path, payload)
+        except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            # Stale keep-alive connection (server closed it between
+            # calls): reconnect once and retry.
+            self.close()
+            status, raw = self._roundtrip(method, path, payload)
+        try:
+            data = json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            data = {"error": raw.decode(errors="replace")}
+        if status == 429:
+            raise ServerOverloaded(status, data)
+        if status >= 400:
+            raise ServeError(status, data)
+        return data
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def models(self) -> list[dict]:
+        return self._request("GET", "/v1/models")["models"]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def predict(
+        self,
+        model: str,
+        inputs,
+        start_planes: Optional[int] = None,
+        exact: bool = False,
+    ) -> Prediction:
+        """Predict labels for ``inputs`` (list or array of examples).
+
+        Args:
+            model: Served model name (see :meth:`models`).
+            inputs: One example or a batch; converted via ``tolist``.
+            start_planes: Plane budget to start the progressive
+                evaluation at (server default when omitted).
+            exact: Skip progressive serving; answer at full precision.
+        """
+        body: dict = {
+            "model": model,
+            "inputs": np.asarray(inputs, dtype=np.float32).tolist(),
+        }
+        if start_planes is not None:
+            body["start_planes"] = int(start_planes)
+        if exact:
+            body["exact"] = True
+        return Prediction(self._request("POST", "/v1/predict", body))

@@ -1,0 +1,363 @@
+"""The HTTP face of the serving tier: :class:`ModelServer`.
+
+A thin stdlib ``ThreadingHTTPServer`` wrapper: every request thread
+parses JSON, submits a ticket to the :class:`BatchScheduler`, and blocks
+until the batched data path answers.  Endpoints:
+
+========================  ====================================================
+``GET /healthz``          Liveness; 503 once a drain has started.
+``GET /v1/models``        Served snapshots and their shapes.
+``GET /metrics``          ``repro.obs`` dump + plane-cache and queue stats.
+``POST /v1/predict``      ``{"model", "inputs", "start_planes"?, "exact"?}``
+========================  ====================================================
+
+Predict responses carry the progressive-serving contract: per-row
+``resolved_planes`` (which plane budget determined each answer),
+``escalations``, and ``degraded: true`` whenever a lossy recovery path
+(PR-3 degraded retrieval) supplied any plane along the way.
+
+Snapshots whose stored network spec fails :func:`validate_network` are
+refused at startup — a serving tier should not boot on a model that
+static analysis can prove broken.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.net_check import validate_network
+from repro.dlv.repository import Repository
+from repro.dnn.network import GraphError, Network
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.serve.cache import PlaneCache
+from repro.serve.config import ServeConfig
+from repro.serve.scheduler import AdmissionError, BatchScheduler, ModelRuntime
+
+__all__ = ["ModelServer"]
+
+
+class _HTTPError(Exception):
+    """Internal: carry an HTTP status + JSON body up to the dispatcher."""
+
+    def __init__(self, status: int, payload: dict,
+                 headers: Optional[dict] = None) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP exchange; state lives on ``server.model_server``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "dlv-serve"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are observable via /metrics, not stderr noise
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict,
+                   headers: Optional[dict] = None) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, {"error": f"invalid JSON body: {exc}"})
+        if not isinstance(body, dict):
+            raise _HTTPError(400, {"error": "request body must be an object"})
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        serve = self.server.model_server
+        try:
+            if method == "GET" and self.path == "/healthz":
+                self._send_json(*serve.handle_health())
+            elif method == "GET" and self.path == "/v1/models":
+                self._send_json(200, serve.handle_models())
+            elif method == "GET" and self.path == "/metrics":
+                self._send_json(200, serve.handle_metrics())
+            elif method == "POST" and self.path == "/v1/predict":
+                self._send_json(200, serve.handle_predict(self._read_json()))
+            else:
+                self._send_json(
+                    404, {"error": f"no route {method} {self.path}"}
+                )
+        except _HTTPError as exc:
+            self._send_json(exc.status, exc.payload, exc.headers)
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - surface, don't kill thread
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    # Nagle + delayed-ACK stalls every keep-alive request whose headers
+    # and body land in separate segments (~40 ms each), and the default
+    # accept backlog of 5 drops SYNs under concurrent connect bursts
+    # (~1 s retransmit) — both fatal for a low-latency serving tier.
+    disable_nagle_algorithm = True
+    request_queue_size = 128
+    model_server: "ModelServer"
+
+
+class ModelServer:
+    """Serves a repository's model snapshots over HTTP.
+
+    Args:
+        repo: An open :class:`Repository` or a path to one (paths are
+            opened — and closed — by the server).
+        config: Batching/caching/bind policy; defaults to
+            :class:`ServeConfig`'s defaults.
+        models: Version names to serve (default: every version that has a
+            snapshot).  The latest version per name wins.
+        registry: Metrics registry (defaults to the process-global one,
+            so ``/metrics`` and ``dlv stats`` agree).
+        strict: When True, a snapshot failing static validation aborts
+            startup instead of being skipped with a counter.
+    """
+
+    def __init__(
+        self,
+        repo: Union[Repository, str, Path],
+        config: Optional[ServeConfig] = None,
+        models: Optional[list[str]] = None,
+        registry: Optional[MetricsRegistry] = None,
+        strict: bool = False,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else get_registry()
+        self._owns_repo = not isinstance(repo, Repository)
+        self.repo = repo if isinstance(repo, Repository) else Repository.open(repo)
+        self.cache = PlaneCache(self.config.cache_bytes, registry=self.registry)
+        self.scheduler = BatchScheduler(self.config, registry=self.registry)
+        self.rejected: dict[str, str] = {}
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = False
+        self._load_models(models, strict)
+        if not self.scheduler.models():
+            raise ValueError("repository has no servable model snapshots")
+
+    # -- model loading -------------------------------------------------------
+
+    def _load_models(self, names: Optional[list[str]], strict: bool) -> None:
+        """Build a runtime per served snapshot; refuse invalid networks."""
+        archive = self.repo.archive_view()
+        versions = [v for v in self.repo.list_versions() if v.snapshots]
+        if names is not None:
+            wanted = set(names)
+            versions = [v for v in versions if v.name in wanted]
+            missing = wanted - {v.name for v in versions}
+            if missing:
+                raise KeyError(
+                    "no servable versions named "
+                    + ", ".join(sorted(repr(n) for n in missing))
+                )
+        latest: dict[str, object] = {}
+        for version in versions:  # list_versions is id-ordered: latest wins
+            latest[version.name] = version
+        rejected_counter = self.registry.counter("serve.models_rejected")
+        for name, version in sorted(latest.items()):
+            net = Network.from_spec(version.network)
+            try:
+                validate_network(net)
+            except GraphError as exc:
+                if strict:
+                    raise
+                self.rejected[name] = str(exc)
+                rejected_counter.inc()
+                continue
+            snapshot = version.snapshots[-1]
+            runtime = ModelRuntime(
+                name=name,
+                net=net.build(0),
+                archive=archive,
+                snapshot_id=snapshot.key,
+                plane_cache=self.cache,
+                meta={
+                    "ref": version.ref,
+                    "float_scheme": snapshot.float_scheme,
+                },
+            )
+            self.scheduler.register(runtime)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ModelServer":
+        """Bind, start the scheduler workers, and serve in a daemon thread."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        self._httpd = _Server(
+            (self.config.host, self.config.port), _Handler
+        )
+        self._httpd.model_server = self
+        self.scheduler.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        self.registry.counter("serve.starts").inc()
+        return self
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    def stop(self, drain: bool = True) -> bool:
+        """Shut down; with ``drain`` waits for in-flight work first.
+
+        Returns True when the drain completed within the configured
+        grace period (vacuously True for ``drain=False``).
+        """
+        if self._stopped:
+            return True
+        self._stopped = True
+        drained = True
+        if drain:
+            drained = self.scheduler.drain(self.config.drain_timeout_s)
+        self.scheduler.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        if self._owns_repo:
+            self.repo.close()
+        return drained
+
+    def __enter__(self) -> "ModelServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop(drain=True)
+
+    # -- endpoint logic (handler-thread context) -----------------------------
+
+    def handle_health(self) -> tuple[int, dict]:
+        if self.scheduler.draining or self._stopped:
+            return 503, {"status": "draining"}
+        return 200, {
+            "status": "ok",
+            "models": self.scheduler.models(),
+            "outstanding": self.scheduler.outstanding(),
+        }
+
+    def handle_models(self) -> dict:
+        return {
+            "models": [
+                self.scheduler.runtime(name).info()
+                for name in self.scheduler.models()
+            ],
+            "rejected": dict(self.rejected),
+        }
+
+    def handle_metrics(self) -> dict:
+        return {
+            "metrics": obs.dump_metrics(registry=self.registry),
+            "plane_cache": self.cache.stats(),
+            "queues": self.scheduler.queue_depths(),
+            "draining": self.scheduler.draining,
+        }
+
+    def handle_predict(self, body: dict) -> dict:
+        model = body.get("model")
+        if not isinstance(model, str):
+            raise _HTTPError(400, {"error": "'model' must be a string"})
+        if "inputs" not in body:
+            raise _HTTPError(400, {"error": "'inputs' is required"})
+        try:
+            x = np.asarray(body["inputs"], dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise _HTTPError(
+                400, {"error": f"'inputs' is not a numeric array: {exc}"}
+            )
+        start_planes = body.get("start_planes")
+        if start_planes is not None and not isinstance(start_planes, int):
+            raise _HTTPError(400, {"error": "'start_planes' must be an int"})
+        try:
+            runtime = self.scheduler.runtime(model)
+        except KeyError:
+            raise _HTTPError(
+                404,
+                {"error": f"unknown model {model!r}",
+                 "models": self.scheduler.models(),
+                 "rejected": dict(self.rejected)},
+            )
+        if x.ndim == len(runtime.net.input_shape):  # single example
+            x = x[np.newaxis, ...]
+        if tuple(x.shape[1:]) != runtime.net.input_shape:
+            raise _HTTPError(
+                400,
+                {"error": (
+                    f"input shape {list(x.shape[1:])} does not match "
+                    f"model {model!r} input {list(runtime.net.input_shape)}"
+                )},
+            )
+        if self.scheduler.draining or self._stopped:
+            raise _HTTPError(503, {"error": "server is draining"})
+        try:
+            ticket = self.scheduler.submit(
+                model, x,
+                start_planes=start_planes,
+                exact=bool(body.get("exact", False)),
+            )
+        except AdmissionError as exc:
+            raise _HTTPError(
+                429,
+                {"error": str(exc), "queue_depth": exc.depth,
+                 "queue_limit": exc.limit},
+                headers={"Retry-After": "1"},
+            )
+        try:
+            outcome = ticket.wait(self.config.request_timeout_s)
+        except TimeoutError:
+            raise _HTTPError(
+                504, {"error": "prediction timed out in the scheduler"}
+            )
+        except Exception as exc:  # noqa: BLE001 - worker-side failure
+            raise _HTTPError(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        return {
+            "model": model,
+            "predictions": outcome.predictions.tolist(),
+            "resolved_planes": outcome.resolved_planes.tolist(),
+            "degraded": outcome.degraded,
+            "escalations": outcome.escalations,
+            "latency_ms": outcome.seconds * 1000.0,
+        }

@@ -1,0 +1,172 @@
+"""Evaluator reusability: repeated queries must not re-read the archive.
+
+The serving tier keeps one ProgressiveEvaluator per snapshot alive for
+the process lifetime; these tests pin down the memoization contract that
+makes that viable (and the chunk-read regression that motivated it).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.archival import minimum_spanning_tree
+from repro.core.chunkstore import MemoryChunkStore
+from repro.core.progressive import ProgressiveEvaluator
+from repro.core.retrieval import PlanArchive
+from repro.core.storage_graph import MatrixRef, MatrixStorageGraph
+from repro.dnn.network import Network
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import PlaneCache
+
+
+def archive_with_registry(net, registry, snapshot_id="snap"):
+    """Materialize net weights into an archive whose store counts reads."""
+    graph = MatrixStorageGraph()
+    matrices = {}
+    for layer, params in net.get_weights().items():
+        for key, matrix in params.items():
+            mid = f"{layer}.{key}"
+            graph.add_matrix(MatrixRef(mid, snapshot_id, matrix.nbytes))
+            graph.add_materialization(mid, matrix.nbytes, 1.0)
+            matrices[mid] = matrix
+    plan = minimum_spanning_tree(graph)
+    store = MemoryChunkStore(registry=registry)
+    return PlanArchive.build(store, matrices, plan)
+
+
+@pytest.fixture
+def counted_evaluator(trained_tiny):
+    net, _, _ = trained_tiny
+    registry = MetricsRegistry()
+    archive = archive_with_registry(net, registry)
+    fresh = Network.from_spec(net.spec()).build(0)
+    return ProgressiveEvaluator(fresh, archive, "snap"), registry, net
+
+
+class TestChunkReadRegression:
+    def test_repeated_evaluate_reads_no_new_chunks(
+        self, counted_evaluator, digits
+    ):
+        evaluator, registry, _ = counted_evaluator
+        get_calls = registry.counter("chunkstore.get_calls")
+        x = digits.x_test[:20]
+        first = evaluator.evaluate(x)
+        after_first = get_calls.value
+        assert after_first > 0
+        second = evaluator.evaluate(x)
+        assert get_calls.value == after_first, (
+            "second evaluate re-read the archive despite the memo"
+        )
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+
+    def test_param_bounds_memoized_per_plane_count(self, counted_evaluator):
+        evaluator, registry, _ = counted_evaluator
+        get_calls = registry.counter("chunkstore.get_calls")
+        bounds_one = evaluator.param_bounds(1)
+        after = get_calls.value
+        assert evaluator.param_bounds(1) is bounds_one
+        assert get_calls.value == after
+        evaluator.param_bounds(2)  # deeper budget does read more
+        assert get_calls.value > after
+
+    def test_exact_weights_read_once(self, counted_evaluator, digits):
+        evaluator, registry, _ = counted_evaluator
+        get_calls = registry.counter("chunkstore.get_calls")
+        evaluator.evaluate_exact(digits.x_test[:4])
+        after = get_calls.value
+        evaluator.evaluate_exact(digits.x_test[4:8])
+        assert get_calls.value == after
+
+    def test_evaluate_matches_exact_predictions(
+        self, counted_evaluator, digits
+    ):
+        evaluator, _, trained = counted_evaluator
+        x = digits.x_test[:30]
+        result = evaluator.evaluate(x)
+        np.testing.assert_array_equal(result.predictions, trained.predict(x))
+
+
+class TestRepositoryMatrixIds:
+    def test_prefixed_matrix_ids_map_to_bare_layers(
+        self, repo, trained_tiny, digits
+    ):
+        """Repo archives use ``v1/s0/layer.param`` ids; bounds must still
+        key by the network's bare layer names, or ``forward_interval``
+        silently ignores every bound (the pre-serving regression)."""
+        net, _, _ = trained_tiny
+        version = repo.commit(net, name="tiny", message="ids")
+        archive = repo.archive_view()
+        fresh = Network.from_spec(version.network).build(0)
+        evaluator = ProgressiveEvaluator(
+            fresh, archive, version.snapshots[-1].key
+        )
+        bounds = evaluator.param_bounds(1)
+        layer_names = {layer.name for layer in fresh.layers()}
+        assert set(bounds) <= layer_names
+        # With real (wide) plane-1 bounds almost nothing is determined —
+        # the vacuous-bounds bug claimed everything was.
+        x = digits.x_test[:16]
+        determined, _ = evaluator.evaluate_bounded(x, 1)
+        result = evaluator.evaluate(x)
+        np.testing.assert_array_equal(result.predictions, net.predict(x))
+        assert result.resolved_at_plane.max() > 1 or determined.all()
+
+
+class TestConcurrentReuse:
+    def test_concurrent_queries_single_archive_read(self, trained_tiny, digits):
+        net, _, _ = trained_tiny
+        registry = MetricsRegistry()
+        archive = archive_with_registry(net, registry)
+        fresh = Network.from_spec(net.spec()).build(0)
+        cache = PlaneCache(64 << 20, registry=registry)
+        evaluator = ProgressiveEvaluator(
+            fresh, archive, "snap", plane_cache=cache
+        )
+        x = digits.x_test[:10]
+        results = []
+        errors = []
+
+        def query():
+            try:
+                determined, labels = evaluator.evaluate_bounded(x, 2)
+                results.append((determined, labels))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=query) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert len(results) == 8
+        base_det, base_lab = results[0]
+        for det, lab in results[1:]:
+            np.testing.assert_array_equal(det, base_det)
+            np.testing.assert_array_equal(lab, base_lab)
+        # Single-flight cache: the plane-2 bounds were loaded exactly once.
+        assert registry.counter("serve.cache.misses").value == 1
+        assert registry.counter("serve.cache.hits").value == 7
+
+    def test_shared_cache_across_evaluators(self, trained_tiny, digits):
+        """Two evaluators over one snapshot share the plane cache."""
+        net, _, _ = trained_tiny
+        registry = MetricsRegistry()
+        archive = archive_with_registry(net, registry)
+        cache = PlaneCache(64 << 20, registry=registry)
+        evaluators = [
+            ProgressiveEvaluator(
+                Network.from_spec(net.spec()).build(i),
+                archive, "snap", plane_cache=cache,
+            )
+            for i in range(2)
+        ]
+        get_calls = registry.counter("chunkstore.get_calls")
+        evaluators[0].param_bounds(2)
+        after = get_calls.value
+        evaluators[1].param_bounds(2)
+        assert get_calls.value == after
+        assert registry.counter("serve.cache.hits").value == 1

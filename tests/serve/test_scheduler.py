@@ -1,0 +1,281 @@
+"""BatchScheduler tests: coalescing, shedding, escalation, drain, stop."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import NUM_PLANES
+from repro.dnn.network import Network
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import (
+    AdmissionError,
+    BatchScheduler,
+    ModelRuntime,
+    PlaneCache,
+    ServeConfig,
+)
+
+
+@pytest.fixture
+def runtime_setup(served_repo, registry):
+    """A ModelRuntime over the committed fixture snapshot."""
+    repo, net, version = served_repo
+    archive = repo.archive_view()
+    fresh = Network.from_spec(version.network).build(0)
+    runtime = ModelRuntime(
+        name="tiny",
+        net=fresh,
+        archive=archive,
+        snapshot_id=version.snapshots[-1].key,
+        plane_cache=PlaneCache(64 << 20, registry=registry),
+    )
+    return runtime, net
+
+
+def make_scheduler(runtime, registry, **overrides) -> BatchScheduler:
+    config = ServeConfig(**{"max_wait_ms": 2.0, **overrides})
+    scheduler = BatchScheduler(config, registry=registry)
+    scheduler.register(runtime)
+    return scheduler
+
+
+class TestBatching:
+    def test_concurrent_requests_coalesce(
+        self, runtime_setup, registry, digits
+    ):
+        runtime, _ = runtime_setup
+        # A long window: everything submitted before the window closes
+        # lands in one batch.
+        scheduler = make_scheduler(runtime, registry, max_wait_ms=150.0)
+        scheduler.start()
+        try:
+            x = digits.x_test[:2]
+            tickets = [scheduler.submit("tiny", x) for _ in range(6)]
+            for ticket in tickets:
+                ticket.wait(timeout=30.0)
+        finally:
+            scheduler.stop()
+        coalesced = registry.histogram("serve.batch_requests")
+        assert coalesced.count >= 1
+        assert coalesced._max >= 2, "no two requests ever shared a batch"
+
+    def test_max_batch_splits_windows(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(
+            runtime, registry, max_wait_ms=150.0, max_batch=4
+        )
+        scheduler.start()
+        try:
+            x = digits.x_test[:3]  # 3 rows/request, max_batch 4 -> 2/batch
+            tickets = [scheduler.submit("tiny", x) for _ in range(6)]
+            for ticket in tickets:
+                ticket.wait(timeout=30.0)
+        finally:
+            scheduler.stop()
+        rows = registry.histogram("serve.batch_rows")
+        assert rows._max <= 6  # never more than two 3-row requests
+
+    def test_empty_input_completes_immediately(self, runtime_setup, registry):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        # Never started: an empty request must not need a worker.
+        outcome = scheduler.submit(
+            "tiny", np.empty((0, *runtime.net.input_shape), dtype=np.float32)
+        ).wait(timeout=1.0)
+        assert outcome.predictions.size == 0
+
+
+class TestCorrectness:
+    def test_progressive_matches_exact(self, runtime_setup, registry, digits):
+        runtime, trained = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            x = digits.x_test[:24]
+            outcome = scheduler.submit("tiny", x, start_planes=1).wait(30.0)
+        finally:
+            scheduler.stop()
+        np.testing.assert_array_equal(outcome.predictions, trained.predict(x))
+        assert outcome.resolved_planes.min() >= 1
+
+    def test_escalation_from_lowest_plane(
+        self, runtime_setup, registry, digits
+    ):
+        """Plane 1 alone rarely determines anything: requests escalate."""
+        runtime, trained = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            x = digits.x_test[:24]
+            outcome = scheduler.submit("tiny", x, start_planes=1).wait(30.0)
+        finally:
+            scheduler.stop()
+        assert outcome.escalations >= 1
+        assert int(outcome.resolved_planes.max()) > 1
+        assert registry.counter("serve.escalations").value >= 1
+        np.testing.assert_array_equal(outcome.predictions, trained.predict(x))
+
+    def test_exact_bypasses_progressive(self, runtime_setup, registry, digits):
+        runtime, trained = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            x = digits.x_test[:8]
+            outcome = scheduler.submit("tiny", x, exact=True).wait(30.0)
+        finally:
+            scheduler.stop()
+        assert (outcome.resolved_planes == NUM_PLANES).all()
+        assert outcome.escalations == 0
+        np.testing.assert_array_equal(outcome.predictions, trained.predict(x))
+
+    def test_mixed_plane_budgets_concurrently(
+        self, runtime_setup, registry, digits
+    ):
+        runtime, trained = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        errors = []
+
+        def hit(start_planes, exact):
+            try:
+                x = digits.x_test[:10]
+                outcome = scheduler.submit(
+                    "tiny", x, start_planes=start_planes, exact=exact
+                ).wait(30.0)
+                np.testing.assert_array_equal(
+                    outcome.predictions, trained.predict(x)
+                )
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(
+                    target=hit, args=(1 + i % 3, i % 4 == 0)
+                )
+                for i in range(12)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60.0)
+        finally:
+            scheduler.stop()
+        assert not errors, errors
+
+
+class TestAdmissionControl:
+    def test_sheds_when_queue_full(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+        # Not started: submissions stay queued, making the limit exact.
+        scheduler = make_scheduler(runtime, registry, queue_limit=2)
+        x = digits.x_test[:1]
+        scheduler.submit("tiny", x)
+        scheduler.submit("tiny", x)
+        with pytest.raises(AdmissionError) as excinfo:
+            scheduler.submit("tiny", x)
+        assert excinfo.value.limit == 2
+        assert registry.counter("serve.shed").value == 1
+        assert scheduler.queue_depths() == {"tiny": 2}
+        scheduler.stop()
+
+    def test_draining_rejects_submissions(
+        self, runtime_setup, registry, digits
+    ):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            assert scheduler.drain(timeout=5.0)
+            with pytest.raises(AdmissionError):
+                scheduler.submit("tiny", digits.x_test[:1])
+        finally:
+            scheduler.stop()
+
+    def test_unknown_model(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        with pytest.raises(KeyError):
+            scheduler.submit("ghost", digits.x_test[:1])
+        scheduler.stop()
+
+
+class TestLifecycle:
+    def test_drain_waits_for_outstanding(
+        self, runtime_setup, registry, digits
+    ):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry, max_wait_ms=30.0)
+        scheduler.start()
+        tickets = [
+            scheduler.submit("tiny", digits.x_test[:4], start_planes=1)
+            for _ in range(4)
+        ]
+        assert scheduler.drain(timeout=30.0)
+        assert scheduler.outstanding() == 0
+        for ticket in tickets:
+            ticket.wait(timeout=1.0)  # already done: must not block
+        scheduler.stop()
+
+    def test_stop_fails_queued_requests(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        # Never started, so submissions are guaranteed still queued.
+        tickets = [scheduler.submit("tiny", digits.x_test[:2]) for _ in range(3)]
+        scheduler.stop()
+        for ticket in tickets:
+            with pytest.raises(RuntimeError, match="stopped"):
+                ticket.wait(timeout=1.0)
+        assert registry.counter("serve.errors").value == 3
+
+    def test_submit_after_stop_raises(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.stop()
+        with pytest.raises(RuntimeError):
+            scheduler.submit("tiny", digits.x_test[:1])
+
+    def test_worker_failure_propagates_to_ticket(
+        self, runtime_setup, registry, digits
+    ):
+        runtime, _ = runtime_setup
+
+        def boom(x, planes):
+            raise OSError("archive unreadable")
+
+        runtime.bounded = boom
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            ticket = scheduler.submit("tiny", digits.x_test[:2])
+            with pytest.raises(OSError, match="archive unreadable"):
+                ticket.wait(timeout=10.0)
+            assert registry.counter("serve.errors").value == 1
+            # The worker survives the failed bucket and keeps the queue
+            # live for later (failing) work.
+            ticket2 = scheduler.submit("tiny", digits.x_test[:2])
+            with pytest.raises(OSError):
+                ticket2.wait(timeout=10.0)
+        finally:
+            scheduler.stop()
+
+    def test_ticket_timeout(self, runtime_setup, registry, digits):
+        runtime, _ = runtime_setup
+
+        def slow(x, planes):
+            time.sleep(0.5)
+            raise AssertionError("should have timed out first")
+
+        runtime.bounded = slow
+        scheduler = make_scheduler(runtime, registry)
+        scheduler.start()
+        try:
+            ticket = scheduler.submit("tiny", digits.x_test[:1])
+            with pytest.raises(TimeoutError):
+                ticket.wait(timeout=0.05)
+        finally:
+            scheduler.stop()

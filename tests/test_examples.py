@@ -22,6 +22,7 @@ def test_expected_examples_present():
         "archival_planning.py",
         "model_sharing.py",
         "storage_inspection.py",
+        "serving.py",
     }
 
 
