@@ -28,6 +28,7 @@ import numpy as np
 from repro.core.retrieval import PlanArchive, RecreationResult
 from repro.core.segmentation import NUM_PLANES
 from repro.core.storage_graph import RetrievalScheme
+from repro.obs.cost import charge
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import trace_span
 
@@ -149,8 +150,10 @@ class RetrievalCache:
         if cached is not None:
             self._entries.move_to_end(key)
             self._hits.inc()
+            charge(cache_hits=1)
             return cached
         self._misses.inc()
+        charge(cache_misses=1)
         value = self.archive.recreate_matrix(matrix_id, planes)
         value.setflags(write=False)
         self._admit(key, value)

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Iterator, Optional
 
 from repro.faults import fs as ffs
+from repro.obs.cost import charge
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 
@@ -63,6 +64,9 @@ class _StoreMetrics:
     def record_get(self, nbytes: int) -> None:
         self.get_calls.inc()
         self.get_bytes.inc(nbytes)
+        # Bill the active request, if any: this is the single choke point
+        # every chunk read (disk- or memory-backed) passes through.
+        charge(bytes_read=nbytes, chunks_fetched=1)
 
 
 class ChunkStore:

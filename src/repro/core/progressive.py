@@ -22,6 +22,7 @@ from repro.core.retrieval import PlanArchive
 from repro.core.segmentation import NUM_PLANES
 from repro.dnn.interval import Interval, argmax_determined, tight_intervals
 from repro.dnn.network import Network
+from repro.obs.cost import charge
 from repro.obs.metrics import counter, histogram
 from repro.obs.tracing import trace_span
 
@@ -306,6 +307,7 @@ class ProgressiveEvaluator:
                 plane_span.set_attr("resolved", resolved_here)
             counter("progressive.points_resolved").inc(resolved_here)
             histogram("progressive.plane_seconds").observe(plane_span.elapsed)
+            charge(compute_s=plane_span.elapsed)
             unresolved = np.asarray(still_open, dtype=np.int64)
             determined_fraction[planes] = 1.0 - unresolved.size / n
             planes_used = planes
@@ -328,6 +330,7 @@ class ProgressiveEvaluator:
             counter("progressive.points_resolved").inc(int(unresolved.size))
             counter("progressive.exact_fallbacks").inc()
             histogram("progressive.plane_seconds").observe(exact_span.elapsed)
+            charge(compute_s=exact_span.elapsed)
         determined_fraction[NUM_PLANES] = 1.0
         counter("progressive.queries").inc()
 
@@ -355,23 +358,35 @@ class ProgressiveEvaluator:
             ``(determined, labels)`` per row — labels are trustworthy
             exactly where ``determined`` is True.
         """
-        bounds = self.param_bounds(planes)
-        if self.tight:
-            with tight_intervals():
+        with trace_span(
+            "progressive.bounded",
+            snapshot=self.snapshot_id,
+            planes=planes,
+            rows=len(x),
+        ) as span:
+            bounds = self.param_bounds(planes)
+            if self.tight:
+                with tight_intervals():
+                    logit_iv = self.net.forward_interval(
+                        x, bounds, upto=self.logits_node
+                    )
+            else:
                 logit_iv = self.net.forward_interval(
                     x, bounds, upto=self.logits_node
                 )
-        else:
-            logit_iv = self.net.forward_interval(
-                x, bounds, upto=self.logits_node
-            )
-        return argmax_determined(logit_iv, k=k)
+            result = argmax_determined(logit_iv, k=k)
+        charge(compute_s=span.elapsed)
+        return result
 
     def evaluate_exact(self, x: np.ndarray) -> np.ndarray:
         """Full-precision predictions from the (cached) archive weights."""
-        with self._lock:
-            self._load_exact()
-            out = self.net.forward(x, upto=self.logits_node)
+        with trace_span(
+            "progressive.exact", snapshot=self.snapshot_id, rows=len(x)
+        ) as span:
+            with self._lock:
+                self._load_exact()
+                out = self.net.forward(x, upto=self.logits_node)
+        charge(compute_s=span.elapsed)
         return np.argmax(out, axis=1)
 
     def evaluate_at_planes(

@@ -17,12 +17,14 @@ Sec. IV-B).  Retrieval then supports:
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
 
+from repro.obs.cost import charge
 from repro.obs.metrics import counter, histogram
 from repro.obs.tracing import trace_span
 
@@ -356,9 +358,15 @@ class PlanArchive:
         sha = entry.chunk_ids[index]
         store = self.plane_store(index)
         try:
-            return store.get(sha), store.stored_size(sha)
+            data, nbytes = store.get(sha), store.stored_size(sha)
         except (KeyError, ValueError) as exc:
-            return self._recover_plane(entry, index, sha, exc)
+            data, nbytes = self._recover_plane(entry, index, sha, exc)
+        if data is not None:
+            # Per-plane byte accounting for the active request's bill
+            # (stored/compressed bytes — the paper's progressive-query
+            # byte-savings unit).
+            charge(planes_fetched=1, plane_bytes={index: nbytes})
+        return data, nbytes
 
     def _recover_plane(
         self, entry: _StoredPayload, index: int, sha: str, exc: Exception
@@ -477,8 +485,16 @@ class PlanArchive:
                     bytes_read += nbytes
             elif scheme is RetrievalScheme.PARALLEL:
                 with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    # Pool threads inherit no contextvars: copy the caller's
+                    # context per task so per-matrix spans stay children of
+                    # this snapshot span and cost charges reach the active
+                    # request bill instead of vanishing.
                     futures = {
-                        matrix_id: pool.submit(resolve_traced, matrix_id)
+                        matrix_id: pool.submit(
+                            contextvars.copy_context().run,
+                            resolve_traced,
+                            matrix_id,
+                        )
                         for matrix_id in members
                     }
                     for matrix_id, future in futures.items():
@@ -525,10 +541,15 @@ class PlanArchive:
         hi_total: Optional[np.ndarray] = None
         for node in reversed(chain):
             entry = self._manifest[node]
-            prefix = [
-                self.plane_store(i).get(entry.chunk_ids[i])
-                for i in range(planes)
-            ]
+            prefix = []
+            for i in range(planes):
+                store = self.plane_store(i)
+                sha = entry.chunk_ids[i]
+                prefix.append(store.get(sha))
+                charge(
+                    planes_fetched=1,
+                    plane_bytes={i: store.stored_size(sha)},
+                )
             lo, hi = bounds_from_prefix(prefix, entry.shape)
             if lo_total is None:
                 lo_total, hi_total = lo.astype(np.float64), hi.astype(np.float64)

@@ -6,7 +6,8 @@ Command groups:
   ``archive``;
 * model exploration — ``list``, ``desc``, ``diff``, ``eval``;
 * model enumeration — ``query`` (DQL);
-* remote interaction — ``publish``, ``search``, ``pull``.
+* remote interaction — ``publish``, ``search``, ``pull``, ``hub-serve``;
+* observability — ``stats``, ``trace export``, ``slowlog``, ``top``.
 
 The CLI is a thin layer over :class:`repro.dlv.repository.Repository`,
 :mod:`repro.dql`, and :mod:`repro.hub`; all output is JSON so it can be
@@ -341,6 +342,195 @@ def _render_stats_text(report: dict) -> None:
             )
 
 
+def _filter_spans(spans: list[dict], min_ms: float, name: str) -> list[dict]:
+    """Apply ``--min-ms`` / ``--name`` filters to span dicts."""
+    kept = []
+    for span in spans:
+        if span.get("elapsed", 0.0) * 1e3 < min_ms:
+            continue
+        if name and name not in span.get("name", ""):
+            continue
+        kept.append(span)
+    return kept
+
+
+def _fetch_json(url: str, path: str, timeout: float = 10.0) -> dict:
+    """GET ``url + path`` from a running dlv server; parse the JSON."""
+    import urllib.request
+
+    request = urllib.request.Request(url.rstrip("/") + path)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def cmd_trace(args) -> int:
+    from repro import obs
+    from repro.obs.export import mark_orphans, to_chrome, to_jsonl
+
+    if args.url:
+        spans = _fetch_json(args.url, "/v1/trace")["spans"]
+    else:
+        spans = mark_orphans(
+            [span.to_dict() for span in obs.get_recorder().spans()]
+        )
+    spans = _filter_spans(spans, args.min_ms, args.name or "")
+    if args.chrome:
+        rendered = json.dumps(to_chrome(spans), indent=2)
+    else:
+        rendered = to_jsonl(spans)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        _print({
+            "written": str(Path(args.out).resolve()),
+            "spans": len(spans),
+            "format": "chrome" if args.chrome else "jsonl",
+        })
+    else:
+        sys.stdout.write(rendered + "\n")
+    return 0
+
+
+def cmd_slowlog(args) -> int:
+    from repro.obs.cost import get_slowlog
+
+    if args.url:
+        report = _fetch_json(args.url, "/v1/slowlog")
+    else:
+        slowlog = get_slowlog()
+        report = {
+            "threshold_ms": slowlog.threshold_ms,
+            "capacity": slowlog.capacity,
+            "total_recorded": slowlog.total_recorded,
+            "entries": slowlog.entries(),
+        }
+    if args.json:
+        _print(report)
+        return 0
+    print(
+        f"slowlog: threshold {report['threshold_ms']:g} ms, "
+        f"{report['total_recorded']} recorded, "
+        f"{len(report['entries'])} retained"
+    )
+    for entry in report["entries"]:
+        cost = entry.get("cost") or {}
+        print(
+            "  {name:<20} {ms:>9.3f} ms  trace={trace}  "
+            "bytes={bytes_read} planes={planes}".format(
+                name=entry["name"],
+                ms=entry["ms"],
+                trace=(entry.get("trace_id") or "-")[:16],
+                bytes_read=cost.get("bytes_read", 0),
+                planes=cost.get("planes_fetched", 0),
+            )
+        )
+    return 0
+
+
+def _render_top(payload: dict) -> list[str]:
+    """One refresh of the ``dlv top`` board, as printable lines."""
+    metrics = payload.get("metrics", payload)
+    lines = []
+    queues = payload.get("queues")
+    if queues is not None:
+        depth = " ".join(f"{k}={v}" for k, v in sorted(queues.items()))
+        lines.append(f"queues: {depth or '(idle)'}")
+    cache = payload.get("plane_cache")
+    if cache:
+        lines.append(
+            "plane cache: hits={hits} misses={misses} "
+            "cached={cached}".format(
+                hits=cache.get("hits", 0),
+                misses=cache.get("misses", 0),
+                cached=_human_bytes(cache.get("cached_bytes", 0)),
+            )
+        )
+    windows = metrics.get("windows") or {}
+    if windows:
+        lines.append(
+            f"{'latency window':<24} {'count':>7} {'mean':>9} "
+            f"{'p50':>9} {'p95':>9} {'p99':>9}"
+        )
+        for name, snap in sorted(windows.items()):
+            lines.append(
+                "{name:<24} {count:>7} {mean:>8.2f}m {p50:>8.2f}m "
+                "{p95:>8.2f}m {p99:>8.2f}m".format(
+                    name=name,
+                    count=snap["count"],
+                    mean=snap["mean"] * 1e3,
+                    p50=snap["p50"] * 1e3,
+                    p95=snap["p95"] * 1e3,
+                    p99=snap["p99"] * 1e3,
+                )
+            )
+    counters = metrics.get("counters") or {}
+    interesting = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(("serve.", "hub.", "store.", "cache."))
+    }
+    for name, value in interesting.items():
+        suffix = f"  ({_human_bytes(value)})" if name.endswith("_bytes") else ""
+        lines.append(f"  {name:<32} {value}{suffix}")
+    return lines
+
+
+def cmd_top(args) -> int:
+    import time
+
+    iterations = args.iterations
+    count = 0
+    while True:
+        try:
+            payload = _fetch_json(args.url, "/metrics")
+        except OSError as exc:
+            print(f"dlv top: {args.url} unreachable: {exc}", file=sys.stderr)
+            return 1
+        lines = _render_top(payload)
+        if not args.no_clear:
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(f"dlv top — {args.url}  (refresh {args.interval:g}s)")
+        for line in lines:
+            print(line)
+        sys.stdout.flush()
+        count += 1
+        if iterations and count >= iterations:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            return 0
+
+
+def cmd_hub_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.hub.httpd import HubHTTPServer
+
+    server = HubHTTPServer(
+        args.hub,
+        host=args.host or "127.0.0.1",
+        port=args.port or 0,
+    )
+    server.start()
+    # One flushed JSON line so wrappers can discover the bound port.
+    _print(
+        {
+            "hub": str(server.server.root),
+            "url": server.url,
+            "port": server.port,
+        }
+    )
+    sys.stdout.flush()
+    stop_event = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: stop_event.set())
+    stop_event.wait()
+    server.stop()
+    _print({"stopped": True})
+    return 0
+
+
 def cmd_stats(args) -> int:
     from repro import obs
     from repro.core.cache import RetrievalCache
@@ -373,9 +563,11 @@ def cmd_stats(args) -> int:
         "metrics": obs.dump_metrics(),
     }
     if args.spans:
-        report["spans"] = [
-            span.to_dict() for span in obs.get_recorder().spans()
-        ]
+        report["spans"] = _filter_spans(
+            [span.to_dict() for span in obs.get_recorder().spans()],
+            args.min_ms,
+            args.name or "",
+        )
     if args.json:
         _print(report)
     else:
@@ -470,30 +662,42 @@ def cmd_serve(args) -> int:
 
     from repro.serve import ModelServer, ServeConfig
 
-    repo_path = args.repo
-    if args.hub is not None:
-        if not args.name:
-            raise ValueError("--hub requires --name <published repo>")
-        from repro.hub.client import HubClient
+    from repro.obs.propagation import parse_traceparent_env
+    from repro.obs.tracing import trace_span
 
-        repo_path = HubClient(args.hub).pull_for_serving(args.name)
-    config = ServeConfig().with_overrides(
-        host=args.host,
-        port=args.port,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-        queue_limit=args.queue_limit,
-        cache_bytes=args.cache_mb << 20 if args.cache_mb else None,
-        start_planes=args.start_planes,
-        drain_timeout_s=args.drain_timeout,
-    )
-    server = ModelServer(
-        repo_path,
-        config,
-        models=args.model or None,
-        strict=args.strict,
-    )
-    server.start()
+    # A driver that sets TRACEPARENT sees the whole boot — including any
+    # hub pull — join its own trace (the de-facto CLI propagation rule).
+    env_ctx = parse_traceparent_env()
+    with trace_span(
+        "dlv.serve.boot",
+        trace_id=env_ctx.trace_id if env_ctx else None,
+        remote_parent=env_ctx.span_id if env_ctx else None,
+        hub=args.hub or "",
+    ):
+        repo_path = args.repo
+        if args.hub is not None:
+            if not args.name:
+                raise ValueError("--hub requires --name <published repo>")
+            from repro.hub.client import HubClient
+
+            repo_path = HubClient(args.hub).pull_for_serving(args.name)
+        config = ServeConfig().with_overrides(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            queue_limit=args.queue_limit,
+            cache_bytes=args.cache_mb << 20 if args.cache_mb else None,
+            start_planes=args.start_planes,
+            drain_timeout_s=args.drain_timeout,
+        )
+        server = ModelServer(
+            repo_path,
+            config,
+            models=args.model or None,
+            strict=args.strict,
+        )
+        server.start()
     # One flushed JSON line so wrappers can discover the bound port.
     _print(
         {
@@ -686,7 +890,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-retrieval", action="store_true",
         help="report storage stats only; skip the instrumented retrieval",
     )
+    p.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="with --spans: only spans at least this many ms long",
+    )
+    p.add_argument(
+        "--name", default=None,
+        help="with --spans: only spans whose name contains this substring",
+    )
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("trace", help="work with recorded trace spans")
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+    pe = tsub.add_parser(
+        "export", help="export spans as JSONL or Chrome trace-event JSON"
+    )
+    pe.add_argument(
+        "--chrome", action="store_true",
+        help="Chrome trace-event JSON (open in chrome://tracing / Perfetto)",
+    )
+    pe.add_argument(
+        "--url", default=None,
+        help="export a running server's /v1/trace instead of this process",
+    )
+    pe.add_argument("--out", default=None, help="write here instead of stdout")
+    pe.add_argument(
+        "--min-ms", type=float, default=0.0,
+        help="only spans at least this many ms long",
+    )
+    pe.add_argument(
+        "--name", default=None,
+        help="only spans whose name contains this substring",
+    )
+    pe.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "slowlog", help="requests that crossed the slow threshold"
+    )
+    p.add_argument(
+        "--url", default=None,
+        help="read a running server's /v1/slowlog instead of this process",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_slowlog)
+
+    p = sub.add_parser(
+        "top", help="live latency/counter board for a running server"
+    )
+    p.add_argument("--url", required=True, help="server base url")
+    p.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period, seconds"
+    )
+    p.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes (0: run until interrupted)",
+    )
+    p.add_argument(
+        "--no-clear", action="store_true",
+        help="append refreshes instead of clearing the screen",
+    )
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("query", help="run a DQL statement")
     p.add_argument("dql")
@@ -766,6 +1029,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name")
     p.add_argument("dest")
     p.set_defaults(func=cmd_pull)
+
+    p = sub.add_parser(
+        "hub-serve", help="serve a hub directory over HTTP (search + pull)"
+    )
+    p.add_argument("--hub", required=True, help="hub directory")
+    p.add_argument("--host", default=None, help="bind address")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="bind port (default 0: OS-assigned, reported on stdout)",
+    )
+    p.set_defaults(func=cmd_hub_serve)
 
     return parser
 

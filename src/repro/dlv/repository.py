@@ -59,7 +59,9 @@ from repro.dlv.journal import Journal
 from repro.dnn.network import Network
 from repro.dnn.training import TrainResult
 from repro.faults import fs as ffs
+from repro.obs.cost import cost_context, get_slowlog
 from repro.obs.metrics import counter
+from repro.obs.tracing import trace_span
 
 VersionLike = Union[int, str, ModelVersion]
 
@@ -629,10 +631,23 @@ class Repository:
         self, ref: VersionLike, x: np.ndarray, y: Optional[np.ndarray] = None,
         snapshot_idx: int = -1,
     ) -> dict:
-        """``dlv eval``: run the test phase of a managed model on data."""
-        net = self.load_network(ref, snapshot_idx)
-        predictions = net.predict(x)
-        result = {"predictions": predictions}
+        """``dlv eval``: run the test phase of a managed model on data.
+
+        The result carries the evaluation's storage bill under ``cost``
+        (bytes/planes read recreating the snapshot, cache traffic).
+        """
+        with trace_span("dlv.evaluate", rows=len(x)) as span:
+            with cost_context() as cost:
+                net = self.load_network(ref, snapshot_idx)
+                predictions = net.predict(x)
+        result = {"predictions": predictions, "cost": cost.to_dict()}
+        span.set_attr("cost", result["cost"])
+        get_slowlog().record(
+            "dlv.evaluate",
+            span.elapsed * 1000.0,
+            trace_id=span.trace_id,
+            cost=result["cost"],
+        )
         if y is not None:
             result["accuracy"] = float((predictions == np.asarray(y)).mean())
         return result

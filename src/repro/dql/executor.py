@@ -31,6 +31,7 @@ from repro.dql.ast_nodes import (
     SliceQuery,
 )
 from repro.dql.parser import parse
+from repro.obs.cost import cost_context, get_slowlog
 from repro.obs.metrics import counter, histogram
 from repro.obs.tracing import trace_span
 from repro.dql.selector import (
@@ -56,12 +57,16 @@ class QueryResult:
         versions: Matched model versions (select queries).
         networks: Derived candidate networks (slice/construct/evaluate).
         evaluations: Per-candidate training measurements (evaluate queries).
+        cost: Storage/compute bill of executing the statement
+            (:meth:`repro.obs.RequestCost.to_dict` shape); ``None`` for
+            results constructed outside the executor.
     """
 
     kind: str
     versions: list[ModelVersion] = field(default_factory=list)
     networks: list[Network] = field(default_factory=list)
     evaluations: list[dict] = field(default_factory=list)
+    cost: Optional[dict] = None
 
     def to_dict(self) -> dict:
         """JSON-friendly summary (used by ``dlv query``)."""
@@ -88,6 +93,7 @@ class QueryResult:
                 {k: v for k, v in e.items() if k != "network"}
                 for e in self.evaluations
             ],
+            **({"cost": self.cost} if self.cost is not None else {}),
         }
 
 
@@ -153,10 +159,20 @@ class DQLExecutor:
             raise ExecutionError(f"unsupported query {type(ast).__name__}")
         kind = type(ast).__name__.removesuffix("Query").lower()
         with trace_span("dql.execute", kind=kind) as span:
-            result = runner(ast)
+            with cost_context() as cost:
+                result = runner(ast)
+            result.cost = cost.to_dict()
+            span.set_attr("cost", result.cost)
         counter("dql.queries").inc()
         counter(f"dql.queries.{kind}").inc()
         histogram("dql.execute_seconds").observe(span.elapsed)
+        get_slowlog().record(
+            "dql.execute",
+            span.elapsed * 1000.0,
+            trace_id=span.trace_id,
+            cost=result.cost,
+            attrs={"kind": kind},
+        )
         if name is not None:
             self.results[name] = result
         return result

@@ -8,9 +8,23 @@ a :class:`~repro.hub.server.HubServer` owning a hub directory, and a
 searches their metadata, and pulls them back as working local
 repositories.  Because a DLV repository is standalone (catalog + chunk
 store), hosting it whole is exactly the paper's design.
+
+:class:`~repro.hub.httpd.HubHTTPServer` puts a real (stdlib) HTTP
+transport in front of the same directory: ``dlv hub-serve`` exposes
+search and pull over the wire, with ``/metrics`` (JSON or Prometheus
+text) and ``traceparent`` adoption, and :class:`HubClient` speaks to it
+transparently whenever the hub location is an ``http(s)://`` URL.
 """
 
 from repro.hub.client import HubClient
+from repro.hub.httpd import HubHTTPServer, RemoteHub, RemoteHubError
 from repro.hub.server import HubRecord, HubServer
 
-__all__ = ["HubClient", "HubRecord", "HubServer"]
+__all__ = [
+    "HubClient",
+    "HubHTTPServer",
+    "HubRecord",
+    "HubServer",
+    "RemoteHub",
+    "RemoteHubError",
+]

@@ -6,6 +6,16 @@ backoff, deterministic jitter), so transient I/O failures are absorbed.
 the destination, verified against the revision's checksum manifest, and
 only then renamed into place — an interrupted or corrupt pull never
 leaves a half-installed repository behind.
+
+The hub location may be a directory path (the paper's offline stand-in)
+or an ``http://``/``https://`` URL of a running
+:class:`~repro.hub.httpd.HubHTTPServer`; the client picks the transport
+from the location's shape, and every other verb is identical.  Remote
+hubs are read-only: ``publish`` over HTTP raises.
+
+Every ``pull`` runs under a ``hub.pull`` trace span (joining any caller
+trace), bills the bytes it moves to the context's request cost, and
+feeds the ``hub.pull`` rolling latency window that ``/metrics`` exposes.
 """
 
 from __future__ import annotations
@@ -13,35 +23,66 @@ from __future__ import annotations
 import os
 import shutil
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Union
 
 from repro.dlv.repository import Repository
 from repro.faults import fs as ffs
+from repro.hub.httpd import RemoteHub
 from repro.hub.retry import Retrier
 from repro.hub.server import HubRecord, HubServer, verify_tree
-from repro.obs.metrics import counter
+from repro.obs.cost import charge
+from repro.obs.metrics import counter, get_registry
+from repro.obs.tracing import trace_span
+
+
+def _tree_bytes(root: Path) -> int:
+    """Total file bytes under ``root`` (what a local copy moved)."""
+    return sum(p.stat().st_size for p in root.rglob("*") if p.is_file())
 
 
 class HubClient:
-    """Client API over a (directory-backed) hub.
+    """Client API over a directory-backed or HTTP hub.
 
     Args:
-        hub: Hub directory path or an existing :class:`HubServer`.
+        hub: Hub directory path, an existing :class:`HubServer`, or an
+            ``http(s)://`` URL of a :class:`~repro.hub.httpd.HubHTTPServer`.
         retrier: Retry policy for hub I/O (a default one when omitted).
     """
 
     def __init__(
         self,
-        hub: str | Path | HubServer,
+        hub: Union[str, Path, HubServer],
         retrier: Optional[Retrier] = None,
     ) -> None:
-        self.server = hub if isinstance(hub, HubServer) else HubServer(hub)
+        self.remote: Optional[RemoteHub] = None
+        self.server: Optional[HubServer] = None
+        if isinstance(hub, HubServer):
+            self.server = hub
+        elif isinstance(hub, str) and hub.startswith(("http://", "https://")):
+            self.remote = RemoteHub(hub)
+        else:
+            self.server = HubServer(hub)
         self.retrier = retrier if retrier is not None else Retrier()
+
+    @property
+    def is_remote(self) -> bool:
+        return self.remote is not None
 
     def publish(
         self, repo: Repository, name: str, description: str = ""
     ) -> HubRecord:
-        """``dlv publish``: push a whole repository to the hub."""
+        """``dlv publish``: push a whole repository to the hub.
+
+        Raises:
+            NotImplementedError: when the hub is a remote URL — the HTTP
+                surface is read-only by design; publish where the hub
+                directory is mounted.
+        """
+        if self.server is None:
+            raise NotImplementedError(
+                "publishing over HTTP is not supported; the hub's HTTP "
+                "surface is read-only — publish against the hub directory"
+            )
         model_names = sorted({v.name for v in repo.list_versions()})
         return self.retrier.call(
             self.server.publish,
@@ -53,7 +94,15 @@ class HubClient:
 
     def search(self, pattern: str = "*") -> list[HubRecord]:
         """``dlv search``: find published repositories."""
+        if self.remote is not None:
+            return self.retrier.call(self.remote.search, pattern)
         return self.retrier.call(self.server.search, pattern)
+
+    def revisions(self, name: str) -> list[int]:
+        """All stored revisions of a published repository."""
+        if self.remote is not None:
+            return self.retrier.call(self.remote.revisions, name)
+        return self.retrier.call(self.server.revisions, name)
 
     def pull(
         self,
@@ -80,27 +129,42 @@ class HubClient:
         dest.mkdir(parents=True, exist_ok=True)
         tmp = dest / f".dlv.pull.{os.getpid()}.tmp"
 
-        def attempt() -> None:
+        def attempt() -> int:
             if tmp.exists():
                 shutil.rmtree(tmp)
-            source = self.server.get(name, revision)
-            ffs.copytree(source, tmp, site="hub.pull.copytree")
-            manifest = self.server.manifest(name, revision)
+            if self.remote is not None:
+                manifest = self.remote.manifest(name, revision)
+                moved = self.remote.fetch_tree(name, revision, tmp)
+            else:
+                source = self.server.get(name, revision)
+                ffs.copytree(source, tmp, site="hub.pull.copytree")
+                manifest = self.server.manifest(name, revision)
+                moved = _tree_bytes(tmp)
+                # Remote fetches bill per file inside fetch_tree; local
+                # copies bill the whole tree here so both transports
+                # produce a comparable hub.pull cost line.
+                charge(bytes_read=moved)
             if manifest is not None:
                 verify_tree(tmp, manifest)
                 counter("hub.pulls_verified").inc()
+            return moved
 
-        try:
-            self.retrier.call(attempt)
-            ffs.replace(tmp, target, site="hub.pull.replace")
-        except Exception:
-            # Graceful failure: never leave a half-pulled repository.  A
-            # CrashSimulated (BaseException) deliberately skips this — a
-            # dead process leaves litter for fsck/sweep to report.
-            shutil.rmtree(tmp, ignore_errors=True)
-            if created_dest:
-                shutil.rmtree(dest, ignore_errors=True)
-            raise
+        with trace_span(
+            "hub.pull", repo=name, remote=self.is_remote
+        ) as span:
+            try:
+                moved = self.retrier.call(attempt)
+                ffs.replace(tmp, target, site="hub.pull.replace")
+            except Exception:
+                # Graceful failure: never leave a half-pulled repository.
+                # A CrashSimulated (BaseException) deliberately skips this
+                # — a dead process leaves litter for fsck/sweep to report.
+                shutil.rmtree(tmp, ignore_errors=True)
+                if created_dest:
+                    shutil.rmtree(dest, ignore_errors=True)
+                raise
+            span.set_attr("bytes", moved)
+        get_registry().window("hub.pull").observe(span.elapsed)
         return dest
 
     def pull_repository(

@@ -1,0 +1,456 @@
+"""HTTP transport for the hub: :class:`HubHTTPServer` and :class:`RemoteHub`.
+
+The directory-backed :class:`~repro.hub.server.HubServer` stays the
+source of truth; this module puts a stdlib ``ThreadingHTTPServer`` in
+front of it so a :class:`~repro.hub.client.HubClient` on another machine
+(or just another process) can search and pull over the wire.  Endpoints:
+
+=============================================  ==============================
+``GET /healthz``                               Liveness probe.
+``GET /metrics``                               ``repro.obs`` dump (JSON);
+                                               Prometheus text under
+                                               ``Accept: text/plain``.
+``GET /v1/trace``                              Span ring buffer (orphan-
+                                               marked dicts).
+``GET /v1/index?pattern=``                     Search the published index.
+``GET /v1/repos/<name>/revisions``             Stored revisions of a repo.
+``GET /v1/repos/<name>/<rev>/manifest``        Checksum manifest (``latest``
+                                               resolves the newest revision).
+``GET /v1/repos/<name>/<rev>/files``           Relative paths in the tree.
+``GET /v1/repos/<name>/<rev>/files/<rel>``     Raw bytes of one file.
+=============================================  ==============================
+
+Every handler adopts an incoming ``traceparent`` header, so a remote
+pull's server-side ``hub.http.*`` spans join the puller's trace — the
+same propagation contract the serving tier speaks.
+
+:class:`RemoteHub` is the matching client: keep-alive ``http.client``,
+the same ``search``/``revisions``/``manifest`` surface as
+:class:`HubServer`, plus :meth:`RemoteHub.fetch_tree`, which downloads a
+whole published revision file-by-file.  It sends the calling context's
+``traceparent`` on every request and bills downloaded bytes to the
+context's :class:`~repro.obs.cost.RequestCost`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional
+
+from repro.hub.server import HubRecord, HubServer
+from repro.obs.cost import charge
+from repro.obs.export import mark_orphans
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    current_traceparent,
+    parse_traceparent,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_text,
+    wants_text,
+)
+from repro.obs.tracing import get_recorder, trace_span
+
+__all__ = ["HubHTTPServer", "RemoteHub", "RemoteHubError"]
+
+
+class RemoteHubError(RuntimeError):
+    """Non-2xx response from a remote hub."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class _HTTPError(Exception):
+    """Internal: carry an HTTP status + JSON body up to the dispatcher."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error", ""))
+        self.status = status
+        self.payload = payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one HTTP exchange; state lives on ``server.hub_http``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "dlv-hub"
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # requests are observable via /metrics, not stderr noise
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str = "application/octet-stream") -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self) -> None:
+        hub = self.server.hub_http
+        parsed = urllib.parse.urlsplit(self.path)
+        parts = [
+            urllib.parse.unquote(p)
+            for p in parsed.path.split("/")
+            if p != ""
+        ]
+        query = urllib.parse.parse_qs(parsed.query)
+        ctx = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        try:
+            with trace_span(
+                "hub.http",
+                trace_id=ctx.trace_id if ctx else None,
+                remote_parent=ctx.span_id if ctx else None,
+                path=parsed.path,
+            ):
+                self._route(hub, parts, query)
+        except _HTTPError as exc:
+            self._send_json(exc.status, exc.payload)
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except BrokenPipeError:  # pragma: no cover - client went away
+            pass
+        except Exception as exc:  # noqa: BLE001 - surface, don't kill thread
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(self, hub: "HubHTTPServer", parts: list[str],
+               query: dict[str, list[str]]) -> None:
+        if parts == ["healthz"]:
+            self._send_json(200, {"status": "ok", "root": str(hub.server.root)})
+        elif parts == ["metrics"]:
+            if wants_text(self.headers.get("Accept")):
+                self._send_bytes(
+                    200,
+                    render_text(hub.registry).encode(),
+                    PROMETHEUS_CONTENT_TYPE,
+                )
+            else:
+                self._send_json(200, hub.registry.as_dict())
+        elif parts == ["v1", "trace"]:
+            recorder = get_recorder()
+            self._send_json(200, {
+                "total_recorded": recorder.total_recorded,
+                "spans": mark_orphans(
+                    [s.to_dict() for s in recorder.spans()]
+                ),
+            })
+        elif parts == ["v1", "index"]:
+            pattern = query.get("pattern", ["*"])[0]
+            self._send_json(200, {
+                "records": [r.to_dict() for r in hub.server.search(pattern)]
+            })
+        elif len(parts) == 4 and parts[:2] == ["v1", "repos"] \
+                and parts[3] == "revisions":
+            self._send_json(200, {
+                "name": parts[2],
+                "revisions": hub.server.revisions(parts[2]),
+            })
+        elif len(parts) == 5 and parts[:2] == ["v1", "repos"] \
+                and parts[4] == "manifest":
+            name, revision = parts[2], self._revision(parts[3])
+            self._send_json(200, {
+                "name": name,
+                "revision": self._resolve(hub, name, revision),
+                "manifest": hub.server.manifest(name, revision),
+            })
+        elif len(parts) == 5 and parts[:2] == ["v1", "repos"] \
+                and parts[4] == "files":
+            name, revision = parts[2], self._revision(parts[3])
+            tree = hub.server.get(name, revision)
+            files = sorted(
+                p.relative_to(tree).as_posix()
+                for p in tree.rglob("*")
+                if p.is_file()
+            )
+            self._send_json(200, {
+                "name": name,
+                "revision": self._resolve(hub, name, revision),
+                "files": files,
+            })
+        elif len(parts) >= 6 and parts[:2] == ["v1", "repos"] \
+                and parts[4] == "files":
+            name, revision = parts[2], self._revision(parts[3])
+            rel = "/".join(parts[5:])
+            tree = hub.server.get(name, revision).resolve()
+            target = (tree / rel).resolve()
+            # Traversal guard: the resolved path must stay inside the
+            # published tree, whatever ".." or symlink tricks ``rel`` pulls.
+            if tree not in target.parents and target != tree:
+                raise _HTTPError(403, {"error": f"path escapes tree: {rel}"})
+            if not target.is_file():
+                raise _HTTPError(404, {"error": f"no file {rel}"})
+            self._send_bytes(200, target.read_bytes())
+        else:
+            raise _HTTPError(
+                404, {"error": f"no route {self.command} {self.path}"}
+            )
+
+    @staticmethod
+    def _revision(raw: str) -> Optional[int]:
+        """Parse a revision path segment (``latest`` -> newest)."""
+        if raw == "latest":
+            return None
+        try:
+            return int(raw)
+        except ValueError:
+            raise _HTTPError(400, {"error": f"bad revision {raw!r}"}) from None
+
+    @staticmethod
+    def _resolve(hub: "HubHTTPServer", name: str,
+                 revision: Optional[int]) -> int:
+        if revision is not None:
+            return revision
+        revisions = hub.server.revisions(name)
+        if not revisions:
+            raise KeyError(f"hub has no repository {name!r}")
+        return revisions[-1]
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._dispatch()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    disable_nagle_algorithm = True
+    request_queue_size = 128
+    hub_http: "HubHTTPServer"
+
+
+class HubHTTPServer:
+    """Serves one hub directory over HTTP (read-only: search + pull).
+
+    Publishing stays a local, filesystem-level operation — the HTTP
+    surface deliberately exposes only the verbs a *puller* needs, so an
+    exposed hub cannot be written to remotely.
+
+    Args:
+        root: Hub directory or an existing :class:`HubServer`.
+        host / port: Bind address; port 0 lets the OS pick.
+        registry: Metrics registry backing ``/metrics`` (defaults to the
+            process-global one, so ``dlv stats`` agrees).
+    """
+
+    def __init__(
+        self,
+        root: str | Path | HubServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.server = root if isinstance(root, HubServer) else HubServer(root)
+        self.host = host
+        self._port = port
+        self.registry = registry if registry is not None else get_registry()
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "HubHTTPServer":
+        if self._httpd is not None:
+            raise RuntimeError("hub server already started")
+        self._httpd = _Server((self.host, self._port), _Handler)
+        self._httpd.hub_http = self
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="dlv-hub-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "HubHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+class RemoteHub:
+    """Keep-alive HTTP client for a :class:`HubHTTPServer`.
+
+    Mirrors the read side of :class:`HubServer` — ``search``,
+    ``revisions``, ``manifest`` — and adds :meth:`fetch_tree` for
+    materializing a published revision locally.  One instance per
+    thread; the underlying connection is not thread-safe.
+    """
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parsed = urllib.parse.urlsplit(url)
+        if parsed.scheme not in ("http", "https"):
+            raise ValueError(f"not an http(s) hub url: {url!r}")
+        self.url = url.rstrip("/")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        self.scheme = parsed.scheme
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "RemoteHub":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _roundtrip(self, path: str) -> tuple[int, bytes]:
+        if self._conn is None:
+            conn_cls = (
+                http.client.HTTPSConnection
+                if self.scheme == "https"
+                else http.client.HTTPConnection
+            )
+            self._conn = conn_cls(self.host, self.port, timeout=self.timeout)
+            self._conn.connect()
+            if isinstance(self._conn.sock, socket.socket):
+                self._conn.sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+        headers = {}
+        traceparent = current_traceparent()
+        if traceparent:
+            headers[TRACEPARENT_HEADER] = traceparent
+        self._conn.request("GET", path, headers=headers)
+        response = self._conn.getresponse()
+        return response.status, response.read()
+
+    def _get(self, path: str) -> tuple[int, bytes]:
+        try:
+            return self._roundtrip(path)
+        except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            self.close()
+            return self._roundtrip(path)
+
+    def _get_json(self, path: str) -> dict:
+        status, raw = self._get(path)
+        try:
+            data = json.loads(raw or b"{}")
+        except json.JSONDecodeError:
+            data = {"error": raw.decode(errors="replace")}
+        if status >= 400:
+            if status == 404:
+                raise KeyError(data.get("error", f"not found: {path}"))
+            raise RemoteHubError(status, data)
+        return data
+
+    def _get_bytes(self, path: str) -> bytes:
+        status, raw = self._get(path)
+        if status >= 400:
+            try:
+                data = json.loads(raw or b"{}")
+            except json.JSONDecodeError:
+                data = {"error": raw.decode(errors="replace")}
+            if status == 404:
+                raise KeyError(data.get("error", f"not found: {path}"))
+            raise RemoteHubError(status, data)
+        return raw
+
+    # -- hub surface ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._get_json("/healthz")
+
+    def metrics(self) -> dict:
+        return self._get_json("/metrics")
+
+    def search(self, pattern: str = "*") -> list[HubRecord]:
+        quoted = urllib.parse.quote(pattern)
+        payload = self._get_json(f"/v1/index?pattern={quoted}")
+        return [HubRecord.from_dict(d) for d in payload["records"]]
+
+    def revisions(self, name: str) -> list[int]:
+        quoted = urllib.parse.quote(name, safe="")
+        return self._get_json(f"/v1/repos/{quoted}/revisions")["revisions"]
+
+    def manifest(
+        self, name: str, revision: Optional[int] = None
+    ) -> Optional[dict]:
+        quoted = urllib.parse.quote(name, safe="")
+        rev = "latest" if revision is None else str(revision)
+        return self._get_json(
+            f"/v1/repos/{quoted}/{rev}/manifest"
+        )["manifest"]
+
+    def resolve_revision(
+        self, name: str, revision: Optional[int] = None
+    ) -> int:
+        """The concrete revision number ``latest`` currently means."""
+        if revision is not None:
+            return revision
+        quoted = urllib.parse.quote(name, safe="")
+        return self._get_json(f"/v1/repos/{quoted}/latest/files")["revision"]
+
+    def files(self, name: str, revision: Optional[int] = None) -> list[str]:
+        quoted = urllib.parse.quote(name, safe="")
+        rev = "latest" if revision is None else str(revision)
+        return self._get_json(f"/v1/repos/{quoted}/{rev}/files")["files"]
+
+    def fetch_tree(
+        self, name: str, revision: Optional[int], dest: str | Path
+    ) -> int:
+        """Download a published revision into ``dest``; returns bytes read.
+
+        Files land one request at a time over the keep-alive connection;
+        each file's bytes are billed to the calling context's request
+        cost, so a ``hub.pull`` bill reflects real transfer volume.
+        """
+        dest = Path(dest)
+        quoted = urllib.parse.quote(name, safe="")
+        rev = self.resolve_revision(name, revision)
+        total = 0
+        for rel in self.files(name, rev):
+            quoted_rel = "/".join(
+                urllib.parse.quote(seg, safe="") for seg in rel.split("/")
+            )
+            data = self._get_bytes(
+                f"/v1/repos/{quoted}/{rev}/files/{quoted_rel}"
+            )
+            charge(bytes_read=len(data), chunks_fetched=1)
+            target = dest / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(data)
+            total += len(data)
+        return total

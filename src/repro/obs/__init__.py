@@ -1,15 +1,28 @@
 """``repro.obs`` — the unified observability layer.
 
-One subsystem for the three telemetry primitives every other layer uses:
+One subsystem for the telemetry primitives every other layer uses:
 
-* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, and
-  fixed-bucket histograms in a :class:`MetricsRegistry`.  Built-in
-  instrumentation writes to the process-global default registry
-  (:func:`get_registry`); components accept an injected registry when
-  isolated accounting is needed.
+* **metrics** (:mod:`repro.obs.metrics`) — counters, gauges, fixed-bucket
+  histograms, and rolling-window percentile summaries in a
+  :class:`MetricsRegistry`.  Built-in instrumentation writes to the
+  process-global default registry (:func:`get_registry`); components
+  accept an injected registry when isolated accounting is needed.
 * **tracing** (:mod:`repro.obs.tracing`) — :func:`trace_span` produces
   nested wall-time spans with attributes, recorded into a bounded
-  :class:`TraceRecorder` exportable as JSON.
+  :class:`TraceRecorder` exportable as JSON, JSONL, or Chrome
+  trace-event format (:mod:`repro.obs.export`).
+* **propagation** (:mod:`repro.obs.propagation`) — W3C-style
+  ``traceparent`` generation/parsing so traces survive HTTP hops
+  (``ServeClient → ModelServer``, ``HubClient → hub server``) and CLI
+  process boundaries (the :envvar:`TRACEPARENT` environment variable).
+* **cost** (:mod:`repro.obs.cost`) — a context-scoped
+  :class:`RequestCost` accumulator the storage layers charge with
+  bytes-read-per-plane, chunk fetches, cache hits/misses, and queue/
+  compute time, plus the bounded :class:`SlowLog` of threshold-crossing
+  requests.
+* **exposition** (:mod:`repro.obs.prometheus`) — Prometheus text-format
+  rendering of the registry, content-negotiated on server ``/metrics``
+  endpoints.
 * **logging** (:mod:`repro.obs.log`) — a structured-logging bootstrap
   keyed off the ``REPRO_LOG_LEVEL`` environment variable.
 
@@ -25,19 +38,30 @@ registry / recorder):
 ``progressive.*``         per-plane evaluation timing and resolution counts
 ``dql.*``                 parse/execute latency, query counts per verb
 ``training.*``            per-iteration loss, examples, step latency
-``hub.*``                 request counters per operation
+``hub.*``                 request counters per operation; ``hub.pull``
+                          rolling latency window
 ``serve.*``               serving tier: requests/completed/shed/errors,
                           escalations, degraded responses, batch shape
-                          histograms, per-model queue-depth gauges
+                          histograms, per-model queue-depth gauges;
+                          ``serve.predict`` rolling latency window
 ``serve.cache.*``         shared plane-cache hits/misses/evictions plus
                           cached-bytes and entry-count gauges
 ========================  =====================================================
 
 Spans use the same dotted names (``pas.matrix``, ``pas.snapshot``,
 ``archival.solve``, ``progressive.plane``, ``dql.parse``, ``dql.execute``,
-``serve.batch``).
+``serve.predict``, ``serve.batch``, ``hub.pull``).
 """
 
+from repro.obs.cost import (
+    RequestCost,
+    SlowLog,
+    charge,
+    cost_context,
+    current_cost,
+    get_slowlog,
+    set_slowlog,
+)
 from repro.obs.log import configure, get_logger, log_level
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -46,6 +70,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    RollingWindow,
     counter,
     dump_metrics,
     gauge,
@@ -53,6 +78,21 @@ from repro.obs.metrics import (
     histogram,
     reset_metrics,
     set_registry,
+    window,
+)
+from repro.obs.propagation import (
+    TRACEPARENT_ENV,
+    TRACEPARENT_HEADER,
+    TraceContext,
+    current_traceparent,
+    format_traceparent,
+    parse_traceparent,
+    parse_traceparent_env,
+)
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_text,
+    wants_text,
 )
 from repro.obs.tracing import (
     Span,
@@ -70,20 +110,39 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RequestCost",
+    "RollingWindow",
+    "SlowLog",
     "Span",
+    "TRACEPARENT_ENV",
+    "TRACEPARENT_HEADER",
+    "TraceContext",
     "TraceRecorder",
+    "charge",
     "configure",
+    "cost_context",
     "counter",
+    "current_cost",
     "current_span",
+    "current_traceparent",
     "dump_metrics",
+    "format_traceparent",
     "gauge",
     "get_logger",
     "get_recorder",
     "get_registry",
+    "get_slowlog",
     "histogram",
     "log_level",
+    "parse_traceparent",
+    "parse_traceparent_env",
+    "render_text",
     "reset_metrics",
     "set_recorder",
     "set_registry",
+    "set_slowlog",
     "trace_span",
+    "wants_text",
+    "window",
 ]

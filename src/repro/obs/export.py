@@ -1,0 +1,133 @@
+"""Trace export formats: orphan re-rooting, Chrome trace-event, JSONL.
+
+These functions operate on span *dictionaries* (``Span.to_dict`` shape),
+not :class:`~repro.obs.tracing.Span` objects, so the same code serves
+two producers: a live :class:`~repro.obs.tracing.TraceRecorder` and
+``dlv trace export --url``, which fetches already-serialized spans from
+a remote server's ``/v1/trace`` endpoint.
+
+The Chrome output (:func:`to_chrome`) is the trace-event JSON format
+loaded by ``chrome://tracing`` and Perfetto: every trace id becomes a
+"process" row, every recording thread a track within it, and each span a
+complete ("X") slice positioned on the epoch timeline (``wall_start``).
+A distributed request whose hops all share one trace id therefore
+renders as a single connected tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+__all__ = [
+    "connected_roots",
+    "group_by_trace",
+    "mark_orphans",
+    "to_chrome",
+    "to_jsonl",
+]
+
+
+def mark_orphans(span_dicts: list[dict]) -> list[dict]:
+    """Re-root spans whose buffered parent was evicted.
+
+    The recorder's ring buffer drops oldest spans first, which can evict
+    a parent while its children remain.  A child whose ``parent_id``
+    resolves to no buffered span (and that has no ``remote_parent`` — a
+    cross-hop link is *expected* to point outside the buffer) is
+    re-rooted: ``parent_id`` becomes ``None``, the stale id is preserved
+    under ``evicted_parent_id``, and the span is flagged
+    ``truncated: true`` so consumers know the tree is incomplete.
+
+    Returns new dicts; the input is not mutated.
+    """
+    present = {d.get("span_id") for d in span_dicts}
+    out = []
+    for d in span_dicts:
+        parent = d.get("parent_id")
+        if parent is not None and parent not in present:
+            d = dict(d)
+            d["parent_id"] = None
+            d["evicted_parent_id"] = parent
+            d["truncated"] = True
+        out.append(d)
+    return out
+
+
+def group_by_trace(span_dicts: Iterable[dict]) -> dict[str, list[dict]]:
+    """Bucket spans by ``trace_id`` (empty id groups under ``"untraced"``)."""
+    traces: dict[str, list[dict]] = {}
+    for d in span_dicts:
+        traces.setdefault(d.get("trace_id") or "untraced", []).append(d)
+    return traces
+
+
+def to_chrome(span_dicts: list[dict]) -> dict:
+    """Render spans as a Chrome trace-event JSON object.
+
+    One ``pid`` per trace id (with a ``process_name`` metadata event
+    naming it after the trace id prefix), one ``tid`` per recording
+    thread, and one ``"X"`` complete event per span.  Timestamps and
+    durations are microseconds on the ``wall_start`` epoch timeline, so
+    concurrent hops of the same request line up horizontally.
+    """
+    spans = mark_orphans(span_dicts)
+    events: list[dict] = []
+    pid_of: dict[str, int] = {}
+    for trace_id, members in group_by_trace(spans).items():
+        pid = pid_of.setdefault(trace_id, len(pid_of) + 1)
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"trace {trace_id[:8]}"},
+            }
+        )
+        for d in members:
+            args = {
+                "span_id": d.get("span_id"),
+                "trace_id": trace_id,
+                **({"parent_id": d["parent_id"]} if d.get("parent_id") is not None else {}),
+                **({"remote_parent": d["remote_parent"]} if d.get("remote_parent") else {}),
+                **({"error": d["error"]} if d.get("error") else {}),
+                **({"truncated": True} if d.get("truncated") else {}),
+                **{k: v for k, v in (d.get("attrs") or {}).items()},
+            }
+            events.append(
+                {
+                    "ph": "X",
+                    "name": d.get("name", "?"),
+                    "cat": "repro",
+                    "pid": pid,
+                    "tid": d.get("tid") or 0,
+                    "ts": (d.get("wall_start") or 0.0) * 1e6,
+                    "dur": (d.get("elapsed") or 0.0) * 1e6,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_jsonl(span_dicts: list[dict]) -> str:
+    """One orphan-marked span dict per line (streaming-friendly)."""
+    lines = [
+        json.dumps(d, default=str, sort_keys=True)
+        for d in mark_orphans(span_dicts)
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def connected_roots(span_dicts: list[dict]) -> list[dict]:
+    """The root spans (no parent, no remote parent) of a span set.
+
+    Helper for assertions of the form "this request produced exactly one
+    connected tree": a multi-hop trace whose hops were stitched by
+    ``remote_parent`` links has exactly one such root.
+    """
+    return [
+        d
+        for d in mark_orphans(span_dicts)
+        if d.get("parent_id") is None and not d.get("remote_parent")
+    ]

@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 import threading
 from bisect import bisect_left
+from collections import deque
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -38,6 +39,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "RollingWindow",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_SIZE_BUCKETS",
@@ -46,6 +48,7 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "window",
     "dump_metrics",
     "reset_metrics",
 ]
@@ -187,19 +190,26 @@ class Histogram:
         return pairs
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (returns an upper bound)."""
+        """Bucket-resolution quantile estimate.
+
+        Returns the upper bound of the bucket holding the requested rank,
+        clamped to the max observed value — so a histogram never reports
+        a quantile larger than anything it actually saw (and never
+        ``inf``, even when observations overflow the last bucket).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         with self._lock:
             if not self._count:
                 return 0.0
+            observed_max = self._max if self._max is not None else 0.0
             rank = q * self._count
             running = 0
             for bound, count in zip(self.bounds, self._counts):
                 running += count
                 if running >= rank:
-                    return bound
-            return self._max if self._max is not None else float("inf")
+                    return min(bound, observed_max)
+            return observed_max
 
     def to_dict(self) -> dict:
         with self._lock:
@@ -228,6 +238,87 @@ class Histogram:
         return f"Histogram({self.name}, n={self._count}, mean={self.mean:.3g})"
 
 
+class RollingWindow:
+    """Exact percentiles over the last N observations.
+
+    Histograms answer "what does latency look like since boot" at bucket
+    resolution; SLO monitoring needs "what does latency look like *right
+    now*" at full resolution.  A bounded deque of the most recent
+    observations gives exact p50/p95/p99 over a sliding window at O(N)
+    memory, recomputed (sorted) only when read — observation stays O(1).
+    """
+
+    __slots__ = ("name", "window", "_values", "_total", "_lock")
+
+    def __init__(self, name: str, window: int = 512) -> None:
+        if window <= 0:
+            raise ValueError(f"window {name} size must be positive, got {window}")
+        self.name = name
+        self.window = window
+        self._values: deque[float] = deque(maxlen=window)
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._values.append(value)
+            self._total += 1
+
+    @property
+    def count(self) -> int:
+        """Observations currently in the window (<= ``window``)."""
+        return len(self._values)
+
+    @property
+    def total(self) -> int:
+        """Observations ever made, including those slid out."""
+        return self._total
+
+    def percentile(self, p: float) -> float:
+        """Exact nearest-rank percentile over the window; 0.0 when empty."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return 0.0
+        rank = max(0, min(len(values) - 1, int(round(p / 100.0 * len(values))) - 1))
+        if p == 0.0:
+            rank = 0
+        return values[rank]
+
+    def snapshot(self) -> dict:
+        """p50/p95/p99 plus count/mean over the current window."""
+        with self._lock:
+            values = sorted(self._values)
+            total = self._total
+        if not values:
+            return {"count": 0, "total": total, "mean": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+        def rank_of(p: float) -> float:
+            idx = max(0, min(len(values) - 1,
+                             int(round(p / 100.0 * len(values))) - 1))
+            return values[idx]
+
+        return {
+            "count": len(values),
+            "total": total,
+            "mean": sum(values) / len(values),
+            "p50": rank_of(50.0),
+            "p95": rank_of(95.0),
+            "p99": rank_of(99.0),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+            self._total = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RollingWindow({self.name}, n={len(self._values)}/{self.window})"
+
+
 class MetricsRegistry:
     """A namespace of metrics, created on first use.
 
@@ -237,7 +328,7 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram | RollingWindow] = {}
         self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind, factory):
@@ -266,6 +357,11 @@ class MetricsRegistry:
             name, Histogram, lambda: Histogram(name, buckets)
         )
 
+    def window(self, name: str, window: int = 512) -> RollingWindow:
+        return self._get_or_create(
+            name, RollingWindow, lambda: RollingWindow(name, window)
+        )
+
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._metrics)
@@ -279,13 +375,17 @@ class MetricsRegistry:
         """JSON-serializable snapshot of every registered metric."""
         with self._lock:
             metrics = dict(self._metrics)
-        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, dict] = {
+            "counters": {}, "gauges": {}, "histograms": {}, "windows": {},
+        }
         for name in sorted(metrics):
             metric = metrics[name]
             if isinstance(metric, Counter):
                 out["counters"][name] = metric.value
             elif isinstance(metric, Gauge):
                 out["gauges"][name] = metric.value
+            elif isinstance(metric, RollingWindow):
+                out["windows"][name] = metric.snapshot()
             else:
                 out["histograms"][name] = metric.to_dict()
         return out
@@ -334,6 +434,11 @@ def histogram(name: str, buckets: Optional[Iterable[float]] = None) -> Histogram
     return _default_registry.histogram(
         name, tuple(buckets) if buckets is not None else None
     )
+
+
+def window(name: str, window: int = 512) -> RollingWindow:
+    """``get_registry().window(name)`` shorthand."""
+    return _default_registry.window(name, window)
 
 
 def dump_metrics(

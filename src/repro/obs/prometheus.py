@@ -1,0 +1,199 @@
+"""Prometheus text exposition for a :class:`MetricsRegistry`.
+
+The serve and hub servers' ``/metrics`` endpoints default to the JSON
+snapshot (``MetricsRegistry.as_dict``) for humans and tests, and render
+this module's text format (version 0.0.4 — what every Prometheus-family
+scraper speaks) when the client asks for it via ``Accept: text/plain``.
+
+Mapping of our primitives onto Prometheus types:
+
+* :class:`~repro.obs.metrics.Counter` → ``counter`` named ``<name>_total``.
+* :class:`~repro.obs.metrics.Gauge` → ``gauge``.
+* :class:`~repro.obs.metrics.Histogram` → ``histogram`` with cumulative
+  ``_bucket{le=...}`` series (including ``+Inf``), ``_sum`` and ``_count``.
+* :class:`~repro.obs.metrics.RollingWindow` → ``summary`` with
+  ``{quantile="0.5|0.95|0.99"}`` series over the sliding window.
+
+Dotted metric names become underscore names (``serve.predict.latency`` →
+``serve_predict_latency``); any character outside ``[a-zA-Z0-9_:]`` is
+replaced by ``_``.
+
+:func:`parse_text` is the matching miniature parser — enough grammar to
+validate our own output in golden tests and the CI scrape step without
+installing a Prometheus client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RollingWindow,
+    get_registry,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "parse_text",
+    "render_text",
+    "sanitize_name",
+    "wants_text",
+]
+
+#: Content type of the text exposition format (version 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    cleaned = _NAME_OK_RE.sub("_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] in "_:"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (Prometheus spells infinity ``+Inf``)."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    reg = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for name in reg.names():
+        metric = reg.get(name)
+        if metric is None:  # racing reset/unregister; skip
+            continue
+        prom = sanitize_name(name)
+        if isinstance(metric, Counter):
+            if not prom.endswith("_total"):
+                prom += "_total"
+            lines.append(f"# HELP {prom} Counter {name}")
+            lines.append(f"# TYPE {prom} counter")
+            lines.append(f"{prom} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# HELP {prom} Gauge {name}")
+            lines.append(f"# TYPE {prom} gauge")
+            lines.append(f"{prom} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# HELP {prom} Histogram {name}")
+            lines.append(f"# TYPE {prom} histogram")
+            cumulative = 0
+            for bound, count in metric.bucket_counts():
+                cumulative += count
+                lines.append(
+                    f'{prom}_bucket{{le="{_fmt(float(bound))}"}} {cumulative}'
+                )
+            lines.append(f"{prom}_sum {_fmt(float(metric.sum))}")
+            lines.append(f"{prom}_count {metric.count}")
+        elif isinstance(metric, RollingWindow):
+            snap = metric.snapshot()
+            lines.append(f"# HELP {prom} Rolling-window summary {name}")
+            lines.append(f"# TYPE {prom} summary")
+            for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+                lines.append(f'{prom}{{quantile="{q}"}} {_fmt(float(snap[key]))}')
+            lines.append(f"{prom}_sum {_fmt(snap['mean'] * snap['count'])}")
+            lines.append(f"{prom}_count {snap['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def wants_text(accept: Optional[str]) -> bool:
+    """Whether an ``Accept`` header asks for the text exposition format.
+
+    ``text/plain`` (with or without parameters) and the OpenMetrics type
+    select text; anything else — absent header, ``*/*``, JSON — keeps the
+    default JSON snapshot, so existing clients are unaffected.
+    """
+    if not accept:
+        return False
+    for part in accept.split(","):
+        media = part.split(";", 1)[0].strip().lower()
+        if media in ("text/plain", "application/openmetrics-text"):
+            return True
+    return False
+
+
+def parse_text(text: str) -> dict:
+    """Parse Prometheus text exposition into ``{"types":…, "samples":…}``.
+
+    A miniature validating parser: every non-comment line must match the
+    ``name{labels} value [timestamp]`` sample grammar, ``# TYPE`` lines
+    must name a known type, and samples must be numeric.  Raises
+    :class:`ValueError` on the first violation — which is exactly what
+    the golden tests and the CI scrape step want.
+
+    Returns:
+        ``types``: metric name → declared type.
+        ``samples``: list of ``(name, labels-dict, float value)``.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    raise ValueError(f"line {lineno}: malformed TYPE: {raw!r}")
+                mtype = parts[3].split()[0]
+                if mtype not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(
+                        f"line {lineno}: unknown metric type {mtype!r}"
+                    )
+                types[parts[2]] = mtype
+            # HELP and free comments pass through unvalidated.
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: unparseable sample: {raw!r}")
+        labels: dict[str, str] = {}
+        label_blob = match.group("labels")
+        if label_blob:
+            consumed = 0
+            for lab in _LABEL_RE.finditer(label_blob):
+                labels[lab.group(1)] = lab.group(2)
+                consumed = lab.end()
+            rest = label_blob[consumed:].strip().strip(",")
+            if rest:
+                raise ValueError(f"line {lineno}: bad labels: {label_blob!r}")
+        value_text = match.group("value")
+        try:
+            if value_text in ("+Inf", "Inf"):
+                value = math.inf
+            elif value_text == "-Inf":
+                value = -math.inf
+            elif value_text == "NaN":
+                value = math.nan
+            else:
+                value = float(value_text)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {value_text!r}"
+            ) from None
+        samples.append((match.group("name"), labels, value))
+    return {"types": types, "samples": samples}

@@ -1,0 +1,124 @@
+"""W3C-style distributed trace propagation.
+
+A request that crosses a process boundary — ``ServeClient`` to
+``ModelServer``, ``HubClient`` to a hub HTTP server — carries its trace
+identity in a ``traceparent`` header (the W3C Trace Context wire format:
+``"00-<32 hex trace id>-<16 hex parent span id>-<2 hex flags>"``).  The
+receiving handler adopts it with ``trace_span(..., trace_id=...,
+remote_parent=...)``, so spans on both sides of every hop share one
+trace id and exports can stitch a whole request back into a single tree.
+
+The :envvar:`TRACEPARENT` environment variable (the de-facto standard
+for CLI processes) is honoured too: ``dlv serve`` adopts it at boot, so
+a driver script that sets it sees the hub-pull spans of the boot join
+its own trace.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import secrets
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "TraceContext",
+    "TRACEPARENT_HEADER",
+    "TRACEPARENT_ENV",
+    "current_traceparent",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "parse_traceparent_env",
+    "span_hex",
+]
+
+#: Canonical header name (HTTP headers are case-insensitive).
+TRACEPARENT_HEADER = "traceparent"
+
+#: Environment variable consulted by CLI entry points.
+TRACEPARENT_ENV = "TRACEPARENT"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<span_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop's worth of trace identity.
+
+    Attributes:
+        trace_id: 32-hex id shared by every span of the request.
+        span_id: 16-hex id of the *sending* side's span — the remote
+            parent of whatever span the receiver opens.
+        flags: W3C trace flags (``01`` = sampled; we always sample).
+    """
+
+    trace_id: str
+    span_id: str
+    flags: str = "01"
+
+
+def new_trace_id() -> str:
+    """A fresh random 32-hex (128-bit) trace id."""
+    return secrets.token_hex(16)
+
+
+def new_span_id() -> str:
+    """A fresh random 16-hex (64-bit) span id."""
+    return secrets.token_hex(8)
+
+
+def span_hex(span) -> str:
+    """The 16-hex wire form of a local span's integer id."""
+    return format(span.span_id & ((1 << 64) - 1), "016x")
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Render a context as a ``traceparent`` header value."""
+    return f"00-{ctx.trace_id}-{ctx.span_id}-{ctx.flags}"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse a ``traceparent`` header; ``None`` on absent or malformed.
+
+    A malformed header is deliberately *not* an error: tracing must
+    never fail a request, so garbage simply starts a fresh trace.
+    """
+    if not header:
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    trace_id = match.group("trace_id")
+    span_id = match.group("span_id")
+    # All-zero ids are invalid per the W3C spec.
+    if set(trace_id) == {"0"} or set(span_id) == {"0"}:
+        return None
+    return TraceContext(trace_id, span_id, match.group("flags"))
+
+
+def parse_traceparent_env(environ: Optional[dict] = None) -> Optional[TraceContext]:
+    """The :envvar:`TRACEPARENT` context of this process, if any."""
+    env = environ if environ is not None else os.environ
+    return parse_traceparent(env.get(TRACEPARENT_ENV))
+
+
+def current_traceparent() -> Optional[str]:
+    """``traceparent`` value for the calling context's innermost span.
+
+    ``None`` when no span is open — callers should then either open one
+    or send no header (starting a fresh trace on the far side).
+    """
+    from repro.obs.tracing import current_span
+
+    span = current_span()
+    if span is None:
+        return None
+    return format_traceparent(TraceContext(span.trace_id, span_hex(span)))

@@ -10,7 +10,15 @@ server costs constant memory.
 Span timing uses ``time.perf_counter``; a span's ``elapsed`` is available
 to the instrumented code itself (several public APIs — snapshot
 recreation, DQL execution — report their own wall time, and they read it
-off the span rather than keeping a second clock).
+off the span rather than keeping a second clock).  ``wall_start``
+additionally records epoch time at open, which the Chrome trace-event
+export (:mod:`repro.obs.export`) uses as its timeline.
+
+Every span belongs to a *trace*: roots mint a random 128-bit trace id
+(or adopt one passed explicitly — see :mod:`repro.obs.propagation`),
+children inherit their parent's.  ``remote_parent`` links a local root
+to the 16-hex span id of its parent on the other side of a process or
+thread boundary, so cross-hop exports reassemble one connected tree.
 """
 
 from __future__ import annotations
@@ -58,6 +66,12 @@ class Span:
         start: ``perf_counter`` timestamp when the span opened.
         elapsed: Wall seconds; ``None`` while the span is still open.
         error: Exception repr when the spanned block raised.
+        trace_id: 32-hex id shared by every span of one request
+            (inherited from the parent; minted fresh for roots).
+        remote_parent: 16-hex id of the parent span across a process or
+            thread hop (``None`` for purely local spans).
+        wall_start: Epoch seconds at open (export timeline).
+        tid: Thread id the span was opened on.
     """
 
     name: str
@@ -68,10 +82,19 @@ class Span:
     start: float = 0.0
     elapsed: Optional[float] = None
     error: Optional[str] = None
+    trace_id: str = ""
+    remote_parent: Optional[str] = None
+    wall_start: float = 0.0
+    tid: int = 0
 
     def set_attr(self, key: str, value) -> None:
         """Attach an attribute discovered mid-span (e.g. bytes read)."""
         self.attrs[key] = value
+
+    @property
+    def hex_id(self) -> str:
+        """16-hex wire form of ``span_id`` (what ``traceparent`` carries)."""
+        return format(self.span_id & ((1 << 64) - 1), "016x")
 
     def to_dict(self) -> dict:
         return {
@@ -82,6 +105,14 @@ class Span:
             "start": self.start,
             "elapsed": self.elapsed,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "wall_start": self.wall_start,
+            "tid": self.tid,
+            **(
+                {"remote_parent": self.remote_parent}
+                if self.remote_parent
+                else {}
+            ),
             **({"error": self.error} if self.error else {}),
         }
 
@@ -124,12 +155,41 @@ class TraceRecorder:
             self._recorded = 0
 
     def to_json(self, indent: Optional[int] = None) -> str:
-        """Export the buffered spans as a JSON array (completion order)."""
+        """Export the buffered spans as a JSON array (completion order).
+
+        Spans whose parent was evicted from the ring buffer are re-rooted
+        (``parent_id`` nulled, the stale id preserved under
+        ``evicted_parent_id``) and flagged ``truncated: true`` instead of
+        dangling — consumers never see a parent id that resolves nowhere.
+        """
+        from repro.obs.export import mark_orphans
+
         return json.dumps(
-            [span.to_dict() for span in self.spans()],
+            mark_orphans([span.to_dict() for span in self.spans()]),
             indent=indent,
             default=str,
         )
+
+    def to_chrome_json(self, indent: Optional[int] = None) -> str:
+        """Export the buffered spans as Chrome trace-event JSON.
+
+        The result loads directly in ``chrome://tracing`` / Perfetto:
+        each trace id becomes a process row, each thread a track, and
+        spans render as nested slices.
+        """
+        from repro.obs.export import to_chrome
+
+        return json.dumps(
+            to_chrome([span.to_dict() for span in self.spans()]),
+            indent=indent,
+            default=str,
+        )
+
+    def to_jsonl(self) -> str:
+        """Export the buffered spans as one JSON object per line."""
+        from repro.obs.export import to_jsonl
+
+        return to_jsonl([span.to_dict() for span in self.spans()])
 
 
 _default_recorder = TraceRecorder()
@@ -157,6 +217,8 @@ def current_span() -> Optional[Span]:
 def trace_span(
     name: str,
     recorder: Optional[TraceRecorder] = None,
+    trace_id: Optional[str] = None,
+    remote_parent: Optional[str] = None,
     **attrs,
 ) -> Iterator[Span]:
     """Time a block as a span nested under the caller's current span.
@@ -168,17 +230,33 @@ def trace_span(
     Args:
         name: Dotted operation name.
         recorder: Destination buffer; defaults to the global recorder.
+        trace_id: Adopt this 32-hex trace id instead of minting one.
+            Ignored when a local parent span is open (children always
+            share their parent's trace).
+        remote_parent: 16-hex id of the span's parent on the other side
+            of a process/thread hop (see :mod:`repro.obs.propagation`).
+            Recorded only when there is no local parent.
         **attrs: Initial span attributes.
     """
+    from repro.obs.propagation import new_trace_id
+
     parent = _current_span.get()
+    if parent is not None:
+        span_trace = parent.trace_id or new_trace_id()
+    else:
+        span_trace = trace_id or new_trace_id()
     span = Span(
         name=name,
         attrs=attrs,
         span_id=next(_span_ids),
         parent_id=parent.span_id if parent is not None else None,
         depth=parent.depth + 1 if parent is not None else 0,
+        trace_id=span_trace,
+        remote_parent=remote_parent if parent is None else None,
+        tid=threading.get_ident(),
     )
     token = _current_span.set(span)
+    span.wall_start = time.time()
     span.start = time.perf_counter()
     try:
         yield span

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Hashable, Optional
 
+from repro.obs.cost import charge
 from repro.obs.metrics import MetricsRegistry, get_registry
 
 __all__ = ["PlaneCache"]
@@ -140,6 +141,7 @@ class PlaneCache:
                 if entry is not None:
                     self._entries.move_to_end(key)
                     self._hits.inc()
+                    charge(cache_hits=1)
                     return entry.value
                 if key not in self._loading:
                     self._loading.add(key)
@@ -155,6 +157,7 @@ class PlaneCache:
         with self._cond:
             self._loading.discard(key)
             self._misses.inc()
+            charge(cache_misses=1)
             self._admit(key, value, int(nbytes))
             self._cond.notify_all()
         return value

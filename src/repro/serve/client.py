@@ -3,6 +3,10 @@
 ``http.client`` only — the examples, benchmarks, and CI smoke test all
 talk to the server through this, so the whole serving round-trip is
 exercised without any third-party HTTP dependency.
+
+Every ``predict`` opens a ``serve.client.predict`` span and sends its
+identity in a ``traceparent`` header, so the server-side spans join the
+client's trace — one trace id covers the whole distributed request.
 """
 
 from __future__ import annotations
@@ -13,6 +17,13 @@ import socket
 from typing import Optional
 
 import numpy as np
+
+from repro.obs.propagation import (
+    TRACEPARENT_HEADER,
+    TraceContext,
+    format_traceparent,
+)
+from repro.obs.tracing import trace_span
 
 __all__ = ["Prediction", "ServeClient", "ServeError", "ServerOverloaded"]
 
@@ -44,6 +55,8 @@ class Prediction:
         self.degraded: bool = bool(payload["degraded"])
         self.escalations: int = int(payload["escalations"])
         self.latency_ms: float = float(payload["latency_ms"])
+        self.cost: Optional[dict] = payload.get("cost")
+        self.trace_id: str = payload.get("trace_id", "")
         self.raw = payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -90,7 +103,11 @@ class ServeClient:
         self.close()
 
     def _roundtrip(
-        self, method: str, path: str, payload: Optional[bytes]
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        extra_headers: Optional[dict] = None,
     ) -> tuple[int, bytes]:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
@@ -103,21 +120,27 @@ class ServeClient:
                 socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
             )
         headers = {"Content-Type": "application/json"} if payload else {}
+        if extra_headers:
+            headers.update(extra_headers)
         self._conn.request(method, path, body=payload, headers=headers)
         response = self._conn.getresponse()
         return response.status, response.read()
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> dict:
         payload = json.dumps(body).encode() if body is not None else None
         try:
-            status, raw = self._roundtrip(method, path, payload)
+            status, raw = self._roundtrip(method, path, payload, headers)
         except (http.client.HTTPException, ConnectionError, BrokenPipeError):
             # Stale keep-alive connection (server closed it between
             # calls): reconnect once and retry.
             self.close()
-            status, raw = self._roundtrip(method, path, payload)
+            status, raw = self._roundtrip(method, path, payload, headers)
         try:
             data = json.loads(raw or b"{}")
         except json.JSONDecodeError:
@@ -138,6 +161,13 @@ class ServeClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def slowlog(self) -> dict:
+        return self._request("GET", "/v1/slowlog")
+
+    def trace(self) -> dict:
+        """The server's span ring buffer (orphan-marked span dicts)."""
+        return self._request("GET", "/v1/trace")
 
     def predict(
         self,
@@ -163,4 +193,14 @@ class ServeClient:
             body["start_planes"] = int(start_planes)
         if exact:
             body["exact"] = True
-        return Prediction(self._request("POST", "/v1/predict", body))
+        with trace_span("serve.client.predict", model=model) as span:
+            headers = {
+                TRACEPARENT_HEADER: format_traceparent(
+                    TraceContext(span.trace_id, span.hex_id)
+                )
+            }
+            prediction = Prediction(
+                self._request("POST", "/v1/predict", body, headers=headers)
+            )
+            span.set_attr("server_trace_id", prediction.trace_id)
+        return prediction

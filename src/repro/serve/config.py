@@ -7,11 +7,16 @@ value (and the ``dlv serve`` flags map onto it one-to-one).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 from repro.core.segmentation import NUM_PLANES
 
 __all__ = ["ServeConfig"]
+
+
+def _default_slowlog_ms() -> float:
+    return float(os.environ.get("REPRO_SLOWLOG_MS", "250"))
 
 
 @dataclass(frozen=True)
@@ -33,6 +38,10 @@ class ServeConfig:
             before answering 504.
         drain_timeout_s: Grace period a shutdown waits for in-flight
             requests before giving up on a clean drain.
+        slowlog_ms: Wall-time threshold above which a predict request is
+            recorded in the slow-request log (``dlv slowlog`` /
+            ``/v1/slowlog``).  Defaults to the ``REPRO_SLOWLOG_MS``
+            environment variable, falling back to 250 ms.
     """
 
     host: str = "127.0.0.1"
@@ -44,6 +53,7 @@ class ServeConfig:
     start_planes: int = 1
     request_timeout_s: float = 30.0
     drain_timeout_s: float = 10.0
+    slowlog_ms: float = field(default_factory=_default_slowlog_ms)
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -62,6 +72,10 @@ class ServeConfig:
             raise ValueError(
                 f"start_planes must be in [1, {NUM_PLANES}], "
                 f"got {self.start_planes}"
+            )
+        if self.slowlog_ms < 0:
+            raise ValueError(
+                f"slowlog_ms must be >= 0, got {self.slowlog_ms}"
             )
 
     def with_overrides(self, **kwargs) -> "ServeConfig":

@@ -31,6 +31,7 @@ from repro.core.retrieval import PlanArchive
 from repro.core.segmentation import NUM_PLANES
 from repro.core.storage_graph import ROOT
 from repro.dnn.network import Network
+from repro.obs.cost import RequestCost, cost_context
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import trace_span
 
@@ -71,6 +72,9 @@ class PredictOutcome:
         escalations: How many times the request's remainder was re-queued
             at a deeper budget.
         seconds: Queue-to-completion wall time.
+        cost: The request's bill (:meth:`repro.obs.RequestCost.to_dict`
+            shape): bytes/planes read, cache traffic, queue-wait vs.
+            compute time, batch amortization.
     """
 
     predictions: np.ndarray
@@ -78,6 +82,7 @@ class PredictOutcome:
     degraded: bool
     escalations: int
     seconds: float
+    cost: dict = field(default_factory=dict)
 
 
 class _Request:
@@ -86,9 +91,15 @@ class _Request:
     __slots__ = (
         "x", "predictions", "resolved", "pending", "planes", "degraded",
         "escalations", "event", "error", "enqueued_at", "finished_at",
+        "trace_id", "parent_hex", "cost", "queued_since",
     )
 
-    def __init__(self, x: np.ndarray, planes: int) -> None:
+    def __init__(
+        self,
+        x: np.ndarray,
+        planes: int,
+        trace: Optional[tuple[str, str]] = None,
+    ) -> None:
         n = len(x)
         self.x = x
         self.predictions = np.full(n, -1, dtype=np.int64)
@@ -101,6 +112,13 @@ class _Request:
         self.error: Optional[BaseException] = None
         self.enqueued_at = time.monotonic()
         self.finished_at = 0.0
+        # Trace identity of the submitting side (the worker thread has no
+        # inherited context, so the hop is carried explicitly).
+        self.trace_id = trace[0] if trace else ""
+        self.parent_hex = trace[1] if trace else None
+        self.cost = RequestCost()
+        # Reset on every (re-)queue so queue-wait sums across escalations.
+        self.queued_since = self.enqueued_at
 
 
 class PredictTicket:
@@ -129,6 +147,7 @@ class PredictTicket:
             degraded=request.degraded,
             escalations=request.escalations,
             seconds=request.finished_at - request.enqueued_at,
+            cost=request.cost.to_dict(),
         )
 
 
@@ -353,18 +372,34 @@ class _ModelWorker(threading.Thread):
         rows = sum(len(batch) for batch in batches)
         self._batch_rows.observe(rows)
         self._batch_requests.observe(len(bucket))
+        now = time.monotonic()
+        for request in bucket:
+            request.cost.add(queue_wait_s=now - request.queued_since)
+        # The worker thread inherits no context from the HTTP handlers:
+        # adopt the first request's trace identity explicitly so the
+        # batch span joins its distributed trace (coalesced requests from
+        # other traces are noted as an attribute).
+        lead = next((r for r in bucket if r.trace_id), None)
         try:
             with trace_span(
                 "serve.batch",
+                trace_id=lead.trace_id if lead else None,
+                remote_parent=lead.parent_hex if lead else None,
                 model=runtime.name,
                 planes=planes,
                 requests=len(bucket),
                 rows=rows,
             ) as span:
-                if planes >= NUM_PLANES:
-                    self._process_exact(bucket, batches)
-                else:
-                    self._process_bounded(bucket, batches, planes)
+                coalesced = {r.trace_id for r in bucket if r.trace_id}
+                if len(coalesced) > 1:
+                    span.set_attr("coalesced_traces", len(coalesced))
+                with cost_context() as batch_cost:
+                    if planes >= NUM_PLANES:
+                        self._process_exact(bucket, batches, batch_cost)
+                    else:
+                        self._process_bounded(
+                            bucket, batches, planes, batch_cost
+                        )
             self._batch_seconds.observe(span.elapsed)
         except Exception as exc:  # noqa: BLE001 - fail the bucket, keep serving
             self._errors.inc(len(bucket))
@@ -375,7 +410,10 @@ class _ModelWorker(threading.Thread):
                 self._outstanding -= len(bucket)
 
     def _process_exact(
-        self, bucket: list[_Request], batches: list[np.ndarray]
+        self,
+        bucket: list[_Request],
+        batches: list[np.ndarray],
+        batch_cost: RequestCost,
     ) -> None:
         labels, degraded = self.runtime.exact_many(batches)
         for request, request_labels in zip(bucket, labels):
@@ -383,6 +421,9 @@ class _ModelWorker(threading.Thread):
             request.resolved[request.pending] = NUM_PLANES
             request.pending = np.empty(0, dtype=np.int64)
             request.degraded |= degraded
+            # Merge BEFORE event.set() (inside _complete): the waiting
+            # handler thread must observe a fully-billed cost.
+            request.cost.merge(batch_cost, shared=len(bucket))
             self._complete(request)
 
     def _process_bounded(
@@ -390,6 +431,7 @@ class _ModelWorker(threading.Thread):
         bucket: list[_Request],
         batches: list[np.ndarray],
         planes: int,
+        batch_cost: RequestCost,
     ) -> None:
         determined, labels, degraded = self.runtime.bounded(
             np.concatenate(batches, axis=0), planes
@@ -406,6 +448,9 @@ class _ModelWorker(threading.Thread):
             request.resolved[done] = planes
             request.pending = request.pending[~det]
             request.degraded |= degraded
+            # Every participant is billed this batch's work (merge before
+            # event.set() so the waiting handler sees a complete cost).
+            request.cost.merge(batch_cost, shared=len(bucket))
             if request.pending.size == 0:
                 self._complete(request)
             else:
@@ -417,7 +462,9 @@ class _ModelWorker(threading.Thread):
             # Front of the queue: escalated remainders are the oldest
             # work, so they pre-empt fresh arrivals.
             with self._cond:
+                now = time.monotonic()
                 for request in reversed(escalated):
+                    request.queued_since = now
                     self._queue.appendleft(request)
                 self._depth.set(len(self._queue))
                 self._cond.notify()
@@ -512,8 +559,14 @@ class BatchScheduler:
         x: np.ndarray,
         start_planes: Optional[int] = None,
         exact: bool = False,
+        trace: Optional[tuple[str, str]] = None,
     ) -> PredictTicket:
         """Queue a predict request; returns a waitable ticket.
+
+        Args:
+            trace: Optional ``(trace_id, parent_span_hex)`` pair carrying
+                the submitting side's trace identity across the thread
+                hop into the worker (the batch span adopts it).
 
         Raises:
             KeyError: unknown model.
@@ -531,7 +584,7 @@ class BatchScheduler:
                 self.config.start_planes
             )
             planes = max(1, min(int(planes), NUM_PLANES))
-        request = _Request(x, planes)
+        request = _Request(x, planes, trace=trace)
         self._requests.inc()
         if len(x) == 0:
             request.finished_at = request.enqueued_at

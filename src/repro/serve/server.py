@@ -7,14 +7,25 @@ until the batched data path answers.  Endpoints:
 ========================  ====================================================
 ``GET /healthz``          Liveness; 503 once a drain has started.
 ``GET /v1/models``        Served snapshots and their shapes.
-``GET /metrics``          ``repro.obs`` dump + plane-cache and queue stats.
+``GET /metrics``          ``repro.obs`` dump + plane-cache and queue stats
+                          (JSON); Prometheus text exposition under
+                          ``Accept: text/plain``.
+``GET /v1/slowlog``       Requests that crossed the slow threshold.
+``GET /v1/trace``         The span ring buffer (orphan-marked dicts).
 ``POST /v1/predict``      ``{"model", "inputs", "start_planes"?, "exact"?}``
 ========================  ====================================================
 
 Predict responses carry the progressive-serving contract: per-row
 ``resolved_planes`` (which plane budget determined each answer),
 ``escalations``, and ``degraded: true`` whenever a lossy recovery path
-(PR-3 degraded retrieval) supplied any plane along the way.
+(PR-3 degraded retrieval) supplied any plane along the way — plus the
+request's ``cost`` bill and its ``trace_id``.
+
+Requests arriving with a ``traceparent`` header join the sender's trace:
+the handler's ``serve.predict`` span adopts the carried trace id and
+records the remote span as its parent, and the identity is forwarded
+across the thread hop into the batch worker, so one distributed trace
+covers client, handler, and batch spans.
 
 Snapshots whose stored network spec fails :func:`validate_network` are
 refused at startup — a serving tier should not boot on a model that
@@ -35,7 +46,16 @@ from repro import obs
 from repro.analysis.net_check import validate_network
 from repro.dlv.repository import Repository
 from repro.dnn.network import GraphError, Network
+from repro.obs.cost import get_slowlog
+from repro.obs.export import mark_orphans
 from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.propagation import TRACEPARENT_HEADER, parse_traceparent
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_text,
+    wants_text,
+)
+from repro.obs.tracing import get_recorder, trace_span
 from repro.serve.cache import PlaneCache
 from repro.serve.config import ServeConfig
 from repro.serve.scheduler import AdmissionError, BatchScheduler, ModelRuntime
@@ -87,6 +107,14 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(400, {"error": "request body must be an object"})
         return body
 
+    def _send_text(self, status: int, body: str, content_type: str) -> None:
+        data = body.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def _dispatch(self, method: str) -> None:
         serve = self.server.model_server
         try:
@@ -95,9 +123,26 @@ class _Handler(BaseHTTPRequestHandler):
             elif method == "GET" and self.path == "/v1/models":
                 self._send_json(200, serve.handle_models())
             elif method == "GET" and self.path == "/metrics":
-                self._send_json(200, serve.handle_metrics())
+                if wants_text(self.headers.get("Accept")):
+                    self._send_text(
+                        200,
+                        serve.handle_metrics_text(),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(200, serve.handle_metrics())
+            elif method == "GET" and self.path == "/v1/slowlog":
+                self._send_json(200, serve.handle_slowlog())
+            elif method == "GET" and self.path == "/v1/trace":
+                self._send_json(200, serve.handle_trace())
             elif method == "POST" and self.path == "/v1/predict":
-                self._send_json(200, serve.handle_predict(self._read_json()))
+                self._send_json(
+                    200,
+                    serve.handle_predict(
+                        self._read_json(),
+                        traceparent=self.headers.get(TRACEPARENT_HEADER),
+                    ),
+                )
             else:
                 self._send_json(
                     404, {"error": f"no route {method} {self.path}"}
@@ -294,65 +339,112 @@ class ModelServer:
             "draining": self.scheduler.draining,
         }
 
-    def handle_predict(self, body: dict) -> dict:
-        model = body.get("model")
-        if not isinstance(model, str):
-            raise _HTTPError(400, {"error": "'model' must be a string"})
-        if "inputs" not in body:
-            raise _HTTPError(400, {"error": "'inputs' is required"})
-        try:
-            x = np.asarray(body["inputs"], dtype=np.float32)
-        except (TypeError, ValueError) as exc:
-            raise _HTTPError(
-                400, {"error": f"'inputs' is not a numeric array: {exc}"}
-            )
-        start_planes = body.get("start_planes")
-        if start_planes is not None and not isinstance(start_planes, int):
-            raise _HTTPError(400, {"error": "'start_planes' must be an int"})
-        try:
-            runtime = self.scheduler.runtime(model)
-        except KeyError:
-            raise _HTTPError(
-                404,
-                {"error": f"unknown model {model!r}",
-                 "models": self.scheduler.models(),
-                 "rejected": dict(self.rejected)},
-            )
-        if x.ndim == len(runtime.net.input_shape):  # single example
-            x = x[np.newaxis, ...]
-        if tuple(x.shape[1:]) != runtime.net.input_shape:
-            raise _HTTPError(
-                400,
-                {"error": (
-                    f"input shape {list(x.shape[1:])} does not match "
-                    f"model {model!r} input {list(runtime.net.input_shape)}"
-                )},
-            )
-        if self.scheduler.draining or self._stopped:
-            raise _HTTPError(503, {"error": "server is draining"})
-        try:
-            ticket = self.scheduler.submit(
-                model, x,
-                start_planes=start_planes,
-                exact=bool(body.get("exact", False)),
-            )
-        except AdmissionError as exc:
-            raise _HTTPError(
-                429,
-                {"error": str(exc), "queue_depth": exc.depth,
-                 "queue_limit": exc.limit},
-                headers={"Retry-After": "1"},
-            )
-        try:
-            outcome = ticket.wait(self.config.request_timeout_s)
-        except TimeoutError:
-            raise _HTTPError(
-                504, {"error": "prediction timed out in the scheduler"}
-            )
-        except Exception as exc:  # noqa: BLE001 - worker-side failure
-            raise _HTTPError(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
+    def handle_metrics_text(self) -> str:
+        """Prometheus text exposition (``Accept: text/plain``)."""
+        # Queue depths are already registry gauges; only the liveness of
+        # the exposition itself needs adding.
+        return render_text(self.registry)
+
+    def handle_slowlog(self) -> dict:
+        slowlog = get_slowlog()
+        return {
+            "threshold_ms": self.config.slowlog_ms,
+            "capacity": slowlog.capacity,
+            "total_recorded": slowlog.total_recorded,
+            "entries": slowlog.entries(),
+        }
+
+    def handle_trace(self) -> dict:
+        """The span ring buffer as orphan-marked dicts (for exporters)."""
+        recorder = get_recorder()
+        return {
+            "total_recorded": recorder.total_recorded,
+            "spans": mark_orphans([s.to_dict() for s in recorder.spans()]),
+        }
+
+    def handle_predict(
+        self, body: dict, traceparent: Optional[str] = None
+    ) -> dict:
+        ctx = parse_traceparent(traceparent)
+        with trace_span(
+            "serve.predict",
+            trace_id=ctx.trace_id if ctx else None,
+            remote_parent=ctx.span_id if ctx else None,
+        ) as span:
+            model = body.get("model")
+            if not isinstance(model, str):
+                raise _HTTPError(400, {"error": "'model' must be a string"})
+            span.set_attr("model", model)
+            if "inputs" not in body:
+                raise _HTTPError(400, {"error": "'inputs' is required"})
+            try:
+                x = np.asarray(body["inputs"], dtype=np.float32)
+            except (TypeError, ValueError) as exc:
+                raise _HTTPError(
+                    400, {"error": f"'inputs' is not a numeric array: {exc}"}
+                )
+            start_planes = body.get("start_planes")
+            if start_planes is not None and not isinstance(start_planes, int):
+                raise _HTTPError(
+                    400, {"error": "'start_planes' must be an int"}
+                )
+            try:
+                runtime = self.scheduler.runtime(model)
+            except KeyError:
+                raise _HTTPError(
+                    404,
+                    {"error": f"unknown model {model!r}",
+                     "models": self.scheduler.models(),
+                     "rejected": dict(self.rejected)},
+                )
+            if x.ndim == len(runtime.net.input_shape):  # single example
+                x = x[np.newaxis, ...]
+            if tuple(x.shape[1:]) != runtime.net.input_shape:
+                raise _HTTPError(
+                    400,
+                    {"error": (
+                        f"input shape {list(x.shape[1:])} does not match "
+                        f"model {model!r} input "
+                        f"{list(runtime.net.input_shape)}"
+                    )},
+                )
+            if self.scheduler.draining or self._stopped:
+                raise _HTTPError(503, {"error": "server is draining"})
+            span.set_attr("rows", len(x))
+            try:
+                ticket = self.scheduler.submit(
+                    model, x,
+                    start_planes=start_planes,
+                    exact=bool(body.get("exact", False)),
+                    trace=(span.trace_id, span.hex_id),
+                )
+            except AdmissionError as exc:
+                raise _HTTPError(
+                    429,
+                    {"error": str(exc), "queue_depth": exc.depth,
+                     "queue_limit": exc.limit},
+                    headers={"Retry-After": "1"},
+                )
+            try:
+                outcome = ticket.wait(self.config.request_timeout_s)
+            except TimeoutError:
+                raise _HTTPError(
+                    504, {"error": "prediction timed out in the scheduler"}
+                )
+            except Exception as exc:  # noqa: BLE001 - worker-side failure
+                raise _HTTPError(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            span.set_attr("cost", outcome.cost)
+        self.registry.window("serve.predict").observe(outcome.seconds)
+        get_slowlog().record(
+            "serve.predict",
+            outcome.seconds * 1000.0,
+            trace_id=span.trace_id,
+            cost=outcome.cost,
+            attrs={"model": model, "rows": len(x)},
+            threshold_ms=self.config.slowlog_ms,
+        )
         return {
             "model": model,
             "predictions": outcome.predictions.tolist(),
@@ -360,4 +452,6 @@ class ModelServer:
             "degraded": outcome.degraded,
             "escalations": outcome.escalations,
             "latency_ms": outcome.seconds * 1000.0,
+            "cost": outcome.cost,
+            "trace_id": span.trace_id,
         }

@@ -210,3 +210,97 @@ class TestErrors:
         repo_dir, _, _ = cli_env
         code = main(["--repo", str(repo_dir), "init"])
         assert code == 1
+
+
+class TestObservabilityCommands:
+    def test_trace_export_jsonl_and_chrome(self, cli_env, capsys, tmp_path):
+        from repro.obs.tracing import TraceRecorder, set_recorder, trace_span
+
+        repo_dir, _, _ = cli_env
+        fresh = TraceRecorder(capacity=64)
+        previous = set_recorder(fresh)
+        try:
+            with trace_span("outer", kind="demo"):
+                with trace_span("inner"):
+                    pass
+            code = main(["--repo", str(repo_dir), "trace", "export"])
+            out = capsys.readouterr().out
+            assert code == 0
+            lines = [json.loads(l) for l in out.splitlines() if l.strip()]
+            assert {d["name"] for d in lines} == {"outer", "inner"}
+
+            target = tmp_path / "chrome.json"
+            code = main([
+                "--repo", str(repo_dir), "trace", "export",
+                "--chrome", "--out", str(target),
+            ])
+            report = json.loads(capsys.readouterr().out)
+            assert code == 0 and report["format"] == "chrome"
+            chrome = json.loads(target.read_text())
+            slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+            assert {e["name"] for e in slices} == {"outer", "inner"}
+        finally:
+            set_recorder(previous)
+
+    def test_trace_export_name_filter(self, cli_env, capsys):
+        from repro.obs.tracing import TraceRecorder, set_recorder, trace_span
+
+        repo_dir, _, _ = cli_env
+        previous = set_recorder(TraceRecorder(capacity=64))
+        try:
+            with trace_span("alpha"):
+                pass
+            with trace_span("beta"):
+                pass
+            code = main([
+                "--repo", str(repo_dir), "trace", "export", "--name", "alp",
+            ])
+            out = capsys.readouterr().out
+            lines = [json.loads(l) for l in out.splitlines() if l.strip()]
+            assert code == 0
+            assert [d["name"] for d in lines] == ["alpha"]
+        finally:
+            set_recorder(previous)
+
+    def test_slowlog_local(self, cli_env, capsys):
+        from repro.obs.cost import SlowLog, set_slowlog
+
+        repo_dir, _, _ = cli_env
+        fresh = SlowLog(capacity=8, threshold_ms=0.0)
+        previous = set_slowlog(fresh)
+        try:
+            fresh.record("demo.op", ms=12.5, trace_id="t" * 32,
+                         cost={"bytes_read": 99, "planes_fetched": 2})
+            code, out = run(capsys, "--repo", repo_dir, "slowlog", "--json")
+            assert code == 0
+            assert out["entries"][0]["name"] == "demo.op"
+
+            code = main(["--repo", str(repo_dir), "slowlog"])
+            text = capsys.readouterr().out
+            assert code == 0
+            assert "demo.op" in text and "bytes=99" in text
+        finally:
+            set_slowlog(previous)
+
+    def test_stats_span_filters(self, cli_env, capsys):
+        from repro.obs.tracing import TraceRecorder, set_recorder, trace_span
+
+        repo_dir, _, _ = cli_env
+        previous = set_recorder(TraceRecorder(capacity=64))
+        try:
+            with trace_span("keep.me"):
+                pass
+            with trace_span("drop.me"):
+                pass
+            code, out = run(
+                capsys, "--repo", repo_dir, "stats", "--json", "--spans",
+                "--no-retrieval", "--name", "keep",
+            )
+            assert code == 0
+            assert [s["name"] for s in out["spans"]] == ["keep.me"]
+        finally:
+            set_recorder(previous)
+
+    def test_hub_serve_requires_hub_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hub-serve"])

@@ -1,0 +1,191 @@
+"""Hub-over-HTTP: the HubHTTPServer endpoints and the RemoteHub client."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.dlv.repository import Repository
+from repro.hub.client import HubClient
+from repro.hub.httpd import HubHTTPServer, RemoteHub
+from repro.hub.server import HubServer
+from repro.obs.cost import cost_context
+from repro.obs.prometheus import parse_text
+from repro.obs.tracing import TraceRecorder, set_recorder, trace_span
+
+
+@pytest.fixture
+def hub(tmp_path):
+    return HubServer(tmp_path / "hub")
+
+
+@pytest.fixture
+def published(hub, repo, trained_tiny):
+    net, result, _ = trained_tiny
+    repo.commit(net.clone(), name="shared-model", train_result=result)
+    record = HubClient(hub).publish(repo, "demo-repo", description="demo")
+    return record
+
+
+@pytest.fixture
+def httpd(hub, published):
+    with HubHTTPServer(hub) as server:
+        yield server
+
+
+@pytest.fixture
+def recorder():
+    fresh = TraceRecorder(capacity=512)
+    previous = set_recorder(fresh)
+    yield fresh
+    set_recorder(previous)
+
+
+def _raw_get(server, path, headers=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.request("GET", path, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, response.read(), dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_health(self, httpd):
+        status, body, _ = _raw_get(httpd, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_index_search(self, httpd):
+        status, body, _ = _raw_get(httpd, "/v1/index?pattern=demo*")
+        assert status == 200
+        [record] = json.loads(body)["records"]
+        assert record["name"] == "demo-repo"
+
+    def test_revisions(self, httpd):
+        status, body, _ = _raw_get(httpd, "/v1/repos/demo-repo/revisions")
+        assert json.loads(body)["revisions"] == [1]
+
+    def test_manifest_latest(self, httpd):
+        status, body, _ = _raw_get(httpd, "/v1/repos/demo-repo/latest/manifest")
+        payload = json.loads(body)
+        assert payload["revision"] == 1
+        assert payload["manifest"]  # per-file sha256 map
+
+    def test_files_listing_and_fetch(self, httpd):
+        _, body, _ = _raw_get(httpd, "/v1/repos/demo-repo/1/files")
+        files = json.loads(body)["files"]
+        assert files
+        status, data, headers = _raw_get(
+            httpd, f"/v1/repos/demo-repo/1/files/{files[0]}"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/octet-stream"
+        assert len(data) > 0
+
+    def test_unknown_repo_is_404(self, httpd):
+        status, _, _ = _raw_get(httpd, "/v1/repos/nope/revisions")
+        assert status == 200  # revisions of unknown repo: empty list
+        status, _, _ = _raw_get(httpd, "/v1/repos/nope/latest/manifest")
+        assert status == 404
+
+    def test_unknown_route_is_404(self, httpd):
+        status, _, _ = _raw_get(httpd, "/v1/bogus")
+        assert status == 404
+
+    def test_bad_revision_is_400(self, httpd):
+        status, _, _ = _raw_get(httpd, "/v1/repos/demo-repo/banana/manifest")
+        assert status == 400
+
+    def test_path_traversal_refused(self, httpd):
+        status, body, _ = _raw_get(
+            httpd, "/v1/repos/demo-repo/1/files/..%2F..%2F..%2Findex.json"
+        )
+        assert status == 403
+        assert "escapes" in json.loads(body)["error"]
+
+
+class TestMetricsExposition:
+    def test_json_by_default(self, httpd):
+        status, body, headers = _raw_get(httpd, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        json.loads(body)
+
+    def test_prometheus_text_negotiated(self, httpd):
+        status, body, headers = _raw_get(
+            httpd, "/metrics", headers={"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parse_text(body.decode())  # raises on any grammar violation
+
+
+class TestRemoteHub:
+    def test_search_and_revisions(self, httpd):
+        remote = RemoteHub(httpd.url)
+        assert [r.name for r in remote.search("*")] == ["demo-repo"]
+        assert remote.revisions("demo-repo") == [1]
+        assert remote.resolve_revision("demo-repo") == 1
+
+    def test_unknown_repo_raises_keyerror(self, httpd):
+        remote = RemoteHub(httpd.url)
+        with pytest.raises(KeyError):
+            remote.manifest("nope")
+
+    def test_non_http_url_rejected(self):
+        with pytest.raises(ValueError):
+            RemoteHub("ftp://example/hub")
+
+    def test_fetch_tree_bills_cost(self, httpd, tmp_path):
+        remote = RemoteHub(httpd.url)
+        with cost_context() as cost:
+            moved = remote.fetch_tree("demo-repo", None, tmp_path / "tree")
+        assert moved > 0
+        assert cost.bytes_read == moved
+        assert cost.chunks_fetched > 0
+
+
+class TestRemotePull:
+    def test_pull_yields_working_repository(self, httpd, tmp_path):
+        client = HubClient(httpd.url)
+        assert client.is_remote
+        dest = client.pull("demo-repo", tmp_path / "pulled")
+        with Repository.open(dest) as pulled:
+            assert [v.name for v in pulled.list_versions()] == ["shared-model"]
+
+    def test_pull_joins_caller_trace(self, httpd, tmp_path, recorder):
+        client = HubClient(httpd.url)
+        with trace_span("driver") as driver, cost_context() as cost:
+            client.pull("demo-repo", tmp_path / "pulled")
+        pulls = recorder.spans("hub.pull")
+        assert pulls and pulls[-1].trace_id == driver.trace_id
+        assert cost.bytes_read > 0
+        # Server handlers adopted the same trace id (same process here,
+        # but via the wire header — the spans carry remote_parent).
+        http_spans = [
+            span for span in recorder.spans("hub.http")
+            if span.trace_id == driver.trace_id
+        ]
+        assert http_spans
+        assert any(span.remote_parent for span in http_spans)
+
+    def test_publish_over_http_refused(self, httpd, repo):
+        client = HubClient(httpd.url)
+        with pytest.raises(NotImplementedError):
+            client.publish(repo, "another")
+
+    def test_pull_unknown_repo_raises(self, httpd, tmp_path):
+        client = HubClient(httpd.url)
+        with pytest.raises(KeyError):
+            client.pull("missing", tmp_path / "x")
+        assert not (tmp_path / "x").exists()
+
+
+class TestLocalPullCost:
+    def test_directory_pull_bills_bytes(self, hub, published, tmp_path):
+        client = HubClient(hub)
+        with cost_context() as cost:
+            client.pull("demo-repo", tmp_path / "local-pull")
+        assert cost.bytes_read > 0

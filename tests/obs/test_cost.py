@@ -1,0 +1,134 @@
+"""Request cost accounting: accumulators, charging, merging, the slow log."""
+
+import threading
+
+import pytest
+
+from repro.obs.cost import (
+    RequestCost,
+    SlowLog,
+    charge,
+    cost_context,
+    current_cost,
+    get_slowlog,
+    set_slowlog,
+)
+
+
+class TestRequestCost:
+    def test_starts_empty(self):
+        cost = RequestCost()
+        assert cost.to_dict()["bytes_read"] == 0
+        assert cost.to_dict()["bytes_by_plane"] == {}
+
+    def test_add_accumulates(self):
+        cost = RequestCost()
+        cost.add(bytes_read=100, chunks_fetched=2, plane_bytes={0: 60, 1: 40})
+        cost.add(bytes_read=50, planes_fetched=1, plane_bytes={1: 50})
+        assert cost.bytes_read == 150
+        assert cost.chunks_fetched == 2
+        assert cost.by_plane == {0: 60, 1: 90}
+
+    def test_merge_records_sharing(self):
+        request, batch = RequestCost(), RequestCost()
+        batch.add(bytes_read=300, cache_misses=1, plane_bytes={0: 300})
+        request.merge(batch, shared=4)
+        assert request.bytes_read == 300
+        assert request.batches == 1
+        assert request.shared_requests == 4
+
+    def test_to_dict_units(self):
+        cost = RequestCost()
+        cost.add(queue_wait_s=0.25, compute_s=0.5, plane_bytes={2: 7})
+        data = cost.to_dict()
+        assert data["queue_wait_ms"] == pytest.approx(250.0)
+        assert data["compute_ms"] == pytest.approx(500.0)
+        # Plane keys are strings so the dict is JSON-clean.
+        assert data["bytes_by_plane"] == {"2": 7}
+
+
+class TestCostContext:
+    def test_charge_is_noop_outside_context(self):
+        assert current_cost() is None
+        charge(bytes_read=1 << 30)  # must not raise or leak anywhere
+        assert current_cost() is None
+
+    def test_charge_lands_in_active_context(self):
+        with cost_context() as cost:
+            charge(bytes_read=64, cache_hits=1)
+            assert current_cost() is cost
+        assert cost.bytes_read == 64
+        assert cost.cache_hits == 1
+        assert current_cost() is None
+
+    def test_contexts_nest_innermost_wins(self):
+        with cost_context() as outer:
+            charge(bytes_read=1)
+            with cost_context() as inner:
+                charge(bytes_read=10)
+            charge(bytes_read=100)
+        assert outer.bytes_read == 101
+        assert inner.bytes_read == 10
+
+    def test_explicit_accumulator_is_installed(self):
+        mine = RequestCost()
+        with cost_context(mine) as active:
+            assert active is mine
+            charge(chunks_fetched=3)
+        assert mine.chunks_fetched == 3
+
+    def test_context_is_thread_local(self):
+        seen = {}
+
+        def worker():
+            seen["inner"] = current_cost()
+
+        with cost_context():
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # A fresh thread inherits no context (that is why the batch
+        # scheduler merges costs explicitly across its thread hop).
+        assert seen["inner"] is None
+
+
+class TestSlowLog:
+    def test_below_threshold_not_recorded(self):
+        log = SlowLog(capacity=4, threshold_ms=100)
+        assert log.record("fast", ms=5.0) is False
+        assert log.entries() == []
+        assert log.total_recorded == 0
+
+    def test_slow_request_recorded_with_cost(self):
+        log = SlowLog(capacity=4, threshold_ms=100)
+        cost = {"bytes_read": 42}
+        assert log.record("slow", ms=150.0, trace_id="t1", cost=cost)
+        [entry] = log.entries()
+        assert entry["name"] == "slow"
+        assert entry["cost"] == {"bytes_read": 42}
+        assert entry["trace_id"] == "t1"
+
+    def test_per_call_threshold_override(self):
+        log = SlowLog(capacity=4, threshold_ms=100)
+        assert log.record("kept", ms=5.0, threshold_ms=0.0) is True
+
+    def test_ring_evicts_oldest_but_counts_all(self):
+        log = SlowLog(capacity=2, threshold_ms=0.0)
+        for index in range(5):
+            log.record(f"req-{index}", ms=1.0)
+        names = [e["name"] for e in log.entries()]
+        assert names == ["req-3", "req-4"]
+        assert log.total_recorded == 5
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlowLog(capacity=0)
+
+    def test_global_swap(self):
+        mine = SlowLog(capacity=1, threshold_ms=0.0)
+        previous = set_slowlog(mine)
+        try:
+            assert get_slowlog() is mine
+        finally:
+            set_slowlog(previous)
+        assert get_slowlog() is previous

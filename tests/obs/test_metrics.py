@@ -92,7 +92,20 @@ class TestHistogram:
             h.observe(value)
         assert h.quantile(0.25) == 1.0
         assert h.quantile(0.75) == 2.0
-        assert h.quantile(1.0) == 4.0
+        # The p100 bucket bound is 4.0, but nothing above 3.0 was ever
+        # observed — the estimate clamps to the max observation.
+        assert h.quantile(1.0) == 3.0
+
+    def test_quantile_clamps_to_max_observation(self):
+        # Observations beyond the last bucket land in the +Inf overflow
+        # bucket; the quantile must report the max observed value, not inf.
+        h = Histogram("h", buckets=[1.0, 2.0])
+        for value in (0.5, 9.0, 11.0):
+            h.observe(value)
+        assert h.quantile(1.0) == 11.0
+        assert h.quantile(0.99) == 11.0
+        # Quantiles resolved by finite buckets are still bucket bounds.
+        assert h.quantile(0.1) == 1.0
 
     def test_empty_quantile_is_zero(self):
         assert Histogram("h").quantile(0.5) == 0.0

@@ -1,0 +1,151 @@
+"""Golden tests for the Prometheus text exposition and its parser."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_text,
+    render_text,
+    sanitize_name,
+    wants_text,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("serve.predict.latency") == "serve_predict_latency"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("0weird")[0] == "_"
+
+    def test_colons_kept(self):
+        assert sanitize_name("ns:metric") == "ns:metric"
+
+
+class TestRender:
+    def test_counter_rendering(self, registry):
+        registry.counter("store.reads").inc(3)
+        text = render_text(registry)
+        assert "# TYPE store_reads_total counter" in text
+        assert "store_reads_total 3" in text
+
+    def test_gauge_rendering(self, registry):
+        registry.gauge("queue.depth").set(7)
+        text = render_text(registry)
+        assert "# TYPE queue_depth gauge" in text
+        assert "queue_depth 7" in text
+
+    def test_histogram_cumulative_buckets(self, registry):
+        hist = registry.histogram("lat", buckets=[1.0, 2.0])
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        parsed = parse_text(render_text(registry))
+        buckets = {
+            labels["le"]: value
+            for name, labels, value in parsed["samples"]
+            if name == "lat_bucket"
+        }
+        # Cumulative: le="1.0" has 1, le="2.0" has 2, +Inf has all 3.
+        assert buckets["1.0"] == 1
+        assert buckets["2.0"] == 2
+        assert buckets["+Inf"] == 3
+        samples = dict(
+            (name, value) for name, _, value in parsed["samples"]
+        )
+        assert samples["lat_count"] == 3
+        assert samples["lat_sum"] == pytest.approx(7.0)
+
+    def test_window_summary_quantiles(self, registry):
+        window = registry.window("serve.predict", window=16)
+        for value in (0.010, 0.020, 0.030, 0.500):
+            window.observe(value)
+        parsed = parse_text(render_text(registry))
+        assert parsed["types"]["serve_predict"] == "summary"
+        quantiles = {
+            labels["quantile"]: value
+            for name, labels, value in parsed["samples"]
+            if name == "serve_predict" and "quantile" in labels
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+        assert quantiles["0.99"] == pytest.approx(0.5)
+
+    def test_full_round_trip_parses(self, registry):
+        registry.counter("a.b").inc()
+        registry.gauge("c.d").set(1.5)
+        registry.histogram("e.f", buckets=[1.0]).observe(0.5)
+        registry.window("g.h").observe(0.1)
+        parsed = parse_text(render_text(registry))
+        assert set(parsed["types"].values()) == {
+            "counter", "gauge", "histogram", "summary"
+        }
+        assert all(
+            isinstance(value, float) or isinstance(value, int)
+            for _, _, value in parsed["samples"]
+        )
+
+    def test_empty_registry_renders_newline_only(self, registry):
+        assert render_text(registry) == "\n"
+        parse_text(render_text(registry))  # still valid
+
+
+class TestNegotiation:
+    @pytest.mark.parametrize(
+        "accept",
+        [
+            "text/plain",
+            "text/plain; version=0.0.4",
+            "application/openmetrics-text",
+            "application/json, text/plain;q=0.5",
+            "TEXT/PLAIN",
+        ],
+    )
+    def test_text_selected(self, accept):
+        assert wants_text(accept) is True
+
+    @pytest.mark.parametrize(
+        "accept", [None, "", "*/*", "application/json", "text/html"]
+    )
+    def test_json_kept(self, accept):
+        assert wants_text(accept) is False
+
+    def test_content_type_declares_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestParser:
+    def test_labels_parsed(self):
+        parsed = parse_text('m{a="x",b="y"} 1\n')
+        assert parsed["samples"] == [("m", {"a": "x", "b": "y"}, 1.0)]
+
+    def test_special_values(self):
+        parsed = parse_text("a +Inf\nb -Inf\nc NaN\n")
+        values = [value for _, _, value in parsed["samples"]]
+        assert values[0] == math.inf
+        assert values[1] == -math.inf
+        assert math.isnan(values[2])
+
+    def test_timestamp_accepted(self):
+        parsed = parse_text("m 1.0 1700000000\n")
+        assert parsed["samples"] == [("m", {}, 1.0)]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not a sample line at all !!!\n",
+            "m one\n",  # non-numeric value
+            "# TYPE m sometype\n",  # unknown type
+            "# TYPE m\n",  # malformed TYPE
+            'm{a=unquoted} 1\n',  # bad label grammar
+        ],
+    )
+    def test_violations_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_text(bad)

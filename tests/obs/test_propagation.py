@@ -1,0 +1,106 @@
+"""W3C traceparent formatting, parsing, and context adoption."""
+
+import pytest
+
+from repro.obs.propagation import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    current_traceparent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    parse_traceparent_env,
+    span_hex,
+)
+from repro.obs.tracing import TraceRecorder, set_recorder, trace_span
+
+
+@pytest.fixture
+def recorder():
+    fresh = TraceRecorder(capacity=64)
+    previous = set_recorder(fresh)
+    yield fresh
+    set_recorder(previous)
+
+
+class TestIds:
+    def test_trace_id_is_32_hex(self):
+        tid = new_trace_id()
+        assert len(tid) == 32
+        assert int(tid, 16) >= 0
+
+    def test_span_id_is_16_hex(self):
+        sid = new_span_id()
+        assert len(sid) == 16
+        assert int(sid, 16) >= 0
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestFormatParse:
+    def test_round_trip(self):
+        ctx = TraceContext(new_trace_id(), new_span_id())
+        parsed = parse_traceparent(format_traceparent(ctx))
+        assert parsed == ctx
+
+    def test_wire_shape(self):
+        ctx = TraceContext("ab" * 16, "cd" * 8)
+        assert format_traceparent(ctx) == f"00-{'ab' * 16}-{'cd' * 8}-01"
+
+    def test_case_and_whitespace_tolerated(self):
+        header = f"  00-{'AB' * 16}-{'CD' * 8}-01  "
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed.trace_id == "ab" * 16
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-cdcdcdcdcdcdcdcd-01",
+            f"00-{'ab' * 16}-{'cd' * 8}",  # missing flags
+            f"zz-{'ab' * 16}-{'cd' * 8}-01",  # non-hex version
+            f"00-{'00' * 16}-{'cd' * 8}-01",  # all-zero trace id
+            f"00-{'ab' * 16}-{'00' * 8}-01",  # all-zero span id
+        ],
+    )
+    def test_malformed_returns_none(self, bad):
+        assert parse_traceparent(bad) is None
+
+
+class TestEnvAdoption:
+    def test_env_parsed(self):
+        header = format_traceparent(TraceContext("ef" * 16, "12" * 8))
+        ctx = parse_traceparent_env({TRACEPARENT_ENV: header})
+        assert ctx is not None
+        assert ctx.trace_id == "ef" * 16
+
+    def test_absent_env_is_none(self):
+        assert parse_traceparent_env({}) is None
+
+
+class TestCurrentTraceparent:
+    def test_none_outside_span(self, recorder):
+        assert current_traceparent() is None
+
+    def test_carries_innermost_span(self, recorder):
+        with trace_span("outer"), trace_span("inner") as inner:
+            header = current_traceparent()
+            ctx = parse_traceparent(header)
+            assert ctx.trace_id == inner.trace_id
+            assert ctx.span_id == span_hex(inner)
+
+    def test_receiver_joins_senders_trace(self, recorder):
+        with trace_span("client") as client:
+            header = current_traceparent()
+        ctx = parse_traceparent(header)
+        with trace_span(
+            "server", trace_id=ctx.trace_id, remote_parent=ctx.span_id
+        ) as server:
+            pass
+        assert server.trace_id == client.trace_id
+        assert server.remote_parent == span_hex(client)
