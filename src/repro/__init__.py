@@ -38,6 +38,16 @@ ICDE 2017).  It is organised into five subpackages:
     read from it.
 """
 
+import os as _os
+
 from repro.version import __version__
 
 __all__ = ["__version__"]
+
+if _os.environ.get("REPRO_LOCKSAN") == "1":
+    # Opt-in runtime lock sanitizer: instruments every threading.Lock /
+    # RLock / Condition created after this import (see
+    # repro.analysis.locksan).  CI runs the serve/obs suites with it on.
+    from repro.analysis import locksan as _locksan
+
+    _locksan.enable()

@@ -1,16 +1,22 @@
 """The unified diagnostic model shared by every static-analysis pass.
 
-All three passes — the DQL semantic analyzer (``DQL1xx``), the network
-graph validator (``NET2xx``), and the repo-invariant linter (``LINT3xx``)
-— report through one :class:`Diagnostic` shape: a severity, a stable
-code, a human message, an optional source :class:`Span`, and a fix hint.
-``dlv check`` renders lists of them as text or JSON, and every emission
-is counted in ``repro.obs`` (``analysis.diagnostics_emitted`` plus
-per-severity and per-pass counters).
+All four passes — the DQL semantic analyzer (``DQL1xx``), the network
+graph validator (``NET2xx``), the repo-invariant linter (``LINT3xx``),
+and the concurrency checker (``CONC4xx``) — report through one
+:class:`Diagnostic` shape: a severity, a stable code, a human message,
+an optional source :class:`Span`, and a fix hint.  ``dlv check`` renders
+lists of them as text or JSON, and every emission is counted in
+``repro.obs`` (``analysis.diagnostics_emitted`` plus per-severity and
+per-pass counters).
+
+File-based passes share one suppression mechanism: a
+``# lint: ignore[CODE]`` comment on the offending line (parsed here by
+:func:`pragma_ignored`, so lint and conc agree on the syntax).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
@@ -18,18 +24,29 @@ from repro.obs.metrics import counter
 
 __all__ = [
     "CODES",
+    "PASS_PREFIXES",
     "SEVERITIES",
     "AnalysisError",
     "Diagnostic",
     "Span",
+    "codes_for_pass",
     "format_diagnostic",
     "format_diagnostics",
     "has_errors",
+    "pragma_ignored",
     "record_diagnostics",
     "span_from_offsets",
 ]
 
 SEVERITIES = ("error", "warning", "info")
+
+#: Pass name -> code prefix, the key for ``dlv check --list-codes --pass``.
+PASS_PREFIXES: dict[str, str] = {
+    "dql": "DQL",
+    "net": "NET",
+    "lint": "LINT",
+    "conc": "CONC",
+}
 
 #: Every diagnostic code any pass can emit, with a one-line description.
 #: This table is the single source of truth: ``dlv check --list-codes``
@@ -65,7 +82,58 @@ CODES: dict[str, str] = {
     "LINT302": "float64 dtype constructed in a PAS hot path",
     "LINT303": "in-place mutation of an array returned by chunkstore/retrieval",
     "LINT304": "instrumented core module lost its repro.obs coverage",
+    # -- concurrency safety (analysis/conc.py + analysis/locksan.py) -------
+    "CONC401": "shared attribute written without the lock that guards it "
+               "elsewhere (unguarded shared write)",
+    "CONC402": "attribute guarded by different locks at different write "
+               "sites (inconsistent guard)",
+    "CONC403": "lock-acquisition-order inversion cycle (potential deadlock)",
+    "CONC404": "non-reentrant Lock/Condition acquired while already held "
+               "(self-deadlock)",
+    "CONC405": "blocking operation (sleep/socket/file I/O/chunk retrieval) "
+               "executed while holding a lock",
+    "CONC406": "thread started without daemon= or a matching join()",
+    "CONC407": "runtime wait-for cycle detected by the lock sanitizer "
+               "(would deadlock)",
 }
+
+
+def codes_for_pass(pass_name: Optional[str]) -> dict[str, str]:
+    """The slice of :data:`CODES` one pass owns (all of them for ``None``).
+
+    Raises:
+        KeyError: unknown pass name (the valid ones are the
+            :data:`PASS_PREFIXES` keys).
+    """
+    if pass_name is None:
+        return dict(CODES)
+    prefix = PASS_PREFIXES[pass_name]
+    return {
+        code: text for code, text in CODES.items()
+        if code.startswith(prefix)
+    }
+
+
+#: ``# lint: ignore`` / ``# lint: ignore[CODE, CODE2]`` — the shared
+#: suppression comment every file-based pass honors.
+PRAGMA_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
+
+
+def pragma_ignored(lines: list[str], lineno: int, code: str) -> bool:
+    """Is ``code`` suppressed by a pragma on 1-based line ``lineno``?
+
+    A bare ``# lint: ignore`` suppresses every code on that line; the
+    bracketed form suppresses only the listed codes.
+    """
+    if not 1 <= lineno <= len(lines):
+        return False
+    match = PRAGMA_RE.search(lines[lineno - 1])
+    if not match:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    return code in {c.strip() for c in codes.split(",")}
 
 
 @dataclass(frozen=True)
@@ -116,7 +184,8 @@ class Diagnostic:
         message: What is wrong, with the concrete names involved.
         span: Where in the source, when known.
         hint: How to fix it, when the pass can tell.
-        source: Which pass produced it (``dql`` / ``net`` / ``lint``).
+        source: Which pass produced it (``dql`` / ``net`` / ``lint`` /
+            ``conc`` / ``locksan``).
         file: File path for lint diagnostics (None for query/graph ones).
     """
 

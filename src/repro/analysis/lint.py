@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import ast
 import json
-import re
 import sys
 from pathlib import Path
 from typing import Iterable, Optional
@@ -38,6 +37,7 @@ from repro.analysis.diagnostics import (
     Span,
     format_diagnostic,
     has_errors,
+    pragma_ignored,
     record_diagnostics,
 )
 
@@ -57,21 +57,6 @@ _OBS_NAMES = {"trace_span", "counter", "histogram", "gauge"}
 _RETRIEVAL_SOURCES = {
     "recreate_matrix", "recreate_snapshot", "get_snapshot_weights",
 }
-
-_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore(?:\[(?P<codes>[A-Z0-9, ]+)\])?")
-
-
-def _ignored(lines: list[str], lineno: int, code: str) -> bool:
-    if not 1 <= lineno <= len(lines):
-        return False
-    match = _IGNORE_RE.search(lines[lineno - 1])
-    if not match:
-        return False
-    codes = match.group("codes")
-    if codes is None:
-        return True
-    return code in {c.strip() for c in codes.split(",")}
-
 
 def _is_float64(node: ast.AST) -> bool:
     """Does this expression denote the float64 dtype?"""
@@ -99,7 +84,7 @@ class _Visitor(ast.NodeVisitor):
         severity: str = "error",
     ) -> None:
         lineno = getattr(node, "lineno", 1)
-        if _ignored(self.lines, lineno, code):
+        if pragma_ignored(self.lines, lineno, code):
             return
         self.findings.append(
             Diagnostic(

@@ -183,10 +183,15 @@ class ProgressiveEvaluator:
             )
         with self._lock:
             bounds = self._bounds_memo.get(planes)
-            if bounds is None:
-                bounds = self._param_bounds(planes)
-                self._bounds_memo[planes] = bounds
-            return bounds
+        if bounds is None:
+            # Read the archive outside the lock: chunk retrieval can take
+            # tens of milliseconds and must not serialize other queries.
+            # Racing computes are possible; the first store wins so the
+            # memo stays identity-stable.
+            bounds = self._param_bounds(planes)
+            with self._lock:
+                bounds = self._bounds_memo.setdefault(planes, bounds)
+        return bounds
 
     def exact_weights(self) -> dict[str, dict[str, np.ndarray]]:
         """The snapshot's full-precision weights, read from PAS once."""
@@ -199,9 +204,16 @@ class ProgressiveEvaluator:
                 ("weights", self.snapshot_id), load
             )
         with self._lock:
-            if self._weights_memo is None:
-                self._weights_memo = self._read_exact_weights()
-            return self._weights_memo
+            weights = self._weights_memo
+        if weights is None:
+            # PAS reconstruction stays outside the lock (see param_bounds);
+            # first writer wins so every caller shares one array set.
+            weights = self._read_exact_weights()
+            with self._lock:
+                if self._weights_memo is None:
+                    self._weights_memo = weights
+                weights = self._weights_memo
+        return weights
 
     def _read_exact_weights(self) -> dict[str, dict[str, np.ndarray]]:
         weights: dict[str, dict[str, np.ndarray]] = {}
@@ -212,19 +224,52 @@ class ProgressiveEvaluator:
             )
         return weights
 
-    def _load_exact(self, force: bool = False) -> None:
-        """Install the archive's full-precision weights into the network.
+    def _install_exact(
+        self,
+        weights: dict[str, dict[str, np.ndarray]],
+        force: bool = False,
+    ) -> None:
+        """Install pre-fetched exact weights. Caller must hold ``_lock``.
 
         Idempotent between calls that truncate the weights: repeated
         progressive queries skip the (re-)install unless something
         installed other weights in between (``evaluate_at_planes`` resets
-        the flag; pass ``force=True`` after external mutation).
+        the flag; pass ``force=True`` after external mutation).  The
+        weights are fetched by the caller *outside* the lock
+        (:meth:`exact_weights`) so chunk retrieval never serializes
+        concurrent queries on I/O.
         """
+        if self._exact_installed and not force:
+            return
+        self.net.set_weights(weights)
+        self._exact_installed = True
+
+    def _load_exact(self, force: bool = False) -> None:
+        """Fetch and install the full-precision weights (convenience).
+
+        Fetches outside the lock, installs under it.  Do not call while
+        already holding ``_lock`` — use :meth:`exact_weights` +
+        :meth:`_install_exact` there instead.
+        """
+        weights = self.exact_weights()
         with self._lock:
-            if self._exact_installed and not force:
-                return
-            self.net.set_weights(self.exact_weights())
-            self._exact_installed = True
+            self._install_exact(weights, force=force)
+
+    def forward_exact_many(
+        self, batches: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """Forward several batches at full precision, atomically.
+
+        The serving tier's exact primitive: exact weights are fetched
+        first (shared-cache single-flight applies, no lock held), then
+        the install plus every forward pass run under ``_lock`` so a
+        concurrent :meth:`evaluate_at_planes` cannot swap truncated
+        weights in mid-run.
+        """
+        weights = self.exact_weights()
+        with self._lock:
+            self._install_exact(weights)
+            return self.net.forward_many(batches, upto=self.logits_node)
 
     def _stored_plane_sizes(self) -> list[int]:
         """Stored bytes per plane index across the snapshot's payload chains."""
@@ -319,14 +364,16 @@ class ProgressiveEvaluator:
                 "progressive.exact",
                 snapshot=self.snapshot_id,
                 unresolved=int(unresolved.size),
-            ) as exact_span, self._lock:
-                self._load_exact()
-                planes_used = NUM_PLANES
-                for start in range(0, unresolved.size, batch):
-                    idx = unresolved[start : start + batch]
-                    out = self.net.forward(x[idx], upto=self.logits_node)
-                    predictions[idx] = np.argmax(out, axis=1)
-                    resolved_at[idx] = NUM_PLANES
+            ) as exact_span:
+                exact = self.exact_weights()
+                with self._lock:
+                    self._install_exact(exact)
+                    planes_used = NUM_PLANES
+                    for start in range(0, unresolved.size, batch):
+                        idx = unresolved[start : start + batch]
+                        out = self.net.forward(x[idx], upto=self.logits_node)
+                        predictions[idx] = np.argmax(out, axis=1)
+                        resolved_at[idx] = NUM_PLANES
             counter("progressive.points_resolved").inc(int(unresolved.size))
             counter("progressive.exact_fallbacks").inc()
             histogram("progressive.plane_seconds").observe(exact_span.elapsed)
@@ -383,8 +430,9 @@ class ProgressiveEvaluator:
         with trace_span(
             "progressive.exact", snapshot=self.snapshot_id, rows=len(x)
         ) as span:
+            exact = self.exact_weights()
             with self._lock:
-                self._load_exact()
+                self._install_exact(exact)
                 out = self.net.forward(x, upto=self.logits_node)
         charge(compute_s=span.elapsed)
         return np.argmax(out, axis=1)

@@ -586,15 +586,19 @@ def cmd_query(args) -> int:
 
 
 def cmd_check(args) -> int:
+    """Static diagnostics.  Exit status: 0 = no error-severity findings
+    (warnings/info do not fail the command), 1 = at least one error,
+    2 = usage/repo errors (argparse or missing repository)."""
     from repro import analysis
-    from repro.analysis.diagnostics import CODES
+    from repro.analysis.diagnostics import codes_for_pass
     from repro.dnn.network import Network
 
     if args.list_codes:
+        codes = codes_for_pass(args.pass_name)
         if args.json:
-            _print({"codes": CODES})
+            _print({"codes": codes})
         else:
-            for code, description in CODES.items():
+            for code, description in codes.items():
                 print(f"{code}  {description}")
         return 0
 
@@ -603,7 +607,20 @@ def cmd_check(args) -> int:
     if args.lint:
         diagnostics.extend(analysis.lint_paths(args.lint))
         checked["lint_paths"] = list(args.lint)
-    needs_repo = args.dql is not None or not (args.lint or args.dql)
+    if args.conc is not None:
+        conc_paths = args.conc or ["src/repro"]
+        missing = [p for p in conc_paths if not Path(p).exists()]
+        if missing:
+            # A vacuous pass over a mistyped path must not look clean.
+            print(
+                f"error: no such path: {', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        diagnostics.extend(analysis.conc_check_paths(conc_paths))
+        checked["conc_paths"] = list(conc_paths)
+    file_passes = args.lint or args.conc is not None
+    needs_repo = args.dql is not None or not (file_passes or args.dql)
     if needs_repo:
         with _open_repo(args) as repo:
             if args.dql is not None:
@@ -975,8 +992,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the repo-invariant linter over these files/dirs",
     )
     p.add_argument(
+        "--conc", nargs="*", default=None, metavar="PATH",
+        help="run the concurrency checker (CONC4xx) over these files/dirs "
+        "(bare --conc defaults to src/repro)",
+    )
+    p.add_argument(
         "--list-codes", action="store_true",
-        help="print the diagnostic code table and exit",
+        help="print the diagnostic code table and exit "
+        "(exit status: 0 always)",
+    )
+    p.add_argument(
+        "--pass", dest="pass_name", default=None,
+        choices=["dql", "net", "lint", "conc"],
+        help="with --list-codes: only this pass's codes",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_check)

@@ -264,6 +264,8 @@ class HubHTTPServer:
         self.registry = registry if registry is not None else get_registry()
         self._httpd: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
+        # Guards lifecycle writes (_httpd/_thread); reads stay lockless.
+        self._lifecycle = threading.Lock()
 
     @property
     def port(self) -> int:
@@ -277,26 +279,30 @@ class HubHTTPServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "HubHTTPServer":
-        if self._httpd is not None:
-            raise RuntimeError("hub server already started")
-        self._httpd = _Server((self.host, self._port), _Handler)
-        self._httpd.hub_http = self
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="dlv-hub-http",
-            daemon=True,
-        )
-        self._thread.start()
+        with self._lifecycle:
+            if self._httpd is not None:
+                raise RuntimeError("hub server already started")
+            self._httpd = _Server((self.host, self._port), _Handler)
+            self._httpd.hub_http = self
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="dlv-hub-http",
+                daemon=True,
+            )
+            thread = self._thread
+        thread.start()
         return self
 
     def stop(self) -> None:
-        if self._httpd is not None:
-            self._httpd.shutdown()
-            self._httpd.server_close()
+        with self._lifecycle:
+            httpd, thread = self._httpd, self._thread
             self._httpd = None
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
             self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "HubHTTPServer":
         return self.start()

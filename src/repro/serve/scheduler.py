@@ -225,12 +225,7 @@ class ModelRuntime:
     ) -> tuple[list[np.ndarray], bool]:
         """Full-precision labels per batch via one coalesced forward pass."""
         before = len(self.archive.recovery.events)
-        evaluator = self.evaluator
-        with evaluator._lock:
-            evaluator._load_exact()
-            outputs = self.net.forward_many(
-                batches, upto=evaluator.logits_node
-            )
+        outputs = self.evaluator.forward_exact_many(batches)
         self._note_recovery(NUM_PLANES, before)
         labels = [np.argmax(out, axis=1) for out in outputs]
         return labels, self.degraded_at(NUM_PLANES)
@@ -499,15 +494,23 @@ class BatchScheduler:
         self._requests = self.registry.counter("serve.requests")
         self._started = False
         self._draining = False
+        # Guards lifecycle writes (_workers/_started/_draining); reads on
+        # the hot submit path stay lockless, matching repro.obs's
+        # locked-writes/lockless-reads contract.
+        self._lock = threading.Lock()
 
     # -- registration / lifecycle --------------------------------------------
 
     def register(self, runtime: ModelRuntime) -> None:
-        if runtime.name in self._workers:
-            raise ValueError(f"model {runtime.name!r} already registered")
         worker = _ModelWorker(runtime, self.config, self.registry)
-        self._workers[runtime.name] = worker
-        if self._started:
+        with self._lock:
+            if runtime.name in self._workers:
+                raise ValueError(
+                    f"model {runtime.name!r} already registered"
+                )
+            self._workers[runtime.name] = worker
+            started = self._started
+        if started:
             worker.start()
 
     def models(self) -> list[str]:
@@ -517,10 +520,12 @@ class BatchScheduler:
         return self._workers[model].runtime
 
     def start(self) -> None:
-        if self._started:
-            return
-        self._started = True
-        for worker in self._workers.values():
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+            workers = list(self._workers.values())
+        for worker in workers:
             worker.start()
 
     @property
@@ -532,7 +537,8 @@ class BatchScheduler:
 
         Returns True when every queue emptied within ``timeout``.
         """
-        self._draining = True
+        with self._lock:
+            self._draining = True
         deadline = (
             time.monotonic() + timeout if timeout is not None else None
         )
@@ -544,12 +550,15 @@ class BatchScheduler:
 
     def stop(self) -> None:
         """Stop all workers; queued-but-unstarted requests fail."""
-        for worker in self._workers.values():
+        with self._lock:
+            workers = list(self._workers.values())
+        for worker in workers:
             worker.stop()
-        for worker in self._workers.values():
+        for worker in workers:
             if worker.is_alive():
                 worker.join(timeout=5.0)
-        self._started = False
+        with self._lock:
+            self._started = False
 
     # -- submission ----------------------------------------------------------
 

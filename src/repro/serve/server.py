@@ -206,6 +206,10 @@ class ModelServer:
         self._httpd: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
         self._stopped = False
+        # Guards lifecycle writes (_httpd/_thread/_stopped) so concurrent
+        # start()/stop() callers cannot race; handler-thread reads stay
+        # lockless.
+        self._lifecycle = threading.Lock()
         self._load_models(models, strict)
         if not self.scheduler.models():
             raise ValueError("repository has no servable model snapshots")
@@ -257,18 +261,19 @@ class ModelServer:
 
     def start(self) -> "ModelServer":
         """Bind, start the scheduler workers, and serve in a daemon thread."""
-        if self._httpd is not None:
-            raise RuntimeError("server already started")
-        self._httpd = _Server(
-            (self.config.host, self.config.port), _Handler
-        )
-        self._httpd.model_server = self
+        with self._lifecycle:
+            if self._httpd is not None:
+                raise RuntimeError("server already started")
+            self._httpd = _Server(
+                (self.config.host, self.config.port), _Handler
+            )
+            self._httpd.model_server = self
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="serve-http",
+                daemon=True,
+            )
         self.scheduler.start()
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="serve-http",
-            daemon=True,
-        )
         self._thread.start()
         self.registry.counter("serve.starts").inc()
         return self
@@ -289,9 +294,10 @@ class ModelServer:
         Returns True when the drain completed within the configured
         grace period (vacuously True for ``drain=False``).
         """
-        if self._stopped:
-            return True
-        self._stopped = True
+        with self._lifecycle:
+            if self._stopped:
+                return True
+            self._stopped = True
         drained = True
         if drain:
             drained = self.scheduler.drain(self.config.drain_timeout_s)

@@ -19,8 +19,8 @@ from repro.analysis.diagnostics import (
 
 class TestCodesTable:
     def test_all_passes_represented(self):
-        prefixes = {code[:3] for code in CODES}
-        assert prefixes == {"DQL", "NET", "LIN"}
+        prefixes = {code[:4] for code in CODES}
+        assert prefixes == {"DQL1", "NET2", "LINT", "CONC"}
 
     def test_enough_codes_for_dlv_check(self):
         # Acceptance: `dlv check --list-codes` reports >= 10 distinct codes.

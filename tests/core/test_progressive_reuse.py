@@ -89,6 +89,85 @@ class TestChunkReadRegression:
         np.testing.assert_array_equal(result.predictions, trained.predict(x))
 
 
+class TestForwardExactMany:
+    """The scheduler's exact path: public API instead of the old pattern
+    of grabbing the evaluator's private ``_lock`` from the outside."""
+
+    def test_matches_per_batch_exact_forward(
+        self, counted_evaluator, digits
+    ):
+        evaluator, _, trained = counted_evaluator
+        batches = [digits.x_test[:4], digits.x_test[4:10], digits.x_test[10:11]]
+        outputs = evaluator.forward_exact_many(batches)
+        assert [len(out) for out in outputs] == [4, 6, 1]
+        for batch, out in zip(batches, outputs):
+            np.testing.assert_array_equal(
+                np.argmax(out, axis=1), trained.predict(batch)
+            )
+
+    def test_reads_archive_once_across_calls(
+        self, counted_evaluator, digits
+    ):
+        evaluator, registry, _ = counted_evaluator
+        get_calls = registry.counter("chunkstore.get_calls")
+        evaluator.forward_exact_many([digits.x_test[:4]])
+        after = get_calls.value
+        assert after > 0
+        evaluator.forward_exact_many([digits.x_test[4:8]])
+        evaluator.evaluate_exact(digits.x_test[8:12])
+        assert get_calls.value == after
+
+    def test_empty_batch_list(self, counted_evaluator):
+        evaluator, _, _ = counted_evaluator
+        assert evaluator.forward_exact_many([]) == []
+
+    def test_concurrent_exact_batches_are_consistent(
+        self, counted_evaluator, digits
+    ):
+        # The race the refactor closes: exact weights install plus the
+        # forward passes are atomic under the evaluator lock, so a
+        # concurrent plane-budget evaluation cannot swap truncated
+        # weights in mid-run.
+        evaluator, _, trained = counted_evaluator
+        x = digits.x_test[:8]
+        expected = trained.predict(x)
+        errors = []
+        results = []
+
+        def exact_worker():
+            try:
+                out = evaluator.forward_exact_many([x])[0]
+                results.append(np.argmax(out, axis=1))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def plane_worker():
+            try:
+                evaluator.evaluate(x)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=exact_worker) for _ in range(4)]
+        threads += [threading.Thread(target=plane_worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert len(results) == 4
+        for got in results:
+            np.testing.assert_array_equal(got, expected)
+
+    def test_load_exact_still_installs(self, counted_evaluator, digits):
+        # examples/progressive_inference.py still calls _load_exact().
+        evaluator, _, trained = counted_evaluator
+        evaluator._load_exact()
+        x = digits.x_test[:6]
+        np.testing.assert_array_equal(
+            evaluator.net.predict(x), trained.predict(x)
+        )
+
+
 class TestRepositoryMatrixIds:
     def test_prefixed_matrix_ids_map_to_bare_layers(
         self, repo, trained_tiny, digits
