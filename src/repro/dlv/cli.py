@@ -6,7 +6,8 @@ Command groups:
   ``archive``;
 * model exploration — ``list``, ``desc``, ``diff``, ``eval``;
 * model enumeration — ``query`` (DQL);
-* remote interaction — ``publish``, ``search``, ``pull``, ``hub-serve``;
+* remote interaction — ``publish``, ``search``, ``pull``, ``hub-serve``
+  (optionally as a replicating fleet peer), ``hub status``;
 * observability — ``stats``, ``trace export``, ``slowlog``, ``top``.
 
 The CLI is a thin layer over :class:`repro.dlv.repository.Repository`,
@@ -506,19 +507,42 @@ def cmd_hub_serve(args) -> int:
     import threading
 
     from repro.hub.httpd import HubHTTPServer
+    from repro.hub.replication import Replicator
+    from repro.hub.server import HubServer
 
+    store = HubServer(args.hub)
+    replicator = None
+    role = "primary"
+    if args.peers:
+        # Replica mode: keep this hub in sync with the named primary
+        # tier; the HTTP surface stays read-only either way.
+        role = "replica"
+        replicator = Replicator(
+            store,
+            args.peers,
+            interval_s=args.sync_interval,
+            timeout=args.timeout,
+        )
     server = HubHTTPServer(
-        args.hub,
+        store,
         host=args.host or "127.0.0.1",
         port=args.port or 0,
+        peer_name=args.peer_name or ("hub" if role == "primary" else "replica"),
+        role=role,
+        replicator=replicator,
     )
     server.start()
+    if replicator is not None:
+        replicator.start()
     # One flushed JSON line so wrappers can discover the bound port.
     _print(
         {
             "hub": str(server.server.root),
             "url": server.url,
             "port": server.port,
+            "peer": server.peer_name,
+            "role": server.role,
+            "peers": args.peers or "",
         }
     )
     sys.stdout.flush()
@@ -526,9 +550,53 @@ def cmd_hub_serve(args) -> int:
     for signum in (signal.SIGINT, signal.SIGTERM):
         signal.signal(signum, lambda *_: stop_event.set())
     stop_event.wait()
+    if replicator is not None:
+        replicator.stop()
     server.stop()
     _print({"stopped": True})
     return 0
+
+
+def cmd_hub(args) -> int:
+    if args.hub_cmd == "status":
+        return cmd_hub_status(args)
+    raise ValueError(f"unknown hub subcommand {args.hub_cmd!r}")
+
+
+def cmd_hub_status(args) -> int:
+    from repro.hub.fleet import FleetClient
+
+    client = FleetClient(args.hub, timeout=args.timeout)
+    try:
+        report = client.status()
+    finally:
+        client.close()
+    healthy = sum(1 for entry in report if entry.get("ok"))
+    watermarks = [
+        entry.get("watermark") for entry in report if entry.get("ok")
+    ]
+    head = max((w for w in watermarks if w is not None), default=0)
+    for entry in report:
+        if entry.get("ok") and entry.get("watermark") is not None:
+            entry["lag"] = head - entry["watermark"]
+    if args.json:
+        _print({"peers": report, "healthy": healthy, "watermark": head})
+    else:
+        print(f"hub fleet: {healthy}/{len(report)} peers healthy, "
+              f"head watermark {head}")
+        for entry in report:
+            if entry.get("ok"):
+                print(
+                    f"  {entry['url']:<28} {entry.get('role', '?'):<8} "
+                    f"peer={entry.get('peer', '?'):<10} "
+                    f"watermark={entry.get('watermark')} "
+                    f"lag={entry.get('lag')} breaker={entry['breaker']}"
+                )
+            else:
+                print(
+                    f"  {entry['url']:<28} DOWN     {entry.get('error', '')}"
+                )
+    return 0 if healthy == len(report) else 1
 
 
 def cmd_stats(args) -> int:
@@ -697,7 +765,12 @@ def cmd_serve(args) -> int:
                 raise ValueError("--hub requires --name <published repo>")
             from repro.hub.client import HubClient
 
-            repo_path = HubClient(args.hub).pull_for_serving(args.name)
+            # Comma-separated --hub URLs name a replicated fleet;
+            # HubClient routes those pulls through a FleetClient with
+            # failover + resume, so one dead peer doesn't fail the boot.
+            repo_path = HubClient(
+                args.hub, timeout=args.hub_timeout
+            ).pull_for_serving(args.name)
         config = ServeConfig().with_overrides(
             host=args.host,
             port=args.port,
@@ -1033,7 +1106,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--hub", default=None,
-        help="pull --name from this hub into a scratch dir and serve it",
+        help="pull --name from this hub into a scratch dir and serve it "
+             "(comma-separated URLs route through the fleet client)",
+    )
+    p.add_argument(
+        "--hub-timeout", type=float, default=30.0,
+        help="socket timeout for hub pull requests, seconds",
     )
     p.add_argument(
         "--name", default=None,
@@ -1067,7 +1145,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=None,
         help="bind port (default 0: OS-assigned, reported on stdout)",
     )
+    p.add_argument(
+        "--peers", default=None,
+        help="comma-separated primary URL(s) to replicate from "
+             "(starts this hub as a read replica)",
+    )
+    p.add_argument(
+        "--peer-name", default=None,
+        help="fleet identity reported by /healthz (default hub/replica)",
+    )
+    p.add_argument(
+        "--sync-interval", type=float, default=2.0,
+        help="replication poll period, seconds (with --peers)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="socket timeout for replication requests, seconds",
+    )
     p.set_defaults(func=cmd_hub_serve)
+
+    p = sub.add_parser("hub", help="hub fleet operations")
+    hub_sub = p.add_subparsers(dest="hub_cmd", required=True)
+    s = hub_sub.add_parser(
+        "status", help="probe every fleet peer: role, watermark, lag"
+    )
+    s.add_argument(
+        "--hub", required=True,
+        help="comma-separated hub URL(s) to probe",
+    )
+    s.add_argument("--json", action="store_true")
+    s.add_argument(
+        "--timeout", type=float, default=5.0,
+        help="socket timeout per probe, seconds",
+    )
+    s.set_defaults(func=cmd_hub)
 
     return parser
 

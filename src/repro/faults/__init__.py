@@ -11,12 +11,25 @@ exercised.  This package provides:
 * :mod:`repro.faults.fs` — instrumented filesystem primitives
   (write+fsync, atomic replace, dir fsync, copy) used by
   :class:`~repro.core.chunkstore.ChunkStore`, the DLV journal, and the
-  hub, each a named fault site.
+  hub, each a named fault site;
+* :mod:`repro.faults.net` — the *network* fault layer:
+  :class:`NetFaultPlan` / :class:`NetFaultPoint` inject error responses,
+  connection drops, truncated bodies, 503+``Retry-After``, and fixed
+  delays at the hub HTTP handler seam, which is how the replicated
+  fleet's failover and resume paths are chaos-tested deterministically.
 
 See ``docs/api.md`` ("Durability & recovery") for the site table and a
 worked crash-matrix example.
 """
 
+from repro.faults.net import (
+    FiredNetFault,
+    NetFaultPlan,
+    NetFaultPoint,
+    get_net_plan,
+    inject_net,
+    set_net_plan,
+)
 from repro.faults.plan import (
     CrashSimulated,
     FaultError,
@@ -34,7 +47,13 @@ __all__ = [
     "FaultPlan",
     "FaultPoint",
     "FiredFault",
+    "FiredNetFault",
+    "NetFaultPlan",
+    "NetFaultPoint",
+    "get_net_plan",
     "get_plan",
     "inject",
+    "inject_net",
+    "set_net_plan",
     "set_plan",
 ]

@@ -1,0 +1,203 @@
+"""Deterministic *network* fault injection for the hub's HTTP tier.
+
+:mod:`repro.faults.plan` models storage failures (torn writes, crashed
+processes).  This module models the other half of a replicated hub's
+failure surface: the network between a puller and a peer.  A
+:class:`NetFaultPlan` declares exactly which HTTP requests misbehave and
+how, at the handler seam inside
+:class:`~repro.hub.httpd.HubHTTPServer` — the one point every request
+passes through, whatever transport quirks the client has.
+
+Fault actions:
+
+``error``
+    Respond with an HTTP error status (default 500) instead of routing.
+``unavailable``
+    Respond 503 with an optional ``Retry-After`` header — the polite
+    overload signal :class:`~repro.hub.retry.Retrier` honors.
+``drop``
+    Close the connection without writing any response: the client sees
+    ``RemoteDisconnected`` / ``ECONNRESET``, exactly like a peer dying
+    mid-request.
+``truncate``
+    Send the response headers with the *full* ``Content-Length`` but
+    only the first ``offset`` body bytes, then close: the client's read
+    fails with ``IncompleteRead`` — a torn transfer.
+``delay``
+    Sleep ``delay_s`` (through the plan's injectable ``sleep``) before
+    handling normally — a slow peer.  Tests inject a recording sleep so
+    no real time passes.
+
+Sites are ``"<peer>:<path>"`` strings (e.g.
+``"n1:/v1/repos/demo/3/files/catalog.db"``) matched with ``fnmatch``
+patterns, so a plan can target one peer, one route, or one exact file.
+A point's ``op``/``count`` select *which* matching requests fire —
+``op=4, count=2`` means "the 5th and 6th matching requests fail", which
+is how flapping peers are scripted deterministically.
+
+With no plan installed the hook is a single ``is None`` check per
+request.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.obs.metrics import counter
+
+__all__ = [
+    "NET_ACTIONS",
+    "FiredNetFault",
+    "NetFaultPlan",
+    "NetFaultPoint",
+    "get_net_plan",
+    "inject_net",
+    "set_net_plan",
+]
+
+#: Fault actions a :class:`NetFaultPoint` can request.
+NET_ACTIONS = ("error", "unavailable", "drop", "truncate", "delay")
+
+
+@dataclass
+class NetFaultPoint:
+    """One trigger: when a matching request arrives, perform ``action``.
+
+    Attributes:
+        site: ``fnmatch`` pattern matched against ``"<peer>:<path>"``.
+        op: Fire starting at the N-th *matching* request (0-based);
+            ``None`` fires from the first match.
+        count: Number of consecutive matching requests to fire on —
+            ``count=2`` takes a peer down for exactly two requests, so a
+            flapping peer is a list of points at different ``op`` values.
+        action: One of :data:`NET_ACTIONS`.
+        status: HTTP status for ``error`` (default 500).
+        retry_after: ``Retry-After`` seconds sent with ``unavailable``.
+        offset: Body bytes actually sent by ``truncate``.
+        delay_s: Seconds slept by ``delay`` (via the plan's ``sleep``).
+        message: Text carried in injected error bodies.
+    """
+
+    site: str = "*"
+    op: Optional[int] = None
+    count: int = 1
+    action: str = "drop"
+    status: int = 500
+    retry_after: Optional[float] = None
+    offset: int = 0
+    delay_s: float = 0.0
+    message: str = "injected network fault"
+
+    def __post_init__(self) -> None:
+        if self.action not in NET_ACTIONS:
+            raise ValueError(
+                f"unknown net fault action {self.action!r}; "
+                f"expected one of {NET_ACTIONS}"
+            )
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        self._matches_seen = 0
+        self.fired_count = 0
+
+    def matches(self, site: str) -> bool:
+        """Does this point trigger for the current request?"""
+        if not fnmatch.fnmatch(site, self.site):
+            return False
+        index = self._matches_seen
+        self._matches_seen += 1
+        first = self.op if self.op is not None else 0
+        if not (first <= index < first + self.count):
+            return False
+        self.fired_count += 1
+        return True
+
+
+@dataclass
+class FiredNetFault:
+    """Record of one network fault that actually triggered."""
+
+    site: str
+    op: int
+    action: str
+
+
+class NetFaultPlan:
+    """A deterministic schedule of network faults plus a request counter.
+
+    Args:
+        points: Fault triggers, consulted in order; the first match wins.
+        sleep: Injectable sleep used by ``delay`` points — tests pass a
+            recorder so chaos runs take no real wall time.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[NetFaultPoint] = (),
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.points = list(points)
+        self.sleep = sleep if sleep is not None else time.sleep
+        self.ops = 0
+        self.fired: list[FiredNetFault] = []
+        self._lock = threading.Lock()
+
+    def on_request(self, site: str) -> Optional[NetFaultPoint]:
+        """Consult the plan for one request; returns the firing point.
+
+        ``delay`` points sleep here (outside the plan lock is not needed
+        — the injected sleep is the fault) and return ``None`` so the
+        handler proceeds normally; every other action is interpreted by
+        the caller.
+        """
+        with self._lock:
+            op_index = self.ops
+            self.ops += 1
+            point = None
+            # Every point sees every request (so each point's op window
+            # counts *site matches*, not leftovers after earlier points);
+            # the first firing point wins.
+            for candidate in self.points:
+                hit = candidate.matches(site)
+                if hit and point is None:
+                    point = candidate
+            if point is None:
+                return None
+            self.fired.append(FiredNetFault(site, op_index, point.action))
+            counter("faults.net.fired").inc()
+            counter(f"faults.net.fired.{point.action}").inc()
+        if point.action == "delay":
+            self.sleep(point.delay_s)
+            return None
+        return point
+
+
+# -- the process-global active plan ---------------------------------------------
+
+_active_net_plan: Optional[NetFaultPlan] = None
+
+
+def get_net_plan() -> Optional[NetFaultPlan]:
+    """The currently injected network plan, or ``None`` (the default)."""
+    return _active_net_plan
+
+
+def set_net_plan(plan: Optional[NetFaultPlan]) -> None:
+    """Install (or clear, with ``None``) the process-global network plan."""
+    global _active_net_plan
+    _active_net_plan = plan
+
+
+@contextmanager
+def inject_net(plan: NetFaultPlan) -> Iterator[NetFaultPlan]:
+    """Scope a network fault plan: active inside the block, cleared on exit."""
+    previous = get_net_plan()
+    set_net_plan(plan)
+    try:
+        yield plan
+    finally:
+        set_net_plan(previous)

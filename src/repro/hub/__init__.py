@@ -14,17 +14,40 @@ transport in front of the same directory: ``dlv hub-serve`` exposes
 search and pull over the wire, with ``/metrics`` (JSON or Prometheus
 text) and ``traceparent`` adoption, and :class:`HubClient` speaks to it
 transparently whenever the hub location is an ``http(s)://`` URL.
+
+The hub scales out as a *replicated fleet*: a primary (the only
+writable peer) plus read replicas kept in sync by
+:class:`~repro.hub.replication.Replicator` (async pull-based sync with
+revision watermarks and lag metrics).  :class:`~repro.hub.fleet.FleetClient`
+— used automatically by :class:`HubClient` when given several URLs —
+adds health-checked read routing, per-peer circuit breakers, and
+mid-pull failover on top of the resumable chunk transfer in
+:mod:`repro.hub.transfer`, so one dead or flapping peer never fails a
+pull.
 """
 
 from repro.hub.client import HubClient
-from repro.hub.httpd import HubHTTPServer, RemoteHub, RemoteHubError
+from repro.hub.fleet import CircuitBreaker, FleetClient, HubFleet, NoHealthyPeer
+from repro.hub.httpd import (
+    HubHTTPServer,
+    RemoteHub,
+    RemoteHubError,
+    RemoteHubUnavailable,
+)
+from repro.hub.replication import Replicator
 from repro.hub.server import HubRecord, HubServer
 
 __all__ = [
+    "CircuitBreaker",
+    "FleetClient",
     "HubClient",
+    "HubFleet",
     "HubHTTPServer",
     "HubRecord",
     "HubServer",
+    "NoHealthyPeer",
     "RemoteHub",
     "RemoteHubError",
+    "RemoteHubUnavailable",
+    "Replicator",
 ]

@@ -1,0 +1,512 @@
+"""Replicated hub fleet: failover reads over N peers.
+
+The paper's ModelHub is a single always-available service; in practice
+one hub process is one fault away from failing every ``dlv serve --hub``
+boot.  This module is the client half of the replicated answer (the
+server half is :mod:`repro.hub.replication`):
+
+* :class:`CircuitBreaker` — per-peer failure accounting.  After
+  ``failure_threshold`` consecutive failures the breaker *opens* and the
+  peer is skipped for ``cooldown_s`` (measured on an injectable
+  monotonic clock, so tests advance time explicitly); after the
+  cooldown one probe request half-opens it.
+* :class:`FleetClient` — fronts a list of
+  :class:`~repro.hub.httpd.RemoteHub` peers with health-checked routing,
+  per-request socket deadlines, round-robin read spreading, and
+  automatic failover: any network-shaped failure (connection refused or
+  dropped, truncated body, timeout, 429/5xx) marks the peer and moves to
+  the next one.  Pulls are *resumable across failover*: the per-file
+  sha256 progress in the ``.partial`` state file (see
+  :mod:`repro.hub.transfer`) means a pull that loses its peer mid-tree
+  continues on another replica without re-downloading verified files.
+* :class:`HubFleet` — boots a simulated primary + followers fleet in
+  one process (each peer its own directory and
+  :class:`~repro.hub.httpd.HubHTTPServer`), the fixture the chaos suite
+  and the examples stand on.
+
+A replica that answers but *lags* (404 for a revision it has not synced
+yet) is not a failure — the client just tries the next peer without
+charging the breaker.
+"""
+
+from __future__ import annotations
+
+import http.client
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.dlv.repository import Repository
+from repro.faults import fs as ffs
+from repro.hub.httpd import DEFAULT_HUB_TIMEOUT_S, HubHTTPServer, RemoteHub
+from repro.hub.replication import Replicator
+from repro.hub.retry import Retrier
+from repro.hub.server import HubRecord, HubServer, verify_tree
+from repro.hub.transfer import open_transfer
+from repro.obs.metrics import counter, get_registry
+from repro.obs.tracing import trace_span
+
+__all__ = ["CircuitBreaker", "FleetClient", "HubFleet", "NoHealthyPeer"]
+
+#: Exception shapes that mean "this peer failed", triggering failover.
+NETWORK_FAILURES = (OSError, http.client.HTTPException)
+
+
+class NoHealthyPeer(OSError):
+    """Every peer in the fleet failed (or had its breaker open)."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one peer.
+
+    Closed (normal) → open after ``failure_threshold`` consecutive
+    failures → half-open after ``cooldown_s``: one request is allowed
+    through; success closes the breaker, failure re-opens it for
+    another cooldown.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    def allow(self) -> bool:
+        """May a request be sent to this peer right now?"""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                # Half-open: let exactly one probe through per cooldown.
+                if not self._probing:
+                    self._probing = True
+                    return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            reopened = self._probing
+            if reopened or self._consecutive_failures >= self.failure_threshold:
+                if self._opened_at is None or reopened:
+                    counter("hub.fleet.breaker_opened").inc()
+                self._opened_at = self.clock()
+                self._probing = False
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                return "half-open"
+            return "open"
+
+
+class _Peer:
+    """One fleet member: url + lazy connection + breaker."""
+
+    def __init__(
+        self, url: str, timeout: float, breaker: CircuitBreaker
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+        self.breaker = breaker
+        self.remote = RemoteHub(self.url, timeout=timeout)
+
+    def close(self) -> None:
+        self.remote.close()
+
+
+class FleetClient:
+    """Read client over a replicated hub fleet.
+
+    Args:
+        urls: Peer addresses (list, or one comma-separated string).
+            Order matters only as a tiebreak — reads round-robin across
+            peers whose breaker is closed.
+        timeout: Per-request socket deadline, seconds.
+        retrier: Policy for *metadata* reads (search/revisions/manifest)
+            once failover across all peers has been exhausted; defaults
+            to a single pass (failover across N peers already is the
+            retry).  File transfers never retry blindly — they resume.
+        failure_threshold / cooldown_s / clock: Breaker tuning (see
+            :class:`CircuitBreaker`).
+    """
+
+    def __init__(
+        self,
+        urls: str | Sequence[str],
+        timeout: float = DEFAULT_HUB_TIMEOUT_S,
+        retrier: Optional[Retrier] = None,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if isinstance(urls, str):
+            urls = [u.strip() for u in urls.split(",") if u.strip()]
+        if not urls:
+            raise ValueError("fleet needs at least one peer url")
+        for url in urls:
+            if not url.startswith(("http://", "https://")):
+                raise ValueError(f"not an http(s) peer url: {url!r}")
+        clock = clock if clock is not None else time.monotonic
+        self.timeout = timeout
+        self.peers = [
+            _Peer(
+                url,
+                timeout,
+                CircuitBreaker(failure_threshold, cooldown_s, clock),
+            )
+            for url in urls
+        ]
+        self.retrier = retrier if retrier is not None else Retrier(attempts=1)
+        self._lock = threading.Lock()
+        self._rr = 0
+
+    def close(self) -> None:
+        for peer in self.peers:
+            peer.close()
+
+    def __enter__(self) -> "FleetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- routing --------------------------------------------------------------
+
+    def _rotation(self) -> list[_Peer]:
+        """Peers in this request's try-order (round-robin start)."""
+        with self._lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % len(self.peers)
+        ordered = self.peers[start:] + self.peers[:start]
+        available = [p for p in ordered if p.breaker.allow()]
+        # All breakers open: trying *something* beats failing for sure.
+        return available or ordered
+
+    def _each_peer(self, fn: Callable[[_Peer], object], what: str):
+        """Run ``fn`` against peers in rotation until one succeeds.
+
+        ``KeyError`` (a lagging replica that lacks the name/revision) is
+        remembered but does not charge the breaker; network failures do.
+        Raises the last error when every peer failed, or the remembered
+        ``KeyError`` when peers were healthy but none had the data.
+        """
+        last_network: Optional[Exception] = None
+        last_missing: Optional[KeyError] = None
+        for peer in self._rotation():
+            try:
+                result = fn(peer)
+            except KeyError as exc:
+                last_missing = exc
+                continue
+            except NETWORK_FAILURES as exc:
+                peer.breaker.record_failure()
+                counter("hub.fleet.peer_failures").inc()
+                last_network = exc
+                continue
+            peer.breaker.record_success()
+            return result
+        if last_missing is not None and last_network is None:
+            raise last_missing
+        counter("hub.fleet.exhausted").inc()
+        raise NoHealthyPeer(
+            f"all {len(self.peers)} hub peers failed during {what}"
+        ) from (last_network or last_missing)
+
+    # -- read surface ---------------------------------------------------------
+
+    def health(self) -> dict:
+        """Health of the first answering peer (fleet-level liveness)."""
+        return self._each_peer(lambda p: p.remote.health(), "health")
+
+    def status(self) -> list[dict]:
+        """Per-peer probe: healthz payload (or error) + breaker state.
+
+        Unlike the read surface this intentionally touches *every* peer,
+        breaker or not — it is the observability verb behind
+        ``dlv hub status``.
+        """
+        report = []
+        for peer in self.peers:
+            entry = {"url": peer.url, "breaker": peer.breaker.state}
+            try:
+                entry.update(peer.remote.health())
+                entry["ok"] = True
+            except NETWORK_FAILURES as exc:
+                entry["ok"] = False
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+            report.append(entry)
+        return report
+
+    def search(self, pattern: str = "*") -> list[HubRecord]:
+        return self.retrier.call(
+            self._each_peer, lambda p: p.remote.search(pattern), "search"
+        )
+
+    def revisions(self, name: str) -> list[int]:
+        return self.retrier.call(
+            self._each_peer, lambda p: p.remote.revisions(name), "revisions"
+        )
+
+    def manifest(
+        self, name: str, revision: Optional[int] = None
+    ) -> Optional[dict]:
+        return self.retrier.call(
+            self._each_peer,
+            lambda p: p.remote.manifest(name, revision),
+            "manifest",
+        )
+
+    def resolve_revision(
+        self, name: str, revision: Optional[int] = None
+    ) -> int:
+        if revision is not None:
+            return revision
+        # "latest" must come from the most caught-up peer that answers —
+        # a lagging replica would silently serve an old revision.
+        def newest(peer: _Peer) -> int:
+            revs = peer.remote.revisions(name)
+            if not revs:
+                raise KeyError(f"hub has no repository {name!r}")
+            return revs[-1]
+
+        candidates: list[int] = []
+        for peer in self._rotation():
+            try:
+                candidates.append(newest(peer))
+                peer.breaker.record_success()
+            except KeyError:
+                continue
+            except NETWORK_FAILURES:
+                peer.breaker.record_failure()
+                counter("hub.fleet.peer_failures").inc()
+                continue
+        if not candidates:
+            raise NoHealthyPeer(
+                f"no peer could resolve latest revision of {name!r}"
+            )
+        return max(candidates)
+
+    # -- the failover pull ----------------------------------------------------
+
+    def pull(
+        self,
+        name: str,
+        dest: str | Path,
+        revision: Optional[int] = None,
+    ) -> Path:
+        """``dlv pull`` with mid-transfer failover and resume.
+
+        The manifest is fetched first (from any peer) and becomes the
+        transfer's ground truth; files then stream from one peer until
+        it fails, at which point the transfer continues on the next —
+        files already verified against the manifest are never fetched
+        again, in this process or a restarted one (the ``.partial``
+        state survives crashes).  The assembled tree is verified whole
+        against the manifest before the atomic rename into place.
+        """
+        dest = Path(dest)
+        target = dest / Repository.DLV_DIR
+        if target.exists():
+            raise FileExistsError(f"{dest} already contains a dlv repository")
+        dest.mkdir(parents=True, exist_ok=True)
+        with trace_span("hub.fleet.pull", repo=name) as span:
+            rev = self.resolve_revision(name, revision)
+            manifest = self.manifest(name, rev)
+            files = self._each_peer(
+                lambda p: p.remote.files(name, rev), "files"
+            )
+            transfer = open_transfer(dest, name, rev, manifest or {}, files)
+            failovers = self._transfer_with_failover(transfer, name, rev)
+            if manifest is not None:
+                verify_tree(transfer.tmp, manifest)
+                counter("hub.pulls_verified").inc()
+            ffs.replace(transfer.tmp, target, site="hub.pull.replace")
+            transfer.state.discard()
+            span.set_attr("revision", rev)
+            span.set_attr("failovers", failovers)
+            span.set_attr("files_fetched", transfer.stats.files_fetched)
+            span.set_attr("files_resumed", transfer.stats.files_resumed)
+            span.set_attr("bytes", transfer.stats.bytes_fetched)
+        get_registry().window("hub.pull").observe(span.elapsed)
+        return dest
+
+    def _transfer_with_failover(self, transfer, name: str, rev: int) -> int:
+        """Drive the resumable transfer across peers; returns failovers."""
+        failovers = 0
+        last_error: Optional[Exception] = None
+        attempts_left = 2 * len(self.peers)  # bounded even if all flap
+        while transfer.pending():
+            if attempts_left <= 0:
+                counter("hub.fleet.exhausted").inc()
+                raise NoHealthyPeer(
+                    f"pull of {name!r} rev {rev} exhausted all peers "
+                    f"({len(transfer.pending())} files remaining)"
+                ) from last_error
+            attempts_left -= 1
+            peer = self._rotation()[0]
+            try:
+                transfer.run(
+                    lambda rel, offset, _p=peer: _p.remote.fetch_file(
+                        name, rev, rel, offset
+                    )
+                )
+                peer.breaker.record_success()
+            except KeyError as exc:
+                # Lagging replica: no breaker charge, just another peer.
+                last_error = exc
+                failovers += 1
+                counter("hub.fleet.failovers").inc()
+            except NETWORK_FAILURES as exc:
+                peer.breaker.record_failure()
+                counter("hub.fleet.peer_failures").inc()
+                last_error = exc
+                failovers += 1
+                counter("hub.fleet.failovers").inc()
+        return failovers
+
+    def pull_repository(
+        self, name: str, dest: str | Path, revision: Optional[int] = None
+    ) -> Repository:
+        """Pull and open in one step."""
+        return Repository.open(self.pull(name, dest, revision))
+
+    def pull_for_serving(
+        self, name: str, revision: Optional[int] = None
+    ) -> Path:
+        """Pull into a fresh scratch directory (``dlv serve --hub``)."""
+        scratch = Path(tempfile.mkdtemp(prefix=f"dlv-serve-{name}-"))
+        try:
+            return self.pull(name, scratch / "repo", revision)
+        except Exception:
+            shutil.rmtree(scratch, ignore_errors=True)
+            raise
+
+
+class HubFleet:
+    """A simulated fleet: one primary + ``size - 1`` replicas, one process.
+
+    Each peer owns its own hub directory under ``root`` and its own
+    :class:`~repro.hub.httpd.HubHTTPServer`; replicas carry a
+    :class:`~repro.hub.replication.Replicator` pointed at the primary.
+    By default replication is driven manually via :meth:`sync` (what the
+    deterministic chaos tests need); pass ``sync_interval_s`` to run the
+    replicator threads instead.
+
+    Usage::
+
+        with HubFleet(tmp_path, size=3) as fleet:
+            fleet.publish(repo, "shared")
+            fleet.sync()                      # replicas catch up
+            client = fleet.client()           # FleetClient over all peers
+            client.pull("shared", dest)
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        size: int = 3,
+        sync_interval_s: Optional[float] = None,
+        timeout: float = DEFAULT_HUB_TIMEOUT_S,
+    ) -> None:
+        if size < 1:
+            raise ValueError("fleet size must be >= 1")
+        self.root = Path(root)
+        self.size = size
+        self.sync_interval_s = sync_interval_s
+        self.timeout = timeout
+        self.servers: list[HubHTTPServer] = []
+        self.replicators: list[Replicator] = []
+
+    @property
+    def primary(self) -> HubHTTPServer:
+        return self.servers[0]
+
+    @property
+    def urls(self) -> list[str]:
+        return [server.url for server in self.servers]
+
+    def start(self) -> "HubFleet":
+        primary = HubHTTPServer(
+            self.root / "n0", peer_name="n0", role="primary"
+        ).start()
+        self.servers.append(primary)
+        for i in range(1, self.size):
+            store = HubServer(self.root / f"n{i}")
+            replicator = Replicator(
+                store,
+                primary.url,
+                interval_s=self.sync_interval_s or 2.0,
+                timeout=self.timeout,
+            )
+            server = HubHTTPServer(
+                store,
+                peer_name=f"n{i}",
+                role="replica",
+                replicator=replicator,
+            ).start()
+            self.replicators.append(replicator)
+            self.servers.append(server)
+        if self.sync_interval_s is not None:
+            for replicator in self.replicators:
+                replicator.start()
+        return self
+
+    def stop(self) -> None:
+        for replicator in self.replicators:
+            replicator.stop()
+        for server in self.servers:
+            server.stop()
+        self.servers = []
+        self.replicators = []
+
+    def publish(self, repo: Repository, name: str, description: str = ""):
+        """Publish to the primary (the only writable peer)."""
+        model_names = sorted({v.name for v in repo.list_versions()})
+        return self.primary.server.publish(
+            name,
+            repo.dlv_dir,
+            description=description,
+            model_names=model_names,
+        )
+
+    def sync(self) -> int:
+        """Run one sync round on every replica; returns revisions copied."""
+        return sum(r.sync_once() for r in self.replicators)
+
+    def client(self, **kwargs) -> FleetClient:
+        """A :class:`FleetClient` over every peer in this fleet."""
+        kwargs.setdefault("timeout", self.timeout)
+        return FleetClient(self.urls, **kwargs)
+
+    def kill(self, index: int) -> None:
+        """Hard-stop one peer (chaos: the node is gone, port refused)."""
+        self.servers[index].stop()
+
+    def __enter__(self) -> "HubFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -6,7 +6,10 @@ front of it so a :class:`~repro.hub.client.HubClient` on another machine
 (or just another process) can search and pull over the wire.  Endpoints:
 
 =============================================  ==============================
-``GET /healthz``                               Liveness probe.
+``GET /healthz``                               Liveness + fleet identity:
+                                               peer name, role, replication
+                                               watermark (and replicator
+                                               stats on followers).
 ``GET /metrics``                               ``repro.obs`` dump (JSON);
                                                Prometheus text under
                                                ``Accept: text/plain``.
@@ -17,19 +20,33 @@ front of it so a :class:`~repro.hub.client.HubClient` on another machine
 ``GET /v1/repos/<name>/<rev>/manifest``        Checksum manifest (``latest``
                                                resolves the newest revision).
 ``GET /v1/repos/<name>/<rev>/files``           Relative paths in the tree.
-``GET /v1/repos/<name>/<rev>/files/<rel>``     Raw bytes of one file.
+``GET /v1/repos/<name>/<rev>/files/<rel>``     Raw bytes of one file; honors
+                                               ``Range: bytes=N-`` with a
+                                               206 so interrupted transfers
+                                               resume mid-file.
 =============================================  ==============================
 
 Every handler adopts an incoming ``traceparent`` header, so a remote
 pull's server-side ``hub.http.*`` spans join the puller's trace — the
 same propagation contract the serving tier speaks.
 
-:class:`RemoteHub` is the matching client: keep-alive ``http.client``,
-the same ``search``/``revisions``/``manifest`` surface as
-:class:`HubServer`, plus :meth:`RemoteHub.fetch_tree`, which downloads a
-whole published revision file-by-file.  It sends the calling context's
-``traceparent`` on every request and bills downloaded bytes to the
-context's :class:`~repro.obs.cost.RequestCost`.
+Every request also passes one deterministic chaos seam: an injected
+:class:`~repro.faults.net.NetFaultPlan` is consulted (site
+``"<peer>:<path>"``) before routing, and may answer with an error
+status, a 503 + ``Retry-After``, a dropped connection, a truncated body,
+or an injected delay — which is how the fleet's failover paths are
+proven without real networks misbehaving on cue.
+
+:class:`RemoteHub` is the matching client: keep-alive ``http.client``
+with a per-request socket timeout, the same ``search``/``revisions``/
+``manifest`` surface as :class:`HubServer`, plus :meth:`RemoteHub.fetch_file`
+(range-resumable single file) and :meth:`RemoteHub.fetch_tree`, which
+downloads a whole published revision file-by-file.  It sends the calling
+context's ``traceparent`` on every request and bills downloaded bytes to
+the context's :class:`~repro.obs.cost.RequestCost`.  429/5xx
+responses raise :class:`RemoteHubUnavailable` — an :class:`OSError`
+carrying any server ``Retry-After`` — so retriers and the fleet's
+circuit breakers treat them as transient.
 """
 
 from __future__ import annotations
@@ -43,6 +60,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Optional
 
+from repro.faults.net import get_net_plan
 from repro.hub.server import HubRecord, HubServer
 from repro.obs.cost import charge
 from repro.obs.export import mark_orphans
@@ -59,7 +77,16 @@ from repro.obs.prometheus import (
 )
 from repro.obs.tracing import get_recorder, trace_span
 
-__all__ = ["HubHTTPServer", "RemoteHub", "RemoteHubError"]
+__all__ = [
+    "HubHTTPServer",
+    "RemoteHub",
+    "RemoteHubError",
+    "RemoteHubUnavailable",
+]
+
+#: Default socket/read timeout for hub requests — a hung peer must fail
+#: the request (so retries and failover can act), not block a pull forever.
+DEFAULT_HUB_TIMEOUT_S = 30.0
 
 
 class RemoteHubError(RuntimeError):
@@ -69,6 +96,22 @@ class RemoteHubError(RuntimeError):
         super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
         self.status = status
         self.payload = payload
+
+
+class RemoteHubUnavailable(RemoteHubError, OSError):
+    """429/5xx from a remote hub: transient, retry elsewhere or later.
+
+    An :class:`OSError` subclass so :class:`~repro.hub.retry.Retrier`
+    retries it; carries the server's ``Retry-After`` (seconds, or
+    ``None``) which the retrier honors over its own backoff.
+    """
+
+    def __init__(
+        self, status: int, payload: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        RemoteHubError.__init__(self, status, payload)
+        self.retry_after = retry_after
 
 
 class _HTTPError(Exception):
@@ -91,21 +134,72 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload, default=str).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    def _send_payload(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        """One choke point for every response — where truncation bites.
 
-    def _send_bytes(self, status: int, body: bytes,
-                    content_type: str = "application/octet-stream") -> None:
+        A ``truncate`` net fault promises the full ``Content-Length``
+        but writes only the first N bytes and closes the connection, so
+        the client's read fails with ``IncompleteRead`` exactly like a
+        torn transfer.
+        """
+        truncate = getattr(self, "_truncate_body", None)
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        for key, value in (extra_headers or {}).items():
+            self.send_header(key, str(value))
+        if truncate is not None and truncate < len(body):
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body[:truncate])
+            self.close_connection = True
+        else:
+            self.end_headers()
+            self.wfile.write(body)
+
+    def _send_json(
+        self, status: int, payload: dict,
+        extra_headers: Optional[dict] = None,
+    ) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self._send_payload(status, body, "application/json", extra_headers)
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str = "application/octet-stream",
+                    extra_headers: Optional[dict] = None) -> None:
+        self._send_payload(status, body, content_type, extra_headers)
+
+    def _apply_net_fault(self, path: str) -> bool:
+        """Consult the chaos plan; returns True when the request is done."""
+        plan = get_net_plan()
+        if plan is None:
+            return False
+        hub = self.server.hub_http
+        point = plan.on_request(f"{hub.peer_name}:{path}")
+        if point is None:
+            return False
+        if point.action == "drop":
+            # No response at all: the client sees the connection die.
+            self.close_connection = True
+            return True
+        if point.action == "error":
+            self._send_json(point.status, {"error": point.message})
+            return True
+        if point.action == "unavailable":
+            headers = {}
+            if point.retry_after is not None:
+                headers["Retry-After"] = f"{point.retry_after:g}"
+            self._send_json(503, {"error": point.message}, headers)
+            return True
+        # truncate: let routing proceed; _send_payload tears the body.
+        self._truncate_body = point.offset
+        return False
 
     def _dispatch(self) -> None:
         hub = self.server.hub_http
@@ -118,6 +212,8 @@ class _Handler(BaseHTTPRequestHandler):
         query = urllib.parse.parse_qs(parsed.query)
         ctx = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
         try:
+            if self._apply_net_fault(parsed.path):
+                return
             with trace_span(
                 "hub.http",
                 trace_id=ctx.trace_id if ctx else None,
@@ -137,7 +233,7 @@ class _Handler(BaseHTTPRequestHandler):
     def _route(self, hub: "HubHTTPServer", parts: list[str],
                query: dict[str, list[str]]) -> None:
         if parts == ["healthz"]:
-            self._send_json(200, {"status": "ok", "root": str(hub.server.root)})
+            self._send_json(200, hub.health_payload())
         elif parts == ["metrics"]:
             if wants_text(self.headers.get("Accept")):
                 self._send_bytes(
@@ -200,11 +296,41 @@ class _Handler(BaseHTTPRequestHandler):
                 raise _HTTPError(403, {"error": f"path escapes tree: {rel}"})
             if not target.is_file():
                 raise _HTTPError(404, {"error": f"no file {rel}"})
-            self._send_bytes(200, target.read_bytes())
+            data = target.read_bytes()
+            start = self._range_start(len(data))
+            if start is None:
+                self._send_bytes(200, data)
+            else:
+                self._send_bytes(
+                    206,
+                    data[start:],
+                    extra_headers={
+                        "Content-Range":
+                            f"bytes {start}-{len(data) - 1}/{len(data)}",
+                    },
+                )
         else:
             raise _HTTPError(
                 404, {"error": f"no route {self.command} {self.path}"}
             )
+
+    def _range_start(self, size: int) -> Optional[int]:
+        """Parse an open-ended ``Range: bytes=N-`` header (or ``None``).
+
+        Only the suffix-open form the resumable transfer sends is
+        supported; anything else is ignored and the full body returned
+        (a legal, if unhelpful, server response to any Range request).
+        """
+        header = self.headers.get("Range", "")
+        if not header.startswith("bytes=") or not header.endswith("-"):
+            return None
+        raw = header[len("bytes="):-1]
+        if not raw.isdigit():
+            return None
+        start = int(raw)
+        if start <= 0 or start > size:
+            return None
+        return start
 
     @staticmethod
     def _revision(raw: str) -> Optional[int]:
@@ -249,6 +375,14 @@ class HubHTTPServer:
         host / port: Bind address; port 0 lets the OS pick.
         registry: Metrics registry backing ``/metrics`` (defaults to the
             process-global one, so ``dlv stats`` agrees).
+        peer_name: Fleet identity reported by ``/healthz`` and used as
+            the chaos-plan site prefix (default ``"hub"``).
+        role: ``"primary"`` or ``"replica"`` — advisory, reported by
+            ``/healthz`` so a :class:`~repro.hub.fleet.FleetClient` can
+            tell the topology apart.
+        replicator: Optional :class:`~repro.hub.replication.Replicator`
+            whose stats ``/healthz`` reports.  Lifecycle stays with the
+            caller — the HTTP server never starts or stops replication.
     """
 
     def __init__(
@@ -257,11 +391,17 @@ class HubHTTPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         registry: Optional[MetricsRegistry] = None,
+        peer_name: str = "hub",
+        role: str = "primary",
+        replicator=None,
     ) -> None:
         self.server = root if isinstance(root, HubServer) else HubServer(root)
         self.host = host
         self._port = port
         self.registry = registry if registry is not None else get_registry()
+        self.peer_name = peer_name
+        self.role = role
+        self.replicator = replicator
         self._httpd: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
         # Guards lifecycle writes (_httpd/_thread); reads stay lockless.
@@ -278,6 +418,19 @@ class HubHTTPServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}"
 
+    def health_payload(self) -> dict:
+        """What ``/healthz`` reports: liveness plus fleet identity."""
+        payload = {
+            "status": "ok",
+            "root": str(self.server.root),
+            "peer": self.peer_name,
+            "role": self.role,
+            "watermark": self.server.watermark(),
+        }
+        if self.replicator is not None:
+            payload["replication"] = self.replicator.stats()
+        return payload
+
     def start(self) -> "HubHTTPServer":
         with self._lifecycle:
             if self._httpd is not None:
@@ -286,7 +439,7 @@ class HubHTTPServer:
             self._httpd.hub_http = self
             self._thread = threading.Thread(
                 target=self._httpd.serve_forever,
-                name="dlv-hub-http",
+                name=f"dlv-hub-http-{self.peer_name}",
                 daemon=True,
             )
             thread = self._thread
@@ -315,12 +468,21 @@ class RemoteHub:
     """Keep-alive HTTP client for a :class:`HubHTTPServer`.
 
     Mirrors the read side of :class:`HubServer` — ``search``,
-    ``revisions``, ``manifest`` — and adds :meth:`fetch_tree` for
-    materializing a published revision locally.  One instance per
-    thread; the underlying connection is not thread-safe.
+    ``revisions``, ``manifest`` — and adds :meth:`fetch_file` /
+    :meth:`fetch_tree` for materializing published bytes locally.  One
+    instance per thread; the underlying connection is not thread-safe.
+
+    Args:
+        url: ``http(s)://`` address of a running hub.
+        timeout: Socket timeout per request, seconds
+            (:data:`DEFAULT_HUB_TIMEOUT_S`).  Covers connect *and* each
+            read, so a peer that accepts and then hangs fails the
+            request instead of blocking a pull indefinitely.
     """
 
-    def __init__(self, url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self, url: str, timeout: float = DEFAULT_HUB_TIMEOUT_S
+    ) -> None:
         parsed = urllib.parse.urlsplit(url)
         if parsed.scheme not in ("http", "https"):
             raise ValueError(f"not an http(s) hub url: {url!r}")
@@ -342,7 +504,9 @@ class RemoteHub:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _roundtrip(self, path: str) -> tuple[int, bytes]:
+    def _roundtrip(
+        self, path: str, extra_headers: Optional[dict] = None
+    ) -> tuple[int, bytes, dict]:
         if self._conn is None:
             conn_cls = (
                 http.client.HTTPSConnection
@@ -355,44 +519,78 @@ class RemoteHub:
                 self._conn.sock.setsockopt(
                     socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
                 )
-        headers = {}
+        headers = dict(extra_headers or {})
         traceparent = current_traceparent()
         if traceparent:
             headers[TRACEPARENT_HEADER] = traceparent
         self._conn.request("GET", path, headers=headers)
         response = self._conn.getresponse()
-        return response.status, response.read()
+        return response.status, response.read(), dict(response.getheaders())
 
-    def _get(self, path: str) -> tuple[int, bytes]:
+    def _get(
+        self, path: str, extra_headers: Optional[dict] = None
+    ) -> tuple[int, bytes, dict]:
         try:
-            return self._roundtrip(path)
+            return self._roundtrip(path, extra_headers)
         except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+            # Stale keep-alive connection: reconnect once and retry.  A
+            # second failure propagates — that is a peer problem, and
+            # the caller's retrier/failover owns it from here.
             self.close()
-            return self._roundtrip(path)
+            try:
+                return self._roundtrip(path, extra_headers)
+            except Exception:
+                self.close()
+                raise
+        except OSError:
+            self.close()
+            raise
 
-    def _get_json(self, path: str) -> dict:
-        status, raw = self._get(path)
+    @staticmethod
+    def _retry_after(headers: dict) -> Optional[float]:
+        raw = headers.get("Retry-After")
+        if raw is None:
+            return None
+        try:
+            return float(raw)
+        except ValueError:  # http-date form: not worth parsing here
+            return None
+
+    def _raise_for_status(
+        self, path: str, status: int, raw: bytes, headers: dict
+    ) -> None:
+        if status < 400:
+            return
         try:
             data = json.loads(raw or b"{}")
         except json.JSONDecodeError:
             data = {"error": raw.decode(errors="replace")}
-        if status >= 400:
-            if status == 404:
-                raise KeyError(data.get("error", f"not found: {path}"))
-            raise RemoteHubError(status, data)
-        return data
+        if status == 404:
+            raise KeyError(data.get("error", f"not found: {path}"))
+        if status == 429 or status >= 500:
+            # Any server-side failure is transient from the client's
+            # seat: retryable here, failover-eligible in a fleet.
+            raise RemoteHubUnavailable(
+                status, data, retry_after=self._retry_after(headers)
+            )
+        raise RemoteHubError(status, data)
 
-    def _get_bytes(self, path: str) -> bytes:
-        status, raw = self._get(path)
-        if status >= 400:
-            try:
-                data = json.loads(raw or b"{}")
-            except json.JSONDecodeError:
-                data = {"error": raw.decode(errors="replace")}
-            if status == 404:
-                raise KeyError(data.get("error", f"not found: {path}"))
-            raise RemoteHubError(status, data)
-        return raw
+    def _get_json(self, path: str) -> dict:
+        status, raw, headers = self._get(path)
+        self._raise_for_status(path, status, raw, headers)
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise RemoteHubError(
+                status, {"error": f"invalid JSON body: {exc}"}
+            ) from None
+
+    def _get_bytes(
+        self, path: str, extra_headers: Optional[dict] = None
+    ) -> tuple[int, bytes]:
+        status, raw, headers = self._get(path, extra_headers)
+        self._raise_for_status(path, status, raw, headers)
+        return status, raw
 
     # -- hub surface ---------------------------------------------------------
 
@@ -434,6 +632,29 @@ class RemoteHub:
         rev = "latest" if revision is None else str(revision)
         return self._get_json(f"/v1/repos/{quoted}/{rev}/files")["files"]
 
+    def fetch_file(
+        self, name: str, revision: int, rel: str, offset: int = 0
+    ) -> bytes:
+        """Bytes of one published file, from ``offset`` to EOF.
+
+        A non-zero offset is sent as ``Range: bytes=N-``; a server that
+        ignores the header (answering 200 with the full body) is
+        handled by slicing locally, so callers always receive exactly
+        the tail they asked for.  Downloaded bytes are billed to the
+        calling context's request cost.
+        """
+        quoted = urllib.parse.quote(name, safe="")
+        quoted_rel = "/".join(
+            urllib.parse.quote(seg, safe="") for seg in rel.split("/")
+        )
+        path = f"/v1/repos/{quoted}/{revision}/files/{quoted_rel}"
+        headers = {"Range": f"bytes={offset}-"} if offset > 0 else None
+        status, data = self._get_bytes(path, headers)
+        if offset > 0 and status != 206:
+            data = data[offset:]
+        charge(bytes_read=len(data), chunks_fetched=1)
+        return data
+
     def fetch_tree(
         self, name: str, revision: Optional[int], dest: str | Path
     ) -> int:
@@ -444,17 +665,10 @@ class RemoteHub:
         cost, so a ``hub.pull`` bill reflects real transfer volume.
         """
         dest = Path(dest)
-        quoted = urllib.parse.quote(name, safe="")
         rev = self.resolve_revision(name, revision)
         total = 0
         for rel in self.files(name, rev):
-            quoted_rel = "/".join(
-                urllib.parse.quote(seg, safe="") for seg in rel.split("/")
-            )
-            data = self._get_bytes(
-                f"/v1/repos/{quoted}/{rev}/files/{quoted_rel}"
-            )
-            charge(bytes_read=len(data), chunks_fetched=1)
+            data = self.fetch_file(name, rev, rel)
             target = dest / rel
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_bytes(data)

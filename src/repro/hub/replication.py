@@ -1,0 +1,206 @@
+"""Asynchronous hub-to-hub replication: primary publish → follower sync.
+
+A replicated hub fleet is one *primary* (where ``dlv publish`` lands)
+plus N read-only followers, each running a :class:`Replicator` against
+the primary's HTTP surface.  Replication is pull-based and idempotent:
+
+1. list the primary's index and per-name revisions,
+2. for every ``(name, revision)`` tree the follower does not hold,
+   fetch it file-by-file into a temp directory,
+3. verify the tree against the primary's sha256 manifest,
+4. atomically install it (manifest file → tree rename → index update)
+   via :meth:`~repro.hub.server.HubServer.install_revision`.
+
+Because revisions are immutable once published, there is no conflict
+resolution — a follower converges by copying trees it misses, and its
+*watermark* (count of ``(name, revision)`` trees held, see
+:meth:`HubServer.watermark`) meets the primary's when it is caught up.
+``hub.replication.lag`` (a gauge) tracks the difference after every
+sync round; ``/healthz`` on a follower reports the same numbers.
+
+Sync runs either on demand (:meth:`Replicator.sync_once` — what the
+deterministic chaos tests drive) or on a background thread
+(:meth:`start`/:meth:`stop`) that polls at ``interval_s`` using an
+``Event`` wait, so ``stop`` never blocks for a full interval.
+"""
+
+from __future__ import annotations
+
+import http.client
+import shutil
+import threading
+from typing import Optional
+
+from repro.hub.httpd import RemoteHub
+from repro.hub.server import HubServer, verify_tree
+from repro.obs.metrics import counter, gauge
+from repro.obs.tracing import trace_span
+
+__all__ = ["Replicator"]
+
+
+class Replicator:
+    """Keeps one follower :class:`HubServer` in sync with a primary.
+
+    Args:
+        local: The follower's hub directory (written by sync).
+        primary_urls: One or more ``http://`` addresses of the primary
+            tier; sync uses the first one that answers, so a primary
+            behind several addresses (or a re-elected one) still feeds
+            the follower.
+        interval_s: Poll period of the background thread.
+        timeout: Socket timeout for primary requests.
+    """
+
+    def __init__(
+        self,
+        local: HubServer,
+        primary_urls: str | list[str],
+        interval_s: float = 2.0,
+        timeout: float = 10.0,
+    ) -> None:
+        if isinstance(primary_urls, str):
+            primary_urls = [
+                u.strip() for u in primary_urls.split(",") if u.strip()
+            ]
+        if not primary_urls:
+            raise ValueError("replicator needs at least one primary url")
+        self.local = local
+        self.primary_urls = list(primary_urls)
+        self.interval_s = interval_s
+        self.timeout = timeout
+        self._thread: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        # Guards lifecycle writes (_thread) and the stats dict.
+        self._lock = threading.Lock()
+        self._stats = {
+            "synced_revisions": 0,
+            "sync_rounds": 0,
+            "sync_errors": 0,
+            "lag": None,
+            "last_error": "",
+            "primary": "",
+        }
+
+    # -- one synchronous round (what tests drive directly) -------------------
+
+    def sync_once(self) -> int:
+        """Run one full sync round; returns revisions copied.
+
+        Raises on total failure (no primary reachable); partial
+        progress before an error is kept — every installed revision was
+        individually verified, so there is nothing to roll back.
+        """
+        with trace_span("hub.replication.sync", follower=str(self.local.root)):
+            try:
+                copied = self._sync_round()
+            except Exception as exc:
+                with self._lock:
+                    self._stats["sync_errors"] += 1
+                    self._stats["last_error"] = f"{type(exc).__name__}: {exc}"
+                counter("hub.replication.sync_errors").inc()
+                raise
+        return copied
+
+    def _sync_round(self) -> int:
+        last_error: Optional[Exception] = None
+        for url in self.primary_urls:
+            remote = RemoteHub(url, timeout=self.timeout)
+            try:
+                copied, primary_watermark = self._sync_from(remote)
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+                continue
+            finally:
+                remote.close()
+            lag = max(0, primary_watermark - self.local.watermark())
+            gauge("hub.replication.lag").set(lag)
+            with self._lock:
+                self._stats["synced_revisions"] += copied
+                self._stats["sync_rounds"] += 1
+                self._stats["lag"] = lag
+                self._stats["primary"] = url
+                self._stats["last_error"] = ""
+            if copied:
+                counter("hub.replication.synced_revisions").inc(copied)
+            return copied
+        raise OSError(
+            f"no primary reachable among {self.primary_urls}"
+        ) from last_error
+
+    def _sync_from(self, remote: RemoteHub) -> tuple[int, int]:
+        primary_watermark = int(remote.health().get("watermark", 0))
+        copied = 0
+        for record in remote.search("*"):
+            have = set(self.local.revisions(record.name))
+            for revision in remote.revisions(record.name):
+                if revision in have:
+                    continue
+                if self._copy_revision(remote, record, revision):
+                    copied += 1
+        return copied, primary_watermark
+
+    def _copy_revision(self, remote, record, revision: int) -> bool:
+        """Fetch + verify + install one revision tree; True when installed."""
+        manifest = remote.manifest(record.name, revision)
+        tmp = (
+            self.local.root / "repos" / record.name
+            / f".sync.{revision}.tmp"
+        )
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            remote.fetch_tree(record.name, revision, tmp)
+            if manifest is not None:
+                verify_tree(tmp, manifest)
+            return self.local.install_revision(
+                record.name, revision, tmp, manifest or {}, record
+            )
+        except Exception:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+
+    # -- background thread ----------------------------------------------------
+
+    def start(self) -> "Replicator":
+        """Start the poll thread (idempotent per lifecycle)."""
+        with self._lock:
+            if self._thread is not None:
+                raise RuntimeError("replicator already started")
+            self._wake.clear()
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"dlv-hub-sync-{self.local.root.name}",
+                daemon=True,
+            )
+            thread = self._thread
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        self._wake.set()
+        if thread is not None:
+            thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        while not self._wake.is_set():
+            try:
+                self.sync_once()
+            except Exception:  # noqa: BLE001 - stats/metrics already updated
+                pass
+            self._wake.wait(self.interval_s)
+
+    def stats(self) -> dict:
+        """Snapshot of sync progress (what ``/healthz`` reports)."""
+        with self._lock:
+            return dict(self._stats)
+
+    def __enter__(self) -> "Replicator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

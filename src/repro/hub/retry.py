@@ -1,11 +1,24 @@
 """Retrying wrapper for hub operations.
 
 Hub traffic is the one place this system talks to storage it does not
-own, so transient I/O failures (NFS hiccups, racing publishers) are
-expected.  :class:`Retrier` retries a callable under exponential backoff
-with *deterministic* jitter — the jitter is a hash of ``(seed, attempt)``
-rather than a PRNG draw, so tests can assert exact sleep sequences and
-two processes with different seeds still de-synchronize.
+own, so transient I/O failures (NFS hiccups, racing publishers, flapping
+peers) are expected.  :class:`Retrier` retries a callable under
+exponential backoff with *deterministic* jitter — the jitter is a hash
+of ``(seed, attempt)`` rather than a PRNG draw, so tests can assert
+exact sleep sequences and two processes with different seeds still
+de-synchronize.
+
+Two caller-protection features on top of the attempt budget:
+
+* ``deadline_s`` caps *total elapsed time* across attempts (measured by
+  an injectable monotonic clock).  An attempt budget alone can exceed
+  any caller SLA once backoff delays stack up; with a deadline the
+  retrier gives up early rather than sleeping past it.
+* A raised exception carrying a ``retry_after`` attribute (seconds) —
+  e.g. :class:`~repro.hub.httpd.RemoteHubUnavailable` built from a
+  server's ``Retry-After`` header on 429/503 — overrides the computed
+  backoff for that retry: the server knows its own recovery time better
+  than our exponential guess.
 
 Only exceptions in ``retry_on`` (default :class:`OSError`) are retried.
 :class:`~repro.faults.plan.CrashSimulated` is a ``BaseException`` and
@@ -22,6 +35,15 @@ from typing import Callable, Optional, Sequence
 from repro.obs.metrics import counter
 
 
+class RetryDeadlineExceeded(OSError):
+    """The retrier's total-elapsed deadline expired before success.
+
+    Carries the original failure as ``__cause__``.  An :class:`OSError`
+    subclass so an *outer* retrier (with its own, longer deadline) may
+    still treat it as transient.
+    """
+
+
 class Retrier:
     """Call a function, retrying transient failures with backoff.
 
@@ -33,6 +55,11 @@ class Retrier:
             propagates immediately.
         sleep: Injectable sleep function (tests pass a recorder).
         seed: Jitter seed — retries are fully deterministic given it.
+        deadline_s: Optional cap on total elapsed seconds across all
+            attempts.  When the next backoff would overrun it, the
+            retrier raises :class:`RetryDeadlineExceeded` immediately
+            instead of sleeping.
+        clock: Injectable monotonic clock backing the deadline.
     """
 
     def __init__(
@@ -43,15 +70,21 @@ class Retrier:
         retry_on: Sequence[type] = (OSError,),
         sleep: Optional[Callable[[float], None]] = None,
         seed: int = 0,
+        deadline_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if attempts < 1:
             raise ValueError("attempts must be >= 1")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
         self.attempts = attempts
         self.base_delay = base_delay
         self.max_delay = max_delay
         self.retry_on = tuple(retry_on)
         self.sleep = sleep if sleep is not None else time.sleep
         self.seed = seed
+        self.deadline_s = deadline_s
+        self.clock = clock if clock is not None else time.monotonic
 
     def jitter(self, attempt: int) -> float:
         """Deterministic uniform-ish value in ``[0, 1)`` for one attempt."""
@@ -69,12 +102,29 @@ class Retrier:
 
     def call(self, fn: Callable, *args, **kwargs):
         """Run ``fn(*args, **kwargs)``, retrying per this policy."""
+        start = self.clock()
         for attempt in range(self.attempts):
             try:
                 return fn(*args, **kwargs)
-            except self.retry_on:
+            except self.retry_on as exc:
                 counter("hub.retry.attempts").inc()
                 if attempt + 1 == self.attempts:
                     counter("hub.retry.giveups").inc()
                     raise
-                self.sleep(self.delay(attempt))
+                delay = self.delay(attempt)
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    # The server told us when to come back; believe it
+                    # (still capped by the overall deadline below).
+                    delay = float(retry_after)
+                    counter("hub.retry.retry_after_honored").inc()
+                if self.deadline_s is not None:
+                    elapsed = self.clock() - start
+                    if elapsed + delay > self.deadline_s:
+                        counter("hub.retry.deadline_exceeded").inc()
+                        raise RetryDeadlineExceeded(
+                            f"retry deadline of {self.deadline_s:g}s exceeded "
+                            f"after {attempt + 1} attempt(s) "
+                            f"({elapsed:.3f}s elapsed, next delay {delay:.3f}s)"
+                        ) from exc
+                self.sleep(delay)

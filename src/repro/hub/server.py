@@ -224,6 +224,74 @@ class HubServer:
             return []
         return sorted(int(p.name) for p in base.iterdir() if p.is_dir())
 
+    def names(self) -> list[str]:
+        """All published repository names."""
+        return sorted(self._load_index())
+
+    def watermark(self) -> int:
+        """Replication watermark: count of ``(name, revision)`` trees held.
+
+        Publishes only ever add trees, so the watermark is monotone; a
+        follower is caught up exactly when its watermark matches the
+        primary's.  Counted from the ``repos/`` directory rather than
+        the index so a follower mid-sync reports the trees it can
+        actually serve.
+        """
+        repos = self.root / "repos"
+        if not repos.exists():
+            return 0
+        total = 0
+        for name_dir in repos.iterdir():
+            if name_dir.is_dir():
+                total += sum(
+                    1
+                    for p in name_dir.iterdir()
+                    if p.is_dir() and p.name.isdigit()
+                )
+        return total
+
+    def install_revision(
+        self,
+        name: str,
+        revision: int,
+        tree: Path,
+        manifest: dict[str, str],
+        record: Optional[HubRecord] = None,
+    ) -> bool:
+        """Adopt an already-verified tree as ``name``/``revision``.
+
+        The replication path: a follower fetched and checksum-verified
+        ``tree`` from its primary and now *moves* it into place (the
+        manifest file lands first, the atomic rename is the commit
+        point, the index update comes last — the same
+        never-visible-half-done ordering ``publish`` uses).  Returns
+        ``False`` without touching anything when the revision already
+        exists locally.
+        """
+        _count_request("install")
+        dest = self.root / "repos" / name / str(revision)
+        if dest.exists():
+            shutil.rmtree(tree, ignore_errors=True)
+            return False
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        ffs.write_bytes(
+            self._manifest_path(name, revision),
+            json.dumps(manifest, indent=2).encode(),
+            site="hub.sync.manifest",
+        )
+        ffs.replace(tree, dest, site="hub.sync.install")
+        index = self._load_index()
+        current = index.get(name, {})
+        latest = max(self.revisions(name))
+        merged = record.to_dict() if record is not None else dict(current)
+        merged.setdefault("name", name)
+        # Advertise only what this hub can actually serve: the newest
+        # locally held revision, whatever the primary is already at.
+        merged["revision"] = latest
+        index[name] = merged
+        self._save_index(index)
+        return True
+
     def delete(self, name: str) -> bool:
         """Remove a repository (all revisions) from the hub."""
         _count_request("delete")

@@ -304,3 +304,50 @@ class TestObservabilityCommands:
     def test_hub_serve_requires_hub_flag(self, capsys):
         with pytest.raises(SystemExit):
             main(["hub-serve"])
+
+
+class TestHubStatus:
+    """``dlv hub status`` against an in-process fleet."""
+
+    @pytest.fixture
+    def fleet(self, tmp_path):
+        from repro.hub.fleet import HubFleet
+
+        src = tmp_path / "tree"
+        src.mkdir()
+        (src / "x.bin").write_bytes(b"x" * 256)
+        with HubFleet(tmp_path / "fleet", size=2) as fleet:
+            fleet.primary.server.publish("status-demo", src)
+            fleet.sync()
+            yield fleet
+
+    def test_json_healthy_fleet_exits_zero(self, fleet, capsys):
+        code, out = run(
+            capsys, "hub", "status", "--hub", ",".join(fleet.urls), "--json"
+        )
+        assert code == 0
+        assert out["healthy"] == 2
+        assert out["watermark"] == 1
+        roles = [p["role"] for p in out["peers"]]
+        assert roles == ["primary", "replica"]
+        assert out["peers"][1]["lag"] == 0
+
+    def test_down_peer_exits_nonzero(self, fleet, capsys):
+        fleet.kill(1)
+        code, out = run(
+            capsys, "hub", "status", "--hub", ",".join(fleet.urls), "--json"
+        )
+        assert code == 1
+        assert out["healthy"] == 1
+        assert out["peers"][1]["ok"] is False
+
+    def test_text_report_lists_peers(self, fleet, capsys):
+        code = main(["hub", "status", "--hub", ",".join(fleet.urls)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 peers healthy" in out
+        assert "primary" in out and "replica" in out
+
+    def test_status_requires_hub_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hub", "status"])

@@ -1,0 +1,202 @@
+"""Network fault layer: NetFaultPlan/NetFaultPoint semantics + HTTP seam."""
+
+from __future__ import annotations
+
+import http.client
+
+import pytest
+
+from repro.faults.net import (
+    NetFaultPlan,
+    NetFaultPoint,
+    get_net_plan,
+    inject_net,
+    set_net_plan,
+)
+from repro.hub.httpd import HubHTTPServer, RemoteHub, RemoteHubUnavailable
+from repro.hub.server import HubServer
+
+
+# -- plan semantics --------------------------------------------------------------
+
+
+class TestPointMatching:
+    def test_site_pattern(self):
+        point = NetFaultPoint(site="n0:/v1/repos/*", action="error")
+        assert point.matches("n0:/v1/repos/demo/1/manifest")
+        assert not point.matches("n1:/v1/repos/demo/1/manifest")
+
+    def test_op_window(self):
+        point = NetFaultPoint(site="*", op=2, count=2, action="drop")
+        fired = [point.matches("x:/p") for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_default_fires_from_first_match(self):
+        point = NetFaultPoint(site="*", action="drop")
+        assert point.matches("x:/p")
+        assert not point.matches("x:/p")  # count=1: one firing only
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(ValueError):
+            NetFaultPoint(action="explode")
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            NetFaultPoint(count=0)
+
+
+class TestPlan:
+    def test_first_matching_point_wins(self):
+        plan = NetFaultPlan([
+            NetFaultPoint(site="a:*", action="error", message="first"),
+            NetFaultPoint(site="a:*", action="drop"),
+        ])
+        point = plan.on_request("a:/x")
+        assert point.action == "error" and point.message == "first"
+
+    def test_counts_every_request(self):
+        plan = NetFaultPlan()
+        for _ in range(3):
+            assert plan.on_request("x:/p") is None
+        assert plan.ops == 3
+        assert plan.fired == []
+
+    def test_delay_uses_injected_sleep_and_proceeds(self):
+        slept = []
+        plan = NetFaultPlan(
+            [NetFaultPoint(site="*", action="delay", delay_s=1.5)],
+            sleep=slept.append,
+        )
+        assert plan.on_request("x:/p") is None  # handler proceeds
+        assert slept == [1.5]
+        assert [f.action for f in plan.fired] == ["delay"]
+
+    def test_inject_scopes_plan(self):
+        plan = NetFaultPlan()
+        assert get_net_plan() is None
+        with inject_net(plan) as active:
+            assert get_net_plan() is active
+        assert get_net_plan() is None
+
+    def test_set_plan_restores_previous(self):
+        outer = NetFaultPlan()
+        set_net_plan(outer)
+        try:
+            with inject_net(NetFaultPlan()):
+                pass
+            assert get_net_plan() is outer
+        finally:
+            set_net_plan(None)
+
+
+# -- the HTTP handler seam -------------------------------------------------------
+
+
+@pytest.fixture
+def hub_with_file(tmp_path):
+    hub = HubServer(tmp_path / "hub")
+    src = tmp_path / "tree"
+    src.mkdir()
+    (src / "payload.bin").write_bytes(b"P" * 4096)
+    hub.publish("demo", src)
+    return hub
+
+
+@pytest.fixture
+def httpd(hub_with_file):
+    with HubHTTPServer(hub_with_file, peer_name="n0") as server:
+        yield server
+
+
+class TestHandlerSeam:
+    def test_error_action_returns_status(self, httpd):
+        plan = NetFaultPlan([
+            NetFaultPoint(site="n0:/healthz", action="error", status=500)
+        ])
+        with inject_net(plan), RemoteHub(httpd.url, timeout=5) as remote:
+            with pytest.raises(Exception) as excinfo:
+                remote.health()
+            assert "500" in str(excinfo.value)
+        assert [f.action for f in plan.fired] == ["error"]
+
+    def test_unavailable_carries_retry_after(self, httpd):
+        plan = NetFaultPlan([
+            NetFaultPoint(
+                site="n0:*", action="unavailable", retry_after=7.0
+            )
+        ])
+        with inject_net(plan), RemoteHub(httpd.url, timeout=5) as remote:
+            with pytest.raises(RemoteHubUnavailable) as excinfo:
+                remote.health()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after == 7.0
+
+    def test_drop_kills_connection(self, httpd):
+        # count=2: the client's transparent single reconnect also fails.
+        plan = NetFaultPlan([
+            NetFaultPoint(site="n0:*", action="drop", count=2)
+        ])
+        with inject_net(plan), RemoteHub(httpd.url, timeout=5) as remote:
+            with pytest.raises(
+                (http.client.HTTPException, ConnectionError, OSError)
+            ):
+                remote.health()
+        assert [f.action for f in plan.fired] == ["drop", "drop"]
+
+    def test_truncate_surfaces_as_incomplete_read(self, httpd):
+        plan = NetFaultPlan([
+            NetFaultPoint(
+                site="n0:/v1/repos/demo/1/files/payload.bin",
+                action="truncate",
+                offset=100,
+                count=2,
+            )
+        ])
+        with inject_net(plan), RemoteHub(httpd.url, timeout=5) as remote:
+            with pytest.raises(
+                (http.client.HTTPException, ConnectionError, OSError)
+            ):
+                remote.fetch_file("demo", 1, "payload.bin")
+
+    def test_unfaulted_requests_flow_normally(self, httpd):
+        plan = NetFaultPlan([
+            NetFaultPoint(site="n0:/v1/index*", action="error")
+        ])
+        with inject_net(plan), RemoteHub(httpd.url, timeout=5) as remote:
+            assert remote.health()["status"] == "ok"
+            data = remote.fetch_file("demo", 1, "payload.bin")
+        assert data == b"P" * 4096
+
+    def test_flapping_peer_schedule(self, httpd):
+        # Down for requests 0-1, up for 2, down for 3, up after.
+        plan = NetFaultPlan([
+            NetFaultPoint(site="n0:/healthz", op=0, count=2, action="error"),
+            NetFaultPoint(site="n0:/healthz", op=3, count=1, action="error"),
+        ])
+        results = []
+        with inject_net(plan):
+            for _ in range(5):
+                with RemoteHub(httpd.url, timeout=5) as remote:
+                    try:
+                        remote.health()
+                        results.append("ok")
+                    except Exception:
+                        results.append("down")
+        assert results == ["down", "down", "ok", "down", "ok"]
+
+
+class TestRangeRequests:
+    def test_range_resumes_mid_file(self, httpd):
+        with RemoteHub(httpd.url, timeout=5) as remote:
+            tail = remote.fetch_file("demo", 1, "payload.bin", offset=4000)
+        assert tail == b"P" * 96
+
+    def test_zero_offset_fetches_all(self, httpd):
+        with RemoteHub(httpd.url, timeout=5) as remote:
+            assert len(remote.fetch_file("demo", 1, "payload.bin")) == 4096
+
+    def test_out_of_range_offset_returns_full_body(self, httpd):
+        # The server ignores an unsatisfiable Range (legal), and the
+        # client slices locally — an over-long offset yields empty tail.
+        with RemoteHub(httpd.url, timeout=5) as remote:
+            assert remote.fetch_file("demo", 1, "payload.bin", 9999) == b""

@@ -1,0 +1,223 @@
+"""Interrupted pulls: crash cleanup, ``.partial`` adoption, chunk resume.
+
+Satellite coverage for the resumable-transfer protocol
+(:mod:`repro.hub.transfer`): a pull that dies — whether by simulated
+process crash or network failure — leaves exactly the two well-known
+workspace artifacts (``.dlv.pull.tmp`` and ``.dlv.pull.partial.json``),
+never pid-suffixed orphans; the next pull of the same name/revision
+adopts them and fetches only what is missing.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dlv.repository import Repository
+from repro.faults import CrashSimulated, FaultPlan, FaultPoint, inject
+from repro.faults.net import NetFaultPlan, NetFaultPoint, inject_net
+from repro.hub.client import HubClient
+from repro.hub.httpd import HubHTTPServer
+from repro.hub.retry import Retrier
+from repro.hub.server import HubServer, compute_manifest, verify_tree
+from repro.hub.transfer import PARTIAL_STATE_NAME, TMP_DIR_NAME
+from repro.obs.metrics import get_registry
+
+
+@pytest.fixture
+def published_httpd(tmp_path):
+    """One HTTP hub peer with a published 4-file tree."""
+    hub = HubServer(tmp_path / "hub")
+    src = tmp_path / "tree"
+    (src / "sub").mkdir(parents=True)
+    (src / "a.bin").write_bytes(b"A" * 4096)
+    (src / "b.bin").write_bytes(b"B" * 2048)
+    (src / "c.bin").write_bytes(b"C" * 1024)
+    (src / "sub" / "d.bin").write_bytes(b"D" * 512)
+    hub.publish("demo", src, description="resume fixture")
+    with HubHTTPServer(hub, peer_name="n0") as server:
+        yield server
+
+
+def make_client(url) -> HubClient:
+    return HubClient(url, retrier=Retrier(attempts=1, sleep=lambda s: None))
+
+
+def crash_mid_pull(httpd, dest) -> None:
+    """Run a pull that dies mid-tree (simulated process crash).
+
+    The ``.partial`` state is saved once when the workspace opens and
+    once per completed file, so a crash on the third matching write
+    fires *while recording the second file*: one file is
+    verified-in-state, the second's bytes are on disk but unrecorded.
+    """
+    plan = FaultPlan(
+        [FaultPoint(site="hub.pull.partial", op=2, action="crash")]
+    )
+    client = make_client(httpd.url)
+    try:
+        with inject(plan):
+            with pytest.raises(CrashSimulated):
+                client.pull("demo", dest)
+    finally:
+        client.close()
+    assert [f.action for f in plan.fired] == ["crash"]
+
+
+class TestCrashCleanliness:
+    def test_crash_leaves_only_wellknown_artifacts(
+        self, published_httpd, tmp_path
+    ):
+        dest = tmp_path / "pulled"
+        crash_mid_pull(published_httpd, dest)
+        # A dead process ran no cleanup — but everything it left behind
+        # has a stable, well-known name.  No pid/timestamp orphans.
+        leftovers = sorted(p.name for p in dest.iterdir())
+        assert leftovers == sorted([TMP_DIR_NAME, PARTIAL_STATE_NAME])
+        state = json.loads((dest / PARTIAL_STATE_NAME).read_text())
+        assert state["name"] == "demo" and state["revision"] == 1
+        assert len(state["completed"]) == 1
+
+    def test_no_litter_outside_dest(self, published_httpd, tmp_path):
+        dest = tmp_path / "pulled"
+        before = set(p.name for p in tmp_path.iterdir())
+        crash_mid_pull(published_httpd, dest)
+        after = set(p.name for p in tmp_path.iterdir())
+        assert after - before == {"pulled"}
+
+
+class TestResume:
+    def test_next_pull_adopts_partial_state(
+        self, published_httpd, tmp_path
+    ):
+        dest = tmp_path / "pulled"
+        crash_mid_pull(published_httpd, dest)
+        registry = get_registry()
+        resumed_before = registry.counter("hub.pull.files_resumed").value
+        fetched_before = registry.counter("hub.pull.files_fetched").value
+
+        client = make_client(published_httpd.url)
+        try:
+            client.pull("demo", dest)
+        finally:
+            client.close()
+
+        manifest = published_httpd.server.manifest("demo", 1)
+        tree = dest / Repository.DLV_DIR
+        verify_tree(tree, manifest)
+        assert compute_manifest(tree) == manifest
+        # One file adopted outright from the crashed pull's state; the
+        # rest (including the file whose bytes landed but whose state
+        # entry died with the process) count as fetched.
+        resumed = registry.counter("hub.pull.files_resumed").value
+        fetched = registry.counter("hub.pull.files_fetched").value
+        assert resumed - resumed_before == 1
+        assert fetched - fetched_before == len(manifest) - 1
+        # Success removes the workspace artifacts.
+        assert not (dest / TMP_DIR_NAME).exists()
+        assert not (dest / PARTIAL_STATE_NAME).exists()
+
+    def test_mid_file_partial_bytes_resume_via_range(
+        self, published_httpd, tmp_path
+    ):
+        # Hand-craft exactly what a peer dying mid-*file* leaves: a
+        # matching state file plus a correct 100-byte prefix of a.bin
+        # in the temp tree, with no state entry for it.
+        from repro.hub.transfer import PartialState
+
+        dest = tmp_path / "pulled"
+        tmp = dest / TMP_DIR_NAME
+        tmp.mkdir(parents=True)
+        (tmp / "a.bin").write_bytes(b"A" * 100)
+        PartialState(dest / PARTIAL_STATE_NAME, "demo", 1).save()
+
+        registry = get_registry()
+        bytes_resumed_before = registry.counter(
+            "hub.pull.bytes_resumed"
+        ).value
+        client = make_client(published_httpd.url)
+        try:
+            client.pull("demo", dest)
+        finally:
+            client.close()
+        verify_tree(
+            dest / Repository.DLV_DIR,
+            published_httpd.server.manifest("demo", 1),
+        )
+        # The 100 on-disk bytes were kept; only the tail moved.
+        assert (
+            registry.counter("hub.pull.bytes_resumed").value
+            - bytes_resumed_before
+            == 100
+        )
+
+    def test_stale_state_for_other_revision_discarded(
+        self, published_httpd, tmp_path
+    ):
+        dest = tmp_path / "pulled"
+        crash_mid_pull(published_httpd, dest)
+        # Bump the published revision: the crashed pull's state is for
+        # rev 1, the next pull resolves rev 2 — nothing may be adopted.
+        src = tmp_path / "tree2"
+        src.mkdir()
+        (src / "a.bin").write_bytes(b"A2" * 600)
+        published_httpd.server.publish("demo", src)
+
+        registry = get_registry()
+        resumed_before = registry.counter("hub.pull.resumes").value
+        client = make_client(published_httpd.url)
+        try:
+            client.pull("demo", dest)
+        finally:
+            client.close()
+        assert registry.counter("hub.pull.resumes").value == resumed_before
+        verify_tree(
+            dest / Repository.DLV_DIR,
+            published_httpd.server.manifest("demo", 2),
+        )
+
+
+class TestNetworkFailureKeepsWorkspace:
+    def test_network_death_keeps_resume_state(
+        self, published_httpd, tmp_path
+    ):
+        dest = tmp_path / "pulled"
+        # The peer serves two file requests, then drops everything.
+        plan = NetFaultPlan([
+            NetFaultPoint(
+                site="n0:/v1/repos/demo/1/files/*",
+                op=2,
+                count=10**6,
+                action="drop",
+            )
+        ])
+        client = make_client(published_httpd.url)
+        try:
+            with inject_net(plan):
+                with pytest.raises(OSError):
+                    client.pull("demo", dest)
+            # Cleanup ran (no crash) but kept the resumable workspace.
+            assert (dest / PARTIAL_STATE_NAME).exists()
+            assert (dest / TMP_DIR_NAME).is_dir()
+            # Faults gone: the same client finishes the job.
+            client.pull("demo", dest)
+        finally:
+            client.close()
+        verify_tree(
+            dest / Repository.DLV_DIR,
+            published_httpd.server.manifest("demo", 1),
+        )
+
+    def test_failure_before_transfer_removes_created_dest(
+        self, published_httpd, tmp_path
+    ):
+        dest = tmp_path / "pulled"
+        client = make_client(published_httpd.url)
+        try:
+            with pytest.raises(KeyError):
+                client.pull("ghost", dest)
+        finally:
+            client.close()
+        # No workspace ever opened, so the created dest is removed.
+        assert not dest.exists()

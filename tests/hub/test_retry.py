@@ -10,7 +10,7 @@ from repro.dlv.repository import Repository
 from repro.dnn.zoo import tiny_mlp
 from repro.faults import CrashSimulated, FaultPlan, FaultPoint, inject
 from repro.hub.client import HubClient
-from repro.hub.retry import Retrier
+from repro.hub.retry import Retrier, RetryDeadlineExceeded
 from repro.hub.server import (
     HubIntegrityError,
     HubServer,
@@ -108,6 +108,123 @@ def test_retrier_never_absorbs_simulated_crash():
 def test_retrier_validates_attempts():
     with pytest.raises(ValueError):
         Retrier(attempts=0)
+    with pytest.raises(ValueError):
+        Retrier(deadline_s=0.0)
+
+
+def test_retrier_deadline_caps_total_elapsed():
+    clock = {"now": 0.0}
+    slept = []
+
+    def sleep(seconds):
+        slept.append(seconds)
+        clock["now"] += seconds
+
+    r = Retrier(
+        attempts=10,
+        base_delay=1.0,
+        max_delay=64.0,
+        sleep=sleep,
+        deadline_s=5.0,
+        clock=lambda: clock["now"],
+    )
+    calls = {"n": 0}
+
+    def failing():
+        calls["n"] += 1
+        raise OSError("still down")
+
+    with pytest.raises(RetryDeadlineExceeded) as excinfo:
+        r.call(failing)
+    # Gave up because time ran out, not because attempts did — and the
+    # retrier refused the sleep that would have overrun the deadline.
+    assert calls["n"] < 10
+    assert isinstance(excinfo.value.__cause__, OSError)
+    assert sum(slept) <= 5.0
+
+
+def test_retrier_deadline_allows_success_within_budget():
+    clock = {"now": 0.0}
+
+    def sleep(seconds):
+        clock["now"] += seconds
+
+    r = Retrier(
+        attempts=5,
+        base_delay=0.01,
+        sleep=sleep,
+        deadline_s=60.0,
+        clock=lambda: clock["now"],
+    )
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            raise OSError("transient")
+        return "ok"
+
+    assert r.call(flaky) == "ok"
+
+
+def test_retrier_honors_retry_after_hint():
+    slept = []
+    r = Retrier(attempts=3, base_delay=100.0, sleep=slept.append)
+    calls = {"n": 0}
+
+    def overloaded():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            exc = OSError("429 slow down")
+            exc.retry_after = 2.5
+            raise exc
+        return "ok"
+
+    assert r.call(overloaded) == "ok"
+    # The server's hint replaced the (huge) computed backoff.
+    assert slept == [2.5]
+
+
+def test_retry_after_still_capped_by_deadline():
+    clock = {"now": 0.0}
+    r = Retrier(
+        attempts=5,
+        sleep=lambda s: None,
+        deadline_s=10.0,
+        clock=lambda: clock["now"],
+    )
+
+    def overloaded():
+        exc = OSError("503")
+        exc.retry_after = 30.0  # longer than the caller can wait
+        raise exc
+
+    with pytest.raises(RetryDeadlineExceeded):
+        r.call(overloaded)
+
+
+def test_remote_hub_unavailable_drives_retry_after(tmp_path):
+    """End-to-end: a 503 + Retry-After from the wire reaches the Retrier."""
+    from repro.faults.net import NetFaultPlan, NetFaultPoint, inject_net
+    from repro.hub.httpd import HubHTTPServer, RemoteHub
+
+    hub = HubServer(tmp_path / "hub")
+    src = tmp_path / "tree"
+    src.mkdir()
+    (src / "x.bin").write_bytes(b"x")
+    hub.publish("demo", src)
+    slept = []
+    r = Retrier(attempts=2, sleep=slept.append)
+    plan = NetFaultPlan([
+        NetFaultPoint(
+            site="n9:*", action="unavailable", retry_after=1.25
+        )
+    ])
+    with HubHTTPServer(hub, peer_name="n9") as server:
+        with RemoteHub(server.url, timeout=5) as remote:
+            with inject_net(plan):
+                assert r.call(remote.revisions, "demo") == [1]
+    assert slept == [1.25]
 
 
 # -- manifests --------------------------------------------------------------------
