@@ -17,6 +17,10 @@ possible without compromising query performance.  Its pieces:
 * :mod:`repro.core.archival` — solvers for the Optimal Parameter Archival
   Storage problem: MST / SPT baselines, LAST, PAS-MT, PAS-PT (Sec. IV-C).
 * :mod:`repro.core.chunkstore` — content-addressed compressed blob store.
+* :mod:`repro.core.storage` — pluggable storage backends (loose files,
+  single-file SQLite-WAL databases, in-memory) behind one
+  :class:`~repro.core.storage.StorageBackend` interface, addressed by
+  ``file://`` / ``sqlite://`` / ``mem://`` URLs.
 * :mod:`repro.core.retrieval` — physical recreation of snapshots from an
   archived plan under independent / parallel / reusable schemes.
 * :mod:`repro.core.progressive` — progressive query (inference) evaluation
@@ -25,7 +29,17 @@ possible without compromising query performance.  Its pieces:
 """
 
 from repro.core.cache import RetrievalCache
-from repro.core.chunkstore import ChunkStore, LatencyStore, MemoryChunkStore
+from repro.core.chunkstore import (
+    ChunkStore,
+    LatencyChunkStore,
+    LatencyStore,
+    MemoryChunkStore,
+)
+from repro.core.storage import (
+    StorageBackend,
+    parse_storage_url,
+    resolve_backend,
+)
 from repro.core.delta import (
     apply_delta,
     compressed_size,
@@ -84,6 +98,7 @@ __all__ = [
     "Float16Scheme",
     "Float32Scheme",
     "FloatScheme",
+    "LatencyChunkStore",
     "LatencyStore",
     "MatrixRef",
     "MatrixStorageGraph",
@@ -96,6 +111,7 @@ __all__ = [
     "RecreationResult",
     "RetrievalCache",
     "RetrievalScheme",
+    "StorageBackend",
     "StorageEdge",
     "StoragePlan",
     "alpha_constraints",
@@ -111,8 +127,10 @@ __all__ = [
     "last_tree",
     "measure_schemes",
     "minimum_spanning_tree",
+    "parse_storage_url",
     "pas_mt",
     "pas_pt",
+    "resolve_backend",
     "segment_compare",
     "segment_histogram",
     "segment_planes",

@@ -1,0 +1,38 @@
+"""Pluggable repository storage backends.
+
+The interface lives in :mod:`repro.core.storage.base`
+(:class:`StorageBackend`, the :class:`BlobStore` protocol, and the
+shared :class:`TxnState`); URL parsing and backend resolution in
+:mod:`repro.core.storage.registry`; the three substrates in
+:mod:`~repro.core.storage.localfs` (``file://``),
+:mod:`~repro.core.storage.sqlite` (``sqlite://``, single WAL-mode db
+file), and :mod:`~repro.core.storage.memory` (``mem://``).
+"""
+
+from repro.core.storage.base import (
+    ARCHIVES_PREFIX,
+    CONFIG_DOC,
+    STAGE_DOC,
+    BlobStore,
+    StorageBackend,
+    TxnState,
+)
+from repro.core.storage.registry import (
+    BACKEND_NAMES,
+    SCHEMES,
+    parse_storage_url,
+    resolve_backend,
+)
+
+__all__ = [
+    "ARCHIVES_PREFIX",
+    "BACKEND_NAMES",
+    "CONFIG_DOC",
+    "SCHEMES",
+    "STAGE_DOC",
+    "BlobStore",
+    "StorageBackend",
+    "TxnState",
+    "parse_storage_url",
+    "resolve_backend",
+]

@@ -1,0 +1,188 @@
+"""The loose-file storage backend (the original ``.dlv/`` layout).
+
+Everything lives under ``<root>/.dlv/``: the sqlite3 catalog, the two
+:class:`~repro.core.chunkstore.ChunkStore` tiers, content-addressed
+associated files, the intent-file journal, and small documents (config,
+stage, archive reports) as plain JSON files.  All mutations route
+through :mod:`repro.faults.fs`, so fault plans tear/crash/corrupt this
+backend exactly as before the storage seam existed.
+
+Filesystem-only concepts — unique tmp names, the sweep of stale tmp
+litter after a crash, quarantine as a directory move — are implemented
+here and *only* here; the database backends have no such debris.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+from pathlib import Path
+from typing import Optional
+
+from repro.core.chunkstore import ChunkStore
+from repro.core.storage.base import StorageBackend, TxnState, yield_path
+from repro.faults import fs as ffs
+from repro.obs.metrics import counter
+
+
+class LocalFSBackend(StorageBackend):
+    """Repository storage as loose files under ``<root>/.dlv/``."""
+
+    scheme = "local-fs"
+    DLV_DIR = ".dlv"
+
+    def __init__(self, root: str | Path, *, create: bool = False) -> None:
+        self.root = Path(root)
+        self.dlv_dir = self.root / self.DLV_DIR
+        if create:
+            if self.dlv_dir.exists():
+                raise FileExistsError(f"{self.root} already is a dlv repository")
+            self.dlv_dir.mkdir(parents=True)
+        elif not self.dlv_dir.exists():
+            raise FileNotFoundError(
+                f"{self.root} is not a dlv repository (run Repository.init)"
+            )
+        from repro.dlv.catalog import Catalog
+        from repro.dlv.journal import Journal
+
+        self.txn = TxnState()
+        self.catalog = Catalog(self.dlv_dir / "catalog.db", txn=self.txn)
+        # Opening the stores sweeps any stale tmp litter from a crash.
+        self.chunks = ChunkStore(self.dlv_dir / "chunks")
+        self.replica = ChunkStore(self.dlv_dir / "replica")
+        self.files_dir = self.dlv_dir / "files"
+        self.files_dir.mkdir(exist_ok=True)
+        self.journal = Journal(self.dlv_dir / "journal")
+        if create:
+            self.write_config()
+
+    @property
+    def url(self) -> str:
+        return f"file://{self.root}"
+
+    def describe(self) -> dict:
+        out = super().describe()
+        out["location"] = str(self.root)
+        return out
+
+    # -- associated files ----------------------------------------------------
+
+    def put_file(self, sha: str, data: bytes) -> None:
+        """Land one associated file durably (write-tmp, fsync, rename)."""
+        dest = self.files_dir / sha
+        if dest.exists():
+            return
+        tmp = dest.with_name(f"{sha}.{os.getpid()}.tmp")
+        ffs.write_bytes(tmp, data, site="repo.files.write")
+        ffs.replace(tmp, dest, site="repo.files.replace")
+        ffs.fsync_dir(self.files_dir)
+
+    def get_file(self, sha: str) -> bytes:
+        path = self.files_dir / sha
+        if not path.exists():
+            raise KeyError(f"no stored file {sha}")
+        return path.read_bytes()
+
+    def delete_file(self, sha: str) -> bool:
+        path = self.files_dir / sha
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def stored_file_shas(self) -> set[str]:
+        return {
+            p.name
+            for p in self.files_dir.iterdir()
+            if p.is_file() and p.suffix != ".tmp"
+        }
+
+    # -- documents ------------------------------------------------------------
+
+    def _doc_path(self, name: str) -> Path:
+        return self.dlv_dir / name
+
+    def read_doc(self, name: str) -> Optional[bytes]:
+        path = self._doc_path(name)
+        return path.read_bytes() if path.exists() else None
+
+    def write_doc(self, name: str, data: bytes) -> None:
+        path = self._doc_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(data)
+
+    def delete_doc(self, name: str) -> bool:
+        path = self._doc_path(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def list_docs(self, prefix: str = "") -> list[str]:
+        base = self.dlv_dir
+        names = []
+        pattern = f"{prefix}*" if prefix else "*"
+        for path in base.glob(pattern):
+            if path.is_file():
+                names.append(str(path.relative_to(base)))
+        return sorted(names)
+
+    # -- fsck contract ---------------------------------------------------------
+
+    def _store_for(self, kind: str) -> ChunkStore:
+        if kind == "chunks":
+            return self.chunks
+        if kind == "replica":
+            return self.replica
+        raise ValueError(f"unknown blob tier {kind!r}")
+
+    def quarantine_blob(self, kind: str, sha: str) -> bool:
+        """Move a corrupt blob into ``.dlv/quarantine/`` (forensics)."""
+        store = self._store_for(kind)
+        suffix = ".replica" if kind == "replica" else ""
+        quarantine = self.dlv_dir / "quarantine"
+        quarantine.mkdir(exist_ok=True)
+        blob = store.blob_path(sha)
+        if not blob.exists():
+            return False
+        shutil.move(str(blob), str(quarantine / f"{sha}{suffix}"))
+        counter("fsck.quarantined").inc()
+        return True
+
+    def quarantined(self) -> list[str]:
+        quarantine = self.dlv_dir / "quarantine"
+        if not quarantine.exists():
+            return []
+        return sorted(p.name for p in quarantine.iterdir() if p.is_file())
+
+    def litter(self, repair: bool) -> list[dict]:
+        """Stale ``*.tmp`` files in either chunk store (F302)."""
+        findings = []
+        for store, label in ((self.chunks, "chunks"), (self.replica, "replica")):
+            for tmp in sorted(store.root.glob("*/*.tmp")):
+                finding = {
+                    "code": "F302",
+                    "message": f"stale tmp {label}/{tmp.name}",
+                    "repaired": False,
+                    "repair": None,
+                }
+                if repair:
+                    tmp.unlink(missing_ok=True)
+                    finding["repaired"] = True
+                    finding["repair"] = "deleted"
+                findings.append(finding)
+        return findings
+
+    def sweep_stale_tmps(self) -> int:
+        return self.chunks.sweep_stale_tmps() + self.replica.sweep_stale_tmps()
+
+    # -- hub publishing ---------------------------------------------------------
+
+    def publish_tree(self):
+        """The live ``.dlv`` directory *is* the publishable tree."""
+        return yield_path(self.dlv_dir)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        self.catalog.close()

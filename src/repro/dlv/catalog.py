@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterable, Iterator, Optional
 
+from repro.core.storage.base import TxnState
 from repro.dlv.objects import ModelVersion, Snapshot
 from repro.faults import fs as ffs
 
@@ -109,24 +110,48 @@ CREATE INDEX IF NOT EXISTS idx_matrix_snapshot
 
 
 class Catalog:
-    """Thin data-access layer over the repository's sqlite3 database."""
+    """Thin data-access layer over the repository's sqlite3 database.
 
-    def __init__(self, path: str | Path) -> None:
-        self.path = Path(path)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.row_factory = sqlite3.Row
+    Opens (and owns) its own connection when given a ``path``, or rides
+    a connection borrowed from a storage backend whose blobs live in the
+    same database (``conn=``) — in which case the catalog never closes
+    it.  The transaction-nesting state can likewise be shared: a backend
+    passes its :class:`~repro.core.storage.base.TxnState` so blob writes
+    issued inside a :meth:`transaction` block join the same sqlite
+    transaction and commit (or roll back) with it.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        conn: Optional[sqlite3.Connection] = None,
+        txn: Optional[TxnState] = None,
+    ) -> None:
+        if conn is None:
+            if path is None:
+                raise ValueError("Catalog needs a path or a connection")
+            self.path = Path(path)
+            self._conn = sqlite3.connect(self.path)
+            self._conn.row_factory = sqlite3.Row
+            self._owns_conn = True
+        else:
+            self.path = Path(path) if path is not None else None
+            self._conn = conn
+            self._owns_conn = False
         self._conn.executescript(_SCHEMA)
         self._conn.commit()
-        self._txn_depth = 0
+        self._txn = txn if txn is not None else TxnState()
 
     def close(self) -> None:
-        self._conn.close()
+        if self._owns_conn:
+            self._conn.close()
 
     # -- transactions ---------------------------------------------------------
 
     def _maybe_commit(self) -> None:
         """Commit now, unless a :meth:`transaction` is open (deferred)."""
-        if self._txn_depth == 0:
+        if self._txn.depth == 0:
             self._conn.commit()
 
     @contextmanager
@@ -141,16 +166,16 @@ class Catalog:
         fault site (``catalog.commit``), so crash-matrix tests cover
         "died just before the transaction landed".
         """
-        self._txn_depth += 1
+        self._txn.depth += 1
         try:
             yield self
         except BaseException:
-            self._txn_depth -= 1
-            if self._txn_depth == 0:
+            self._txn.depth -= 1
+            if self._txn.depth == 0:
                 self._conn.rollback()
             raise
-        self._txn_depth -= 1
-        if self._txn_depth == 0:
+        self._txn.depth -= 1
+        if self._txn.depth == 0:
             try:
                 ffs.checkpoint("catalog.commit")
             except BaseException:

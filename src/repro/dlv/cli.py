@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -35,13 +36,33 @@ def _print(data) -> None:
     sys.stdout.write("\n")
 
 
+def _repo_target(args) -> str:
+    """The repository location the command should act on.
+
+    Priority: ``--store <url>``, then the ``DLV_STORE`` environment
+    variable, then ``--repo`` (a plain directory path, backend
+    auto-detected).
+    """
+    store = getattr(args, "store", None)
+    if store:
+        return store
+    env = os.environ.get("DLV_STORE")
+    if env:
+        return env
+    return args.repo
+
+
 def _open_repo(args) -> Repository:
-    return Repository.open(args.repo)
+    return Repository.open(_repo_target(args))
 
 
 def cmd_init(args) -> int:
-    Repository.init(args.repo)
-    _print({"initialized": str(Path(args.repo).resolve())})
+    repo = Repository.init(_repo_target(args), backend=args.backend)
+    try:
+        out = {"initialized": repo.url, "backend": repo.backend.scheme}
+    finally:
+        repo.close()
+    _print(out)
     return 0
 
 
@@ -851,9 +872,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--repo", default=".", help="repository directory (default: cwd)"
     )
+    parser.add_argument(
+        "--store", default=None, metavar="URL",
+        help="repository storage URL (file://dir, sqlite://repo.db, "
+             "mem://name); overrides --repo and the DLV_STORE env var",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("init", help="initialize a dlv repository")
+    p.add_argument(
+        "--backend", default=None,
+        choices=["local-fs", "sqlite", "memory"],
+        help="storage substrate for a bare-path target (URLs carry "
+             "their own scheme); sqlite lands the whole repo in "
+             "<repo>/.dlv/repo.db",
+    )
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("add", help="stage files for the next commit")

@@ -10,10 +10,16 @@
 * **filesystem** — pending journal intents, stale tmp files, orphan
   chunks and associated files.
 
+The audit is backend-neutral: blob scanning, catalog checks, and orphan
+detection go through the storage interface, while substrate-specific
+debris (stale tmp files) and the quarantine mechanics are delegated to
+the repository's :class:`~repro.core.storage.base.StorageBackend`.
+
 With ``repair=True`` it additionally:
 
-* quarantines corrupt blobs into ``.dlv/quarantine/`` (named
-  ``<sha>`` for main-store blobs, ``<sha>.replica`` for replica blobs),
+* quarantines corrupt blobs (named ``<sha>`` for main-store blobs,
+  ``<sha>.replica`` for replica blobs — a ``.dlv/quarantine/`` directory
+  on the loose-file backend, a table in the database backends),
 * restores quarantined chunks from the replica tier when an intact copy
   exists (exact recovery),
 * re-materializes payloads that reference lost chunks through degraded
@@ -51,7 +57,6 @@ finding was repaired; ``1`` — error findings remain (run with
 
 from __future__ import annotations
 
-import shutil
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -160,9 +165,9 @@ def run_fsck(repo: "Repository", repair: bool = False) -> FsckReport:
 
     if repair:
         for sha in corrupt_main:
-            _quarantine(repo, repo.store, sha, "")
+            repo.backend.quarantine_blob("chunks", sha)
         for sha in corrupt_replica:
-            _quarantine(repo, repo.replica, sha, ".replica")
+            repo.backend.quarantine_blob("replica", sha)
             _annotate(report, sha, "quarantined", codes=("F102",))
 
     _check_catalog(repo, report, repair)
@@ -200,16 +205,6 @@ def _scan_store(store, code: str, report: FsckReport) -> tuple[set[str], int]:
                 Finding(code, f"chunk {sha[:12]} fails re-hash", sha=sha)
             )
     return corrupt, scanned
-
-
-def _quarantine(repo, store, sha: str, suffix: str) -> None:
-    """Move a corrupt blob aside so nothing ever reads it again."""
-    quarantine = repo.dlv_dir / "quarantine"
-    quarantine.mkdir(exist_ok=True)
-    blob = store.blob_path(sha)
-    if blob.exists():
-        shutil.move(str(blob), str(quarantine / f"{sha}{suffix}"))
-        counter("fsck.quarantined").inc()
 
 
 # -- catalog referential integrity -------------------------------------------------
@@ -455,13 +450,17 @@ def _check_journal(repo, report: FsckReport) -> None:
 
 
 def _check_litter(repo, report: FsckReport, repair: bool) -> None:
-    for store, label in ((repo.store, "chunks"), (repo.replica, "replica")):
-        for tmp in sorted(store.root.glob("*/*.tmp")):
-            f = Finding("F302", f"stale tmp {label}/{tmp.name}")
-            if repair:
-                tmp.unlink(missing_ok=True)
-                f.repaired, f.repair = True, "deleted"
-            report.findings.append(f)
+    # Substrate-specific debris is the backend's to know about: loose-file
+    # repos report stale tmp files (F302), database repos have none.
+    for raw in repo.backend.litter(repair):
+        report.findings.append(
+            Finding(
+                raw["code"],
+                raw["message"],
+                repaired=raw.get("repaired", False),
+                repair=raw.get("repair"),
+            )
+        )
 
     referenced: set[str] = set()
     for payload in repo.catalog.all_payloads():
@@ -476,12 +475,10 @@ def _check_litter(repo, report: FsckReport, repair: bool) -> None:
             report.findings.append(f)
 
     referenced_files = repo.catalog.all_file_shas()
-    for path in sorted(repo.files_dir.iterdir()):
-        if not path.is_file() or path.suffix == ".tmp":
-            continue
-        if path.name not in referenced_files:
-            f = Finding("F304", f"orphan associated file {path.name[:12]}")
+    for sha in sorted(repo.backend.stored_file_shas()):
+        if sha not in referenced_files:
+            f = Finding("F304", f"orphan associated file {sha[:12]}")
             if repair:
-                path.unlink()
+                repo.backend.delete_file(sha)
                 f.repaired, f.repair = True, "deleted"
             report.findings.append(f)

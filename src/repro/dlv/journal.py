@@ -52,9 +52,13 @@ from repro.faults import fs as ffs
 
 @dataclass
 class JournalEntry:
-    """One intent file: its path, txid, and parsed payload (None = torn)."""
+    """One intent record: its txid and parsed payload (None = torn).
 
-    path: Path
+    ``path`` is the intent file for the loose-file journal and ``None``
+    for journals stored as database rows.
+    """
+
+    path: Optional[Path]
     txid: str
     data: Optional[dict]
 
@@ -87,6 +91,10 @@ class Journal:
         """Remove a fulfilled (or rolled-back) intent."""
         ffs.unlink(entry.path, site="journal.retire", missing_ok=True)
         ffs.fsync_dir(self.root)
+
+    def write_raw(self, txid: str, text: str) -> None:
+        """Test helper: store an intent payload verbatim (possibly torn)."""
+        (self.root / f"{txid}.json").write_text(text)
 
     def pending(self) -> list[JournalEntry]:
         """All intent files on disk, oldest first; torn ones have data=None."""

@@ -1,7 +1,10 @@
 """The DLV repository: commit, explore, recreate, and archive models.
 
-A repository directory contains a ``.dlv`` folder with the sqlite3 catalog,
-the PAS chunk store, and content-addressed copies of associated files:
+A repository lives on a pluggable :class:`~repro.core.storage.base.
+StorageBackend` addressed by URL — ``file://<dir>`` (the original loose
+``.dlv/`` layout), ``sqlite://<db>`` (the whole repo as one WAL-mode
+database file), or ``mem://<name>`` (in-process).  The loose-file
+layout, for reference:
 
 .. code-block:: text
 
@@ -13,6 +16,11 @@ the PAS chunk store, and content-addressed copies of associated files:
         quarantine/     corrupt blobs set aside by `dlv fsck --repair`
         files/          associated files, content addressed
         stage.json      files staged by `dlv add` for the next commit
+
+The sqlite backend holds the same five kinds of state as tables of one
+database; which backend a repo uses is auto-detected on open (and
+recorded in its config), so ``Repository.open(path)`` keeps working on
+every pre-existing repository.
 
 Weights are written at commit time as materialized byte-plane payloads;
 ``archive`` later re-optimizes the whole repository into a delta-encoded
@@ -34,18 +42,19 @@ from __future__ import annotations
 import datetime
 import hashlib
 import json
-import os
+import warnings
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.archival import alpha_constraints, solve
-from repro.core.chunkstore import ChunkStore
 from repro.core.delta import delta_sub_mismatched
 from repro.core.float_schemes import get_scheme
 from repro.core.retrieval import PlanArchive
 from repro.core.segmentation import segment_planes
+from repro.core.storage.base import ARCHIVES_PREFIX, STAGE_DOC, StorageBackend
+from repro.core.storage.registry import resolve_backend
 from repro.core.storage_graph import (
     ROOT,
     MatrixRef,
@@ -54,11 +63,8 @@ from repro.core.storage_graph import (
     StorageEdge,
 )
 from repro.dlv.objects import ModelVersion, Snapshot
-from repro.dlv.catalog import Catalog
-from repro.dlv.journal import Journal
 from repro.dnn.network import Network
 from repro.dnn.training import TrainResult
-from repro.faults import fs as ffs
 from repro.obs.cost import cost_context, get_slowlog
 from repro.obs.metrics import counter
 from repro.obs.tracing import trace_span
@@ -83,25 +89,37 @@ def _compressed_planes_size(matrix: np.ndarray, level: int = 6) -> int:
 
 
 class Repository:
-    """A local DLV repository (the object behind the ``dlv`` tool)."""
+    """A local DLV repository (the object behind the ``dlv`` tool).
+
+    Construct with a storage URL, a path (backend auto-detected), or an
+    already-open :class:`~repro.core.storage.base.StorageBackend`.  The
+    familiar attributes — ``store``, ``replica``, ``catalog``,
+    ``journal`` — are views onto the backend; ``dlv_dir`` / ``files_dir``
+    exist only on the loose-file backend (``None`` elsewhere).
+    """
 
     DLV_DIR = ".dlv"
 
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-        self.dlv_dir = self.root / self.DLV_DIR
-        if not self.dlv_dir.exists():
-            raise FileNotFoundError(
-                f"{self.root} is not a dlv repository (run Repository.init)"
-            )
-        self.catalog = Catalog(self.dlv_dir / "catalog.db")
-        # Opening the stores sweeps any stale tmp litter from a crash.
-        self.store = ChunkStore(self.dlv_dir / "chunks")
-        self.replica = ChunkStore(self.dlv_dir / "replica")
-        self.files_dir = self.dlv_dir / "files"
-        self.files_dir.mkdir(exist_ok=True)
-        self.journal = Journal(self.dlv_dir / "journal")
+    def __init__(self, source: "str | Path | StorageBackend") -> None:
+        if isinstance(source, StorageBackend):
+            self.backend = source
+        else:
+            self.backend = resolve_backend(str(source))
+        # Re-openable location token: repo dir (local-fs), db file
+        # (sqlite), or mem:// URL (memory).
+        self.root = self.backend.root
+        self.dlv_dir = getattr(self.backend, "dlv_dir", None)
+        self.files_dir = getattr(self.backend, "files_dir", None)
+        self.catalog = self.backend.catalog
+        self.store = self.backend.chunks
+        self.replica = self.backend.replica
+        self.journal = self.backend.journal
         self.last_replay = self._replay_journal()
+
+    @property
+    def url(self) -> str:
+        """Canonical storage URL of this repository."""
+        return self.backend.url
 
     # -- journal replay -------------------------------------------------------
 
@@ -166,34 +184,46 @@ class Repository:
         swept_files = 0
         for sha in file_shas:
             if sha not in referenced_files:
-                dest = self.files_dir / sha
-                if dest.exists():
-                    dest.unlink()
+                if self.backend.delete_file(sha):
                     swept_files += 1
         return swept_chunks, swept_files
 
     # -- lifecycle ------------------------------------------------------------
 
-    @classmethod
-    def init(cls, root: str | Path) -> "Repository":
-        """``dlv init``: create a repository at ``root``."""
-        root = Path(root)
-        dlv_dir = root / cls.DLV_DIR
-        if dlv_dir.exists():
-            raise FileExistsError(f"{root} already is a dlv repository")
-        dlv_dir.mkdir(parents=True)
-        (dlv_dir / "config.json").write_text(
-            json.dumps({"version": 1, "created_at": _now()}, indent=2)
-        )
-        return cls(root)
+    @staticmethod
+    def _coerce_target(target: "str | Path", action: str) -> str:
+        if isinstance(target, Path):
+            warnings.warn(
+                f"Repository.{action}(Path) is deprecated; pass a storage "
+                "URL or a path string (e.g. 'sqlite://repo.db')",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        return str(target)
 
     @classmethod
-    def open(cls, root: str | Path) -> "Repository":
-        """Open an existing repository (raises when absent)."""
-        return cls(root)
+    def init(
+        cls, target: "str | Path", backend: Optional[str] = None
+    ) -> "Repository":
+        """``dlv init``: create a repository at a URL or path.
+
+        ``backend`` picks the substrate for bare paths ("local-fs",
+        "sqlite", "memory"); URLs carry their own scheme.  A sqlite repo
+        initialised at a bare path lands its database at
+        ``<path>/.dlv/repo.db`` so the directory stays the repository
+        unit.
+        """
+        target = cls._coerce_target(target, "init")
+        return cls(resolve_backend(target, create=True, backend=backend))
+
+    @classmethod
+    def open(cls, target: "str | Path") -> "Repository":
+        """Open an existing repository by URL or path (raises when absent)."""
+        target = cls._coerce_target(target, "open")
+        return cls(resolve_backend(target))
 
     def close(self) -> None:
-        self.catalog.close()
+        self.backend.close()
 
     def __enter__(self) -> "Repository":
         return self
@@ -202,10 +232,6 @@ class Repository:
         self.close()
 
     # -- staging (`dlv add`) -----------------------------------------------------
-
-    @property
-    def _stage_path(self) -> Path:
-        return self.dlv_dir / "stage.json"
 
     def add_files(self, paths: Sequence[str | Path]) -> list[str]:
         """``dlv add``: stage files to associate with the next commit."""
@@ -216,30 +242,22 @@ class Repository:
                 raise FileNotFoundError(path)
             staged.append(str(path))
         unique = sorted(set(staged))
-        self._stage_path.write_text(json.dumps(unique, indent=2))
+        self.backend.write_doc(
+            STAGE_DOC, json.dumps(unique, indent=2).encode()
+        )
         return unique
 
     def staged_files(self) -> list[str]:
-        if self._stage_path.exists():
-            return json.loads(self._stage_path.read_text())
-        return []
+        raw = self.backend.read_doc(STAGE_DOC)
+        return json.loads(raw) if raw else []
 
     def _store_file_blob(self, sha: str, data: bytes) -> None:
-        """Land one associated file durably (write-tmp, fsync, rename)."""
-        dest = self.files_dir / sha
-        if dest.exists():
-            return
-        tmp = dest.with_name(f"{sha}.{os.getpid()}.tmp")
-        ffs.write_bytes(tmp, data, site="repo.files.write")
-        ffs.replace(tmp, dest, site="repo.files.replace")
-        ffs.fsync_dir(self.files_dir)
+        """Land one associated file durably under its digest."""
+        self.backend.put_file(sha, data)
 
     def get_file(self, sha: str) -> bytes:
         """Read an associated file's content by digest."""
-        path = self.files_dir / sha
-        if not path.exists():
-            raise KeyError(f"no stored file {sha}")
-        return path.read_bytes()
+        return self.backend.get_file(sha)
 
     # -- committing ----------------------------------------------------------------
 
@@ -387,8 +405,8 @@ class Repository:
 
         # Phase 4 — the commit is durable; clean up intent and stage.
         self.journal.retire(intent)
-        if include_staged and self._stage_path.exists():
-            self._stage_path.unlink()
+        if include_staged:
+            self.backend.delete_doc(STAGE_DOC)
         counter("dlv.commits").inc()
         return self.catalog.get_version(version_id)
 
@@ -792,22 +810,17 @@ class Repository:
 
     def _record_archive_report(self, report: dict) -> None:
         """Append an archive run to the repository's provenance history."""
-        archives_dir = self.dlv_dir / "archives"
-        archives_dir.mkdir(exist_ok=True)
-        existing = sorted(archives_dir.glob("*.json"))
-        index = len(existing)
-        (archives_dir / f"{index:04d}.json").write_text(
-            json.dumps(report, indent=2, default=str)
+        index = len(self.backend.list_docs(ARCHIVES_PREFIX))
+        self.backend.write_doc(
+            f"{ARCHIVES_PREFIX}{index:04d}.json",
+            json.dumps(report, indent=2, default=str).encode(),
         )
 
     def archive_history(self) -> list[dict]:
         """All recorded ``dlv archive`` runs, oldest first."""
-        archives_dir = self.dlv_dir / "archives"
-        if not archives_dir.exists():
-            return []
         return [
-            json.loads(path.read_text())
-            for path in sorted(archives_dir.glob("*.json"))
+            json.loads(self.backend.read_doc(name))
+            for name in self.backend.list_docs(ARCHIVES_PREFIX)
         ]
 
     def convert_snapshot_scheme(

@@ -26,6 +26,7 @@ __all__ = [
     "copyfile",
     "copytree",
     "fsync_dir",
+    "prepare_write",
     "replace",
     "unlink",
     "write_bytes",
@@ -37,6 +38,23 @@ def checkpoint(site: str) -> None:
     plan = get_plan()
     if plan is not None:
         plan.on_op(site)
+
+
+def prepare_write(site: str, data: bytes) -> tuple[bytes, bool]:
+    """Run the active plan's write hook for a non-file write.
+
+    Storage backends that persist bytes somewhere other than a loose
+    file (a sqlite blob column, an in-memory table) call this with the
+    payload they are about to store.  The returned bytes may be torn or
+    bit-flipped; the caller must persist them *first* and only then
+    raise :class:`CrashSimulated` when ``crash_after`` is true — the
+    same persisted-partial-then-died semantics :func:`write_bytes`
+    gives loose files.
+    """
+    plan = get_plan()
+    if plan is None:
+        return data, False
+    return plan.on_write(site, data)
 
 
 def write_bytes(

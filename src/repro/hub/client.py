@@ -121,13 +121,17 @@ class HubClient:
                 "surface is read-only — publish against the hub directory"
             )
         model_names = sorted({v.name for v in repo.list_versions()})
-        return self.retrier.call(
-            self.server.publish,
-            name,
-            repo.dlv_dir,
-            description=description,
-            model_names=model_names,
-        )
+        # The backend decides what tree a publish ships: the live .dlv
+        # directory for loose-file repos, a temp tree holding one
+        # consistent single-file repo.db snapshot for database repos.
+        with repo.backend.publish_tree() as tree:
+            return self.retrier.call(
+                self.server.publish,
+                name,
+                tree,
+                description=description,
+                model_names=model_names,
+            )
 
     def search(self, pattern: str = "*") -> list[HubRecord]:
         """``dlv search``: find published repositories."""
@@ -251,7 +255,7 @@ class HubClient:
         self, name: str, dest: str | Path, revision: Optional[int] = None
     ) -> Repository:
         """Pull and open in one step."""
-        return Repository.open(self.pull(name, dest, revision))
+        return Repository.open(str(self.pull(name, dest, revision)))
 
     def pull_for_serving(
         self, name: str, revision: Optional[int] = None

@@ -391,7 +391,7 @@ class FleetClient:
         self, name: str, dest: str | Path, revision: Optional[int] = None
     ) -> Repository:
         """Pull and open in one step."""
-        return Repository.open(self.pull(name, dest, revision))
+        return Repository.open(str(self.pull(name, dest, revision)))
 
     def pull_for_serving(
         self, name: str, revision: Optional[int] = None
@@ -485,12 +485,13 @@ class HubFleet:
     def publish(self, repo: Repository, name: str, description: str = ""):
         """Publish to the primary (the only writable peer)."""
         model_names = sorted({v.name for v in repo.list_versions()})
-        return self.primary.server.publish(
-            name,
-            repo.dlv_dir,
-            description=description,
-            model_names=model_names,
-        )
+        with repo.backend.publish_tree() as tree:
+            return self.primary.server.publish(
+                name,
+                tree,
+                description=description,
+                model_names=model_names,
+            )
 
     def sync(self) -> int:
         """Run one sync round on every replica; returns revisions copied."""

@@ -209,7 +209,7 @@ def generate_sd(
     """
     path = Path(path)
     if (path / Repository.DLV_DIR).exists():
-        return Repository.open(path)
-    repo = Repository.init(path)
+        return Repository.open(str(path))
+    repo = Repository.init(str(path))
     AutoModeler(repo, dataset=dataset, config=config).run()
     return repo

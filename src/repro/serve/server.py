@@ -199,7 +199,9 @@ class ModelServer:
         self.config = config or ServeConfig()
         self.registry = registry if registry is not None else get_registry()
         self._owns_repo = not isinstance(repo, Repository)
-        self.repo = repo if isinstance(repo, Repository) else Repository.open(repo)
+        self.repo = (
+            repo if isinstance(repo, Repository) else Repository.open(str(repo))
+        )
         self.cache = PlaneCache(self.config.cache_bytes, registry=self.registry)
         self.scheduler = BatchScheduler(self.config, registry=self.registry)
         self.rejected: dict[str, str] = {}

@@ -2,17 +2,83 @@
 
 Training is the slowest operation, so trained models and datasets are
 session-scoped; repository fixtures are per-test (they mutate state).
+
+Storage backends: the ``repo`` fixture honours ``REPRO_STORE_BACKEND``
+(``local-fs`` default, ``sqlite``, or ``memory``) so CI can run the whole
+suite against each backend.  Tests that need explicit multi-backend
+parametrization use ``make_repo_target``; tests that poke at stored blob
+bytes use the backend-neutral ``corrupt_blob`` fixture.
 """
 
 from __future__ import annotations
 
+import os
+import uuid
+
 import numpy as np
 import pytest
 
+from repro.core.storage import memory as memstore
 from repro.dlv.repository import Repository
 from repro.dnn.data import synthetic_digits
 from repro.dnn.training import SGDConfig, Trainer
 from repro.dnn.zoo import lenet, tiny_mlp
+
+STORE_BACKENDS = ("local-fs", "sqlite", "memory")
+
+
+def _backend_target(tmp_path, backend: str, name: str = "repo") -> str:
+    """A ``Repository.init`` target for ``backend`` under ``tmp_path``."""
+    if backend == "local-fs":
+        return str(tmp_path / name)
+    if backend == "sqlite":
+        return f"sqlite://{tmp_path / (name + '.db')}"
+    if backend == "memory":
+        return f"mem://{name}-{uuid.uuid4().hex}"
+    raise ValueError(f"unknown backend {backend!r}")
+
+
+@pytest.fixture
+def make_repo_target(tmp_path):
+    """Factory producing init targets; drops memory repos on teardown."""
+    created: list[str] = []
+
+    def factory(backend: str, name: str = "repo") -> str:
+        target = _backend_target(tmp_path, backend, name)
+        created.append(target)
+        return target
+
+    yield factory
+    for target in created:
+        if target.startswith("mem://"):
+            memstore.drop(target[len("mem://"):])
+
+
+@pytest.fixture
+def corrupt_blob():
+    """Flip one byte of a stored (compressed) blob, on any backend."""
+
+    def corrupt(repo, sha: str, ns: str = "chunks", xor: int = 0x20) -> None:
+        store = repo.store if ns == "chunks" else repo.replica
+        if hasattr(store, "blob_path"):  # loose-file layout
+            path = store.blob_path(sha)
+            data = bytearray(path.read_bytes())
+            data[len(data) // 2] ^= xor
+            path.write_bytes(bytes(data))
+            return
+        conn = repo.backend._writer
+        row = conn.execute(
+            "SELECT data FROM store_blob WHERE ns = ? AND sha = ?", (ns, sha)
+        ).fetchone()
+        data = bytearray(row["data"])
+        data[len(data) // 2] ^= xor
+        conn.execute(
+            "UPDATE store_blob SET data = ? WHERE ns = ? AND sha = ?",
+            (bytes(data), ns, sha),
+        )
+        conn.commit()
+
+    return corrupt
 
 
 @pytest.fixture(scope="session")
@@ -53,9 +119,10 @@ def trained_tiny(digits):
 
 
 @pytest.fixture
-def repo(tmp_path):
-    """A fresh empty repository per test."""
-    repository = Repository.init(tmp_path / "repo")
+def repo(make_repo_target):
+    """A fresh empty repository per test, on the configured backend."""
+    backend = os.environ.get("REPRO_STORE_BACKEND", "local-fs")
+    repository = Repository.init(make_repo_target(backend))
     yield repository
     repository.close()
 

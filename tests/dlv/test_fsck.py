@@ -20,13 +20,6 @@ def _commit_tiny(repo, seed=0, name="m", message="v1", parent=None):
     return repo.commit(net, name=name, message=message, parent=parent)
 
 
-def _flip_blob(store, sha):
-    path = store.blob_path(sha)
-    data = bytearray(path.read_bytes())
-    data[len(data) // 2] ^= 0x20
-    path.write_bytes(bytes(data))
-
-
 @pytest.fixture
 def committed_repo(repo):
     _commit_tiny(repo)
@@ -49,11 +42,11 @@ def test_clean_repo(committed_repo):
     assert data["clean"] and data["summary"]["error"] == 0
 
 
-def test_corrupt_blob_detected_and_repaired(committed_repo):
+def test_corrupt_blob_detected_and_repaired(committed_repo, corrupt_blob):
     repo = committed_repo
     payload = repo.catalog.all_payloads()[0]
     sha = payload["chunks"][3]  # low plane: repair must re-materialize
-    _flip_blob(repo.store, sha)
+    corrupt_blob(repo, sha)
 
     report = run_fsck(repo)
     assert not report.clean
@@ -61,19 +54,18 @@ def test_corrupt_blob_detected_and_repaired(committed_repo):
 
     report = run_fsck(repo, repair=True)
     assert report.clean
-    quarantined = list((repo.dlv_dir / "quarantine").iterdir())
-    assert [p.name for p in quarantined] == [sha]
+    assert repo.backend.quarantined() == [sha]
     # Post-repair audit is clean and weights still load.
     assert run_fsck(repo).clean
     assert repo.get_snapshot_weights(1)
 
 
-def test_replicated_blob_restored_exactly(committed_repo):
+def test_replicated_blob_restored_exactly(committed_repo, corrupt_blob):
     repo = committed_repo
     payload = repo.catalog.all_payloads()[0]
     sha = payload["chunks"][0]  # plane 0 is mirrored in the replica
     original = repo.store.get(sha)
-    _flip_blob(repo.store, sha)
+    corrupt_blob(repo, sha)
 
     report = run_fsck(repo, repair=True)
     assert report.clean
@@ -137,6 +129,8 @@ def test_dangling_catalog_rows(committed_repo):
 
 def test_stale_tmp_reported_and_removed(committed_repo):
     repo = committed_repo
+    if repo.backend.scheme != "local-fs":
+        pytest.skip("tmp-file litter is a loose-file-layout concern")
     bucket = next(p for p in repo.store.root.iterdir() if p.is_dir())
     (bucket / "deadbeef.123.tmp").write_bytes(b"litter")
     report = run_fsck(repo)
@@ -146,9 +140,9 @@ def test_stale_tmp_reported_and_removed(committed_repo):
     assert not list(repo.store.root.glob("*/*.tmp"))
 
 
-def test_cli_fsck_exit_codes(tmp_path, capsys):
+def test_cli_fsck_exit_codes(tmp_path, capsys, corrupt_blob):
     root = tmp_path / "repo"
-    repo = Repository.init(root)
+    repo = Repository.init(str(root))
     _commit_tiny(repo)
     payload = repo.catalog.all_payloads()[0]
     repo.close()
@@ -157,8 +151,8 @@ def test_cli_fsck_exit_codes(tmp_path, capsys):
     out = json.loads(capsys.readouterr().out)
     assert out["clean"] is True
 
-    store = Repository.open(root)
-    _flip_blob(store.store, payload["chunks"][3])
+    store = Repository.open(str(root))
+    corrupt_blob(store, payload["chunks"][3])
     store.close()
 
     assert dlv_main(["--repo", str(root), "fsck", "--json"]) == 1

@@ -18,6 +18,12 @@ def _net(seed=0):
     ).build(seed)
 
 
+@pytest.fixture(params=["local-fs", "sqlite", "memory"])
+def repo_target(request, make_repo_target):
+    """An init/reopen target on every storage backend."""
+    return make_repo_target(request.param)
+
+
 def test_journal_record_retire_roundtrip(tmp_path):
     journal = Journal(tmp_path / "journal")
     entry = journal.record("commit", chunks=["aa", "bb"], files=[])
@@ -38,16 +44,16 @@ def test_torn_journal_entry_has_no_data(tmp_path):
     assert entry.data is None and entry.op is None
 
 
-def test_replay_rolls_back_unmarked_commit(tmp_path):
-    repo = Repository.init(tmp_path / "repo")
+def test_replay_rolls_back_unmarked_commit(repo_target):
+    repo = Repository.init(repo_target)
     repo.commit(_net(0), name="m", message="v1")
-    # Fabricate the on-disk state of a commit that died after landing its
+    # Fabricate the stored state of a commit that died after landing its
     # chunks but before the catalog transaction: orphan chunks + intent.
     orphan = repo.store.put(b"orphaned plane bytes")
     repo.journal.record("commit", name="ghost", chunks=[orphan], files=[])
     repo.close()
 
-    repo = Repository.open(tmp_path / "repo")
+    repo = Repository.open(repo_target)
     assert repo.last_replay["rolled_back"] == 1
     assert repo.last_replay["swept_chunks"] == 1
     assert orphan not in repo.store
@@ -55,33 +61,33 @@ def test_replay_rolls_back_unmarked_commit(tmp_path):
     repo.close()
 
 
-def test_replay_keeps_chunks_the_catalog_references(tmp_path):
-    repo = Repository.init(tmp_path / "repo")
+def test_replay_keeps_chunks_the_catalog_references(repo_target):
+    repo = Repository.init(repo_target)
     repo.commit(_net(0), name="m", message="v1")
     referenced = repo.catalog.all_payloads()[0]["chunks"][0]
     # An intent listing an already-referenced chunk (e.g. dedup with a
     # prior commit) must NOT sweep it.
     repo.journal.record("commit", name="ghost", chunks=[referenced], files=[])
     repo.close()
-    repo = Repository.open(tmp_path / "repo")
+    repo = Repository.open(repo_target)
     assert referenced in repo.store
     assert repo.get_snapshot_weights(1)
     repo.close()
 
 
-def test_replay_discards_torn_intent(tmp_path):
-    repo = Repository.init(tmp_path / "repo")
+def test_replay_discards_torn_intent(repo_target):
+    repo = Repository.init(repo_target)
     repo.commit(_net(0), name="m", message="v1")
-    (repo.journal.root / "ffff.json").write_text('{"broken')
+    repo.journal.write_raw("ffff", '{"broken')
     repo.close()
-    repo = Repository.open(tmp_path / "repo")
+    repo = Repository.open(repo_target)
     assert repo.journal.pending() == []
     assert repo.last_replay["retired"] == 1
     repo.close()
 
 
-def test_successful_commit_leaves_no_journal(tmp_path):
-    repo = Repository.init(tmp_path / "repo")
+def test_successful_commit_leaves_no_journal(repo_target):
+    repo = Repository.init(repo_target)
     repo.commit(_net(0), name="m", message="v1")
     assert repo.journal.pending() == []
     markers = repo.catalog._conn.execute(
@@ -91,8 +97,8 @@ def test_successful_commit_leaves_no_journal(tmp_path):
     repo.close()
 
 
-def test_commit_names_missing_staged_file(tmp_path):
-    repo = Repository.init(tmp_path / "repo")
+def test_commit_names_missing_staged_file(repo_target, tmp_path):
+    repo = Repository.init(repo_target)
     doomed = tmp_path / "notes.txt"
     doomed.write_text("about to vanish")
     repo.add_files([doomed])

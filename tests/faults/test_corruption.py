@@ -14,26 +14,18 @@ import numpy as np
 import pytest
 
 from repro.core.chunkstore import ChunkIntegrityError
-from repro.dlv.repository import REPLICA_PLANES, Repository
+from repro.dlv.repository import REPLICA_PLANES
 from repro.dnn.zoo import tiny_mlp
 from repro.faults import FaultPlan, FaultPoint, inject
 from repro.obs.metrics import counter
 
 
-def _flip_blob(store, sha: str) -> None:
-    path = store.blob_path(sha)
-    data = bytearray(path.read_bytes())
-    data[len(data) // 2] ^= 0x10
-    path.write_bytes(bytes(data))
-
-
 @pytest.fixture
-def archived_repo(tmp_path):
+def archived_repo(repo):
     """Two related versions with *different* weights, archived so real
     (nonzero) delta chains exist — identical weights would dedup every
     delta plane into one replicated zero blob and hide the low-plane
     degradation path."""
-    repo = Repository.init(tmp_path / "repo")
     net = tiny_mlp(
         input_shape=(1, 4, 4), num_classes=3, hidden=4, name="m"
     ).build(0)
@@ -49,8 +41,7 @@ def archived_repo(tmp_path):
     net.set_weights(finetuned)
     repo.commit(net, name="m-ft", message="fork", parent=v1)
     repo.archive(alpha=2.0)
-    yield repo
-    repo.close()
+    return repo
 
 
 def _delta_payload(repo):
@@ -61,11 +52,11 @@ def _delta_payload(repo):
     return deltas[0]
 
 
-def test_corrupt_high_plane_recovers_exactly(archived_repo):
+def test_corrupt_high_plane_recovers_exactly(archived_repo, corrupt_blob):
     repo = archived_repo
     payload = _delta_payload(repo)
     baseline = repo.archive_view().recreate_matrix(payload["matrix_id"])
-    _flip_blob(repo.store, payload["chunks"][0])  # plane 0 is replicated
+    corrupt_blob(repo, payload["chunks"][0], xor=0x10)  # plane 0 is replicated
 
     before = counter("recovery.replica_reads").value
     archive = repo.archive_view()
@@ -77,7 +68,7 @@ def test_corrupt_high_plane_recovers_exactly(archived_repo):
     assert event.action == "replica" and event.exact
 
 
-def test_corrupt_low_plane_degrades_gracefully(archived_repo):
+def test_corrupt_low_plane_degrades_gracefully(archived_repo, corrupt_blob):
     repo = archived_repo
     low_plane = REPLICA_PLANES + 1  # not replicated: only zero-fill saves it
     payload = next(
@@ -87,7 +78,7 @@ def test_corrupt_low_plane_degrades_gracefully(archived_repo):
         and p["chunks"][low_plane] not in repo.replica
     )
     baseline = repo.archive_view().recreate_matrix(payload["matrix_id"])
-    _flip_blob(repo.store, payload["chunks"][low_plane])
+    corrupt_blob(repo, payload["chunks"][low_plane], xor=0x10)
 
     before = counter("recovery.degraded_planes").value
     archive = repo.archive_view()
@@ -98,29 +89,28 @@ def test_corrupt_low_plane_degrades_gracefully(archived_repo):
     assert archive.recovery.degraded
 
 
-def test_every_snapshot_survives_single_blob_corruption(archived_repo):
+def test_every_snapshot_survives_single_blob_corruption(archived_repo, corrupt_blob):
     """The acceptance criterion: flip ONE non-root blob; all snapshots load."""
     repo = archived_repo
     payload = _delta_payload(repo)
-    _flip_blob(repo.store, payload["chunks"][1])
+    corrupt_blob(repo, payload["chunks"][1], xor=0x10)
     for version in repo.list_versions():
         weights = repo.get_snapshot_weights(version.id)
         assert weights, f"{version.ref} became unreadable"
 
 
-def test_direct_store_read_still_detects_corruption(archived_repo):
+def test_direct_store_read_still_detects_corruption(archived_repo, corrupt_blob):
     """Recovery lives above the store: raw get() must stay strict."""
     repo = archived_repo
     payload = _delta_payload(repo)
     sha = payload["chunks"][0]
-    _flip_blob(repo.store, sha)
+    corrupt_blob(repo, sha, xor=0x10)
     with pytest.raises(ChunkIntegrityError):
         repo.store.get(sha)
 
 
-def test_bitflip_fault_at_write_time_is_caught_later(tmp_path):
+def test_bitflip_fault_at_write_time_is_caught_later(repo):
     """A bitflip injected during the chunk write is latent corruption."""
-    repo = Repository.init(tmp_path / "repo")
     net = tiny_mlp(
         input_shape=(1, 4, 4), num_classes=3, hidden=4, name="m"
     ).build(0)
@@ -138,4 +128,3 @@ def test_bitflip_fault_at_write_time_is_caught_later(tmp_path):
     # ... and retrieval still serves every snapshot (replica or zero-fill).
     weights = repo.get_snapshot_weights(1)
     assert weights
-    repo.close()

@@ -15,14 +15,19 @@ index with a simulated hard crash at that index, reopen the repository
 from __future__ import annotations
 
 import shutil
+import uuid
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.core.storage import memory as memstore
 from repro.dlv.fsck import run_fsck
 from repro.dlv.repository import Repository
 from repro.dnn.zoo import tiny_mlp
 from repro.faults import CrashSimulated, FaultPlan, inject
+
+BACKENDS = ("local-fs", "sqlite", "memory")
 
 
 def _tiny_net(seed: int):
@@ -31,20 +36,44 @@ def _tiny_net(seed: int):
     ).build(seed)
 
 
-@pytest.fixture(scope="module")
-def base_repo(tmp_path_factory):
-    """A one-version repository, committed once and copied per scenario."""
-    root = tmp_path_factory.mktemp("crash-matrix") / "base"
-    repo = Repository.init(root)
+@pytest.fixture(scope="module", params=BACKENDS)
+def base_repo(request, tmp_path_factory):
+    """A one-version repository, committed once and cloned per scenario."""
+    backend = request.param
+    base = tmp_path_factory.mktemp("crash-matrix")
+    if backend == "local-fs":
+        target = str(base / "base")
+    elif backend == "sqlite":
+        target = f"sqlite://{base / 'base.db'}"
+    else:
+        target = f"mem://crash-base-{uuid.uuid4().hex}"
+    repo = Repository.init(target)
     repo.commit(_tiny_net(0), name="m", message="v1")
     baseline = repo.get_snapshot_weights(1)
     repo.close()
-    return root, baseline
+    yield target, baseline
+    if backend == "memory":
+        memstore.drop(target[len("mem://"):])
 
 
-def _clone(base_root, dest):
-    shutil.copytree(base_root, dest)
-    return dest
+def _clone(base_target, dest):
+    """Copy the base repository; returns a fresh reopen target."""
+    if base_target.startswith("mem://"):
+        name = f"crash-clone-{uuid.uuid4().hex}"
+        memstore.clone(base_target[len("mem://"):], name)
+        return f"mem://{name}"
+    if base_target.startswith("sqlite://"):
+        db = Path(dest).with_suffix(".db")
+        shutil.copy2(base_target[len("sqlite://"):], db)
+        return f"sqlite://{db}"
+    shutil.copytree(base_target, dest)
+    return str(dest)
+
+
+def _discard(target):
+    """Free a scenario clone (only memory repos need explicit teardown)."""
+    if target.startswith("mem://"):
+        memstore.drop(target[len("mem://"):])
 
 
 def _assert_consistent(root, baseline):
@@ -78,6 +107,7 @@ def _measure_ops(base_root, tmp_path, scenario) -> int:
     with inject(plan):
         scenario(repo)
     repo.close()
+    _discard(root)
     assert plan.ops > 0, "scenario exercised no instrumented ops"
     return plan.ops
 
@@ -107,6 +137,7 @@ def _run_matrix(base_repo, tmp_path, scenario, label):
             repo.close()
         assert plan.crashed, f"crash at op {n} never fired"
         outcomes.add(_assert_consistent(root, baseline))
+        _discard(root)
     return total_ops, outcomes
 
 

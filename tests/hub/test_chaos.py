@@ -41,6 +41,13 @@ def model_fleet(tmp_path, repo, trained_tiny):
         yield fleet
 
 
+def _require_multi_file_tree(fleet: HubFleet) -> None:
+    """Mid-tree failover scenarios need a published tree of >= 2 files;
+    a single-file sqlite repo completes the transfer in one request."""
+    if len(fleet.primary.server.manifest("shared", 1)) < 2:
+        pytest.skip("single-file repo: no mid-tree transfer to fail over")
+
+
 def pulled_ok(fleet: HubFleet, dest) -> None:
     """The pulled tree byte-matches the published manifest."""
     manifest = fleet.primary.server.manifest("shared", 1)
@@ -68,6 +75,7 @@ MATRIX = [
 class TestFaultMatrix:
     @pytest.mark.parametrize("fault", MATRIX)
     def test_peer_faulted_mid_transfer(self, model_fleet, tmp_path, fault):
+        _require_multi_file_tree(model_fleet)
         # n0 serves the first file, then every later file request fails:
         # the node "dies" partway through the tree.
         plan = NetFaultPlan([
@@ -163,6 +171,7 @@ class TestNoRefetch:
     def test_failover_does_not_refetch_verified_files(
         self, model_fleet, tmp_path
     ):
+        _require_multi_file_tree(model_fleet)
         # The zero-delay observer fires on every *served* file request
         # (the drop point wins on faulted ones), so `plan.fired` is a
         # complete log of which file fetches actually delivered bytes.

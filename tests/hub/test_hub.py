@@ -108,7 +108,10 @@ class TestServerManagement:
         source = hub.get("demo-repo", 1)
         from repro.dlv.catalog import Catalog
 
-        catalog = Catalog(source / "catalog.db")
+        # The published tree is either a loose-file .dlv (catalog.db) or
+        # a single-file sqlite repo (repo.db); both hold catalog tables.
+        db = source / "repo.db"
+        catalog = Catalog(db if db.exists() else source / "catalog.db")
         names = [v.name for v in catalog.find_versions()]
         catalog.close()
         assert names == ["shared-model"]

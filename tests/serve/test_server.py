@@ -302,6 +302,9 @@ class TestDrain:
 class TestCLI:
     def test_dlv_serve_subprocess_drains_on_sigint(self, served_repo, digits):
         repo, net, _ = served_repo
+        if str(repo.root).startswith("mem://"):
+            pytest.skip("memory repos are process-local; a subprocess "
+                        "cannot open one")
         import repro
 
         src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
