@@ -139,6 +139,15 @@ class ProgressiveEvaluator:
         if snapshot_id not in snapshots:
             raise KeyError(f"archive has no snapshot {snapshot_id!r}")
         self._members = snapshots[snapshot_id]
+        # Shared-cache entries are keyed by *content* fingerprint when the
+        # archive can compute one: two models whose chains resolve to the
+        # same weights (common in dedup'd fine-tuned families) then share
+        # bounds/weights entries and single-flight loads across evaluators.
+        self._cache_ns = snapshot_id
+        if plane_cache is not None:
+            fingerprint = archive.snapshot_fingerprint(snapshot_id)
+            if fingerprint is not None:
+                self._cache_ns = fingerprint
         self._lock = threading.RLock()
         self._bounds_memo: dict[int, dict[str, dict[str, Interval]]] = {}
         self._weights_memo: Optional[dict[str, dict[str, np.ndarray]]] = None
@@ -179,7 +188,7 @@ class ProgressiveEvaluator:
                 return bounds, _bounds_nbytes(bounds)
 
             return self.plane_cache.get_or_load(
-                ("bounds", self.snapshot_id, planes), load
+                ("bounds", self._cache_ns, planes), load
             )
         with self._lock:
             bounds = self._bounds_memo.get(planes)
@@ -198,10 +207,15 @@ class ProgressiveEvaluator:
         if self.plane_cache is not None:
             def load() -> tuple[dict, int]:
                 weights = self._read_exact_weights()
+                # Entries may be shared across models (content-keyed), so
+                # freeze them — matching the RetrievalCache convention.
+                for params in weights.values():
+                    for value in params.values():
+                        value.setflags(write=False)
                 return weights, _weights_nbytes(weights)
 
             return self.plane_cache.get_or_load(
-                ("weights", self.snapshot_id), load
+                ("weights", self._cache_ns), load
             )
         with self._lock:
             weights = self._weights_memo
@@ -285,8 +299,8 @@ class ProgressiveEvaluator:
                     break
                 seen.add(current)
                 entry = self.archive.manifest[current]
-                for i, sha in enumerate(entry.chunk_ids):
-                    sizes[i] += self.archive.plane_store(i).stored_size(sha)
+                for i in range(NUM_PLANES):
+                    sizes[i] += self.archive.plane_stored_size(entry, i)
                 current = entry.parent
         with self._lock:
             self._plane_sizes_memo = sizes

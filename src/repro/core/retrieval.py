@@ -18,6 +18,7 @@ Sec. IV-B).  Retrieval then supports:
 from __future__ import annotations
 
 import contextvars
+import hashlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
@@ -29,6 +30,8 @@ from repro.obs.metrics import counter, histogram
 from repro.obs.tracing import trace_span
 
 from repro.core.delta import apply_delta, delta_sub, delta_xor, embed_like
+from repro.dedup.pages import decode_plane as _decode_paged_plane
+from repro.dedup.pages import manifest_shas as _manifest_shas
 from repro.core.segmentation import (
     NUM_PLANES,
     assemble_planes,
@@ -111,13 +114,20 @@ class RecoveryReport:
 
 @dataclass
 class _StoredPayload:
-    """Manifest entry for one archived matrix."""
+    """Manifest entry for one archived matrix.
+
+    ``kind="pages"`` payloads are root-anchored like ``materialize`` but
+    store no plane chunks; instead ``pages`` maps each plane index to a
+    page manifest (see :mod:`repro.dedup.pages`) resolving into the
+    shared, refcounted page tier.
+    """
 
     matrix_id: str
     parent: str
-    kind: str  # "materialize" | "sub" | "xor"
+    kind: str  # "materialize" | "sub" | "xor" | "pages"
     shape: tuple
     chunk_ids: list[str] = field(default_factory=list)
+    pages: Optional[dict[int, dict]] = None
 
 
 class PlanArchive:
@@ -141,6 +151,14 @@ class PlanArchive:
             raising, recording a :class:`RecoveryEvent`.  Plane 0
             (sign/exponent) is never zero-filled: without it the value
             would be garbage rather than an approximation.
+        page_store: A :class:`~repro.dedup.store.PageStore` for
+            ``kind="pages"`` payloads — required to build or read
+            page-encoded (cross-model deduplicated) matrices.
+        plane_cache: Optional :class:`~repro.serve.cache.PlaneCache`;
+            when set, page blobs are read through it under
+            ``("page", sha)`` keys, so pages shared across models occupy
+            cache bytes once and cold loads coalesce (single-flight)
+            across every model being served.
     """
 
     def __init__(
@@ -152,6 +170,8 @@ class PlanArchive:
         replica_store=None,
         replicate_planes: int = 2,
         degraded: bool = False,
+        page_store=None,
+        plane_cache=None,
     ) -> None:
         self.store = store
         self.level = level
@@ -160,6 +180,8 @@ class PlanArchive:
         self.replica_store = replica_store
         self.replicate_planes = replicate_planes
         self.degraded = degraded
+        self.page_store = page_store
+        self.plane_cache = plane_cache
         self.recovery = RecoveryReport()
         self._manifest: dict[str, _StoredPayload] = {}
         self._snapshots: dict[str, list[str]] = {}
@@ -183,6 +205,7 @@ class PlanArchive:
         offload_from: int = 2,
         replica_store=None,
         replicate_planes: int = 2,
+        page_store=None,
     ) -> "PlanArchive":
         """Archive ``matrices`` according to ``plan``.
 
@@ -198,6 +221,8 @@ class PlanArchive:
                 low-order byte planes (see class docs).
             replica_store / replicate_planes: Optional redundancy tier for
                 the high-order byte planes (see class docs).
+            page_store: Dedup page tier; required when the plan contains
+                ``kind="pages"`` root edges (``--dedup`` archival).
         """
         plan.validate()
         archive = cls(
@@ -206,6 +231,7 @@ class PlanArchive:
             offload_from=offload_from,
             replica_store=replica_store,
             replicate_planes=replicate_planes,
+            page_store=page_store,
         )
         archive._snapshots = plan.graph.snapshots
         # Write parents before children so delta bases conceptually exist;
@@ -222,7 +248,11 @@ class PlanArchive:
                     remaining.append(matrix_id)
                     continue
                 archive._write_payload(
-                    matrix_id, parent, matrices, delta_kind
+                    matrix_id,
+                    parent,
+                    matrices,
+                    delta_kind,
+                    as_pages=plan.parent_edge[matrix_id].kind == "pages",
                 )
                 placed.add(matrix_id)
                 progressed = True
@@ -237,8 +267,12 @@ class PlanArchive:
         parent: str,
         matrices: dict[str, np.ndarray],
         delta_kind: str,
+        as_pages: bool = False,
     ) -> None:
         target = np.asarray(matrices[matrix_id], dtype=np.float32)
+        if as_pages:
+            self._write_paged_payload(matrix_id, target)
+            return
         if parent == ROOT:
             payload = target
             kind = "materialize"
@@ -260,6 +294,25 @@ class PlanArchive:
                 self.replica_store.put(plane)
         self._manifest[matrix_id] = entry
 
+    def _write_paged_payload(self, matrix_id: str, target: np.ndarray) -> None:
+        """Page-encode a matrix into the shared dedup tier.
+
+        The replica tier still mirrors the leading *assembled* planes
+        (keyed by the plane digest recorded in the manifest), so the
+        exact-recovery guarantee of the replica design survives page
+        encoding.
+        """
+        if self.page_store is None:
+            raise ValueError(
+                "plan contains page-dedup edges but no page_store was given"
+            )
+        entry = _StoredPayload(matrix_id, ROOT, "pages", target.shape, pages={})
+        for index, plane in enumerate(segment_planes(target)):
+            entry.pages[index] = self.page_store.encode_plane(plane)
+            if self.replica_store is not None and index < self.replicate_planes:
+                self.replica_store.put(plane)
+        self._manifest[matrix_id] = entry
+
     # -- manifest -------------------------------------------------------------
 
     @property
@@ -268,18 +321,18 @@ class PlanArchive:
 
     def to_manifest_dict(self) -> dict:
         """JSON-serializable manifest (written by ``dlv archive``)."""
-        return {
-            "snapshots": self._snapshots,
-            "payloads": {
-                m: {
-                    "parent": e.parent,
-                    "kind": e.kind,
-                    "shape": list(e.shape),
-                    "chunks": e.chunk_ids,
-                }
-                for m, e in self._manifest.items()
-            },
-        }
+        payloads = {}
+        for m, e in self._manifest.items():
+            entry = {
+                "parent": e.parent,
+                "kind": e.kind,
+                "shape": list(e.shape),
+                "chunks": e.chunk_ids,
+            }
+            if e.pages is not None:
+                entry["pages"] = {str(i): man for i, man in e.pages.items()}
+            payloads[m] = entry
+        return {"snapshots": self._snapshots, "payloads": payloads}
 
     @classmethod
     def from_manifest_dict(
@@ -291,6 +344,8 @@ class PlanArchive:
         replica_store=None,
         replicate_planes: int = 2,
         degraded: bool = False,
+        page_store=None,
+        plane_cache=None,
     ) -> "PlanArchive":
         """Reopen an archive from its serialized manifest."""
         archive = cls(
@@ -300,22 +355,31 @@ class PlanArchive:
             replica_store=replica_store,
             replicate_planes=replicate_planes,
             degraded=degraded,
+            page_store=page_store,
+            plane_cache=plane_cache,
         )
         archive._snapshots = {
             k: list(v) for k, v in manifest["snapshots"].items()
         }
         for matrix_id, entry in manifest["payloads"].items():
+            pages = entry.get("pages")
             archive._manifest[matrix_id] = _StoredPayload(
                 matrix_id,
                 entry["parent"],
                 entry["kind"],
                 tuple(entry["shape"]),
                 list(entry["chunks"]),
+                {int(i): man for i, man in pages.items()}
+                if pages is not None
+                else None,
             )
         return archive
 
     def total_size(self) -> int:
-        """Stored bytes of all chunks referenced by this archive."""
+        """Stored bytes of all chunks and pages referenced by this archive.
+
+        Pages shared across matrices (the dedup win) count once.
+        """
         seen = set()
         total = 0
         for entry in self._manifest.values():
@@ -323,7 +387,72 @@ class PlanArchive:
                 if sha not in seen:
                     seen.add(sha)
                     total += self.plane_store(index).stored_size(sha)
+            if entry.pages:
+                for manifest in entry.pages.values():
+                    for sha in _manifest_shas(manifest):
+                        if sha not in seen:
+                            seen.add(sha)
+                            total += self.page_store.blobs.stored_size(sha)
         return total
+
+    def plane_stored_size(self, entry: _StoredPayload, index: int) -> int:
+        """Stored bytes behind one plane of one payload (pages-aware)."""
+        if entry.kind == "pages":
+            manifest = (entry.pages or {}).get(index)
+            if manifest is None:
+                return 0
+            total = 0
+            for sha in set(_manifest_shas(manifest)):
+                try:
+                    total += self.page_store.blobs.stored_size(sha)
+                except KeyError:
+                    continue
+            return total
+        return self.plane_store(index).stored_size(entry.chunk_ids[index])
+
+    def snapshot_fingerprint(self, snapshot_id: str) -> Optional[str]:
+        """Content fingerprint of a snapshot's stored weights.
+
+        Two snapshots whose payload chains resolve to identical content
+        (e.g. fine-tuned family members restored from the same base, or
+        copies of one model served under two names) get equal
+        fingerprints, letting the serve tier key shared caches by
+        *content* instead of snapshot identity.  Returns ``None`` when
+        any member's chain is unknown (caller falls back to the id).
+        """
+        members = self._snapshots.get(snapshot_id)
+        if members is None:
+            return None
+        memo: dict[str, str] = {}
+
+        def chain_fp(matrix_id: str) -> Optional[str]:
+            chain = []
+            current = matrix_id
+            while current != ROOT and current not in memo:
+                entry = self._manifest.get(current)
+                if entry is None:
+                    return None
+                chain.append(entry)
+                current = entry.parent
+            below = memo.get(current, "root")
+            for entry in reversed(chain):
+                parts = [below, entry.kind, *entry.chunk_ids]
+                if entry.pages:
+                    for index in sorted(entry.pages):
+                        for base, patch in entry.pages[index]["pages"]:
+                            parts.append(patch or base)
+                below = hashlib.sha256("|".join(parts).encode()).hexdigest()
+                memo[entry.matrix_id] = below
+            return memo[matrix_id]
+
+        digest = hashlib.sha256()
+        for matrix_id in sorted(members):
+            fp = chain_fp(matrix_id)
+            if fp is None:
+                return None
+            tail = matrix_id.rsplit("/", 1)[-1]
+            digest.update(f"{tail}={fp};".encode())
+        return digest.hexdigest()[:16]
 
     # -- reading ----------------------------------------------------------------
 
@@ -355,6 +484,8 @@ class PlanArchive:
         Returns ``(bytes, stored_size)``; ``(None, 0)`` means the plane
         was lost and the caller should zero-fill it (degraded mode).
         """
+        if entry.kind == "pages":
+            return self._fetch_paged_plane(entry, index)
         sha = entry.chunk_ids[index]
         store = self.plane_store(index)
         try:
@@ -367,6 +498,95 @@ class PlanArchive:
             # byte-savings unit).
             charge(planes_fetched=1, plane_bytes={index: nbytes})
         return data, nbytes
+
+    def _fetch_page(self, sha: str) -> bytes:
+        """Read one page blob, through the shared cache when present."""
+        blobs = self.page_store.blobs
+        if self.plane_cache is None:
+            return blobs.get(sha)
+
+        def load() -> tuple[bytes, int]:
+            data = blobs.get(sha)
+            return data, len(data)
+
+        return self.plane_cache.get_or_load(("page", sha), load)
+
+    def _fetch_paged_plane(
+        self, entry: _StoredPayload, index: int
+    ) -> tuple[Optional[bytes], int]:
+        """Reassemble one page-encoded plane, with the recovery ladder.
+
+        Bills the plane's stored (deduplicated) footprint exactly like a
+        direct chunk read — ``charge(planes_fetched=1, plane_bytes=...)``
+        — so page-assembled retrievals cost the same units as chunked
+        ones.  A lost page falls back to the replica copy of the whole
+        assembled plane, then (planes >= 1, degraded mode) to zero-fill.
+        """
+        if self.page_store is None:
+            raise KeyError(
+                f"{entry.matrix_id!r} is page-encoded but this archive has "
+                "no page store"
+            )
+        manifest = (entry.pages or {}).get(index)
+        if manifest is None:
+            raise KeyError(
+                f"{entry.matrix_id!r} has no page manifest for plane {index}"
+            )
+        nbytes = self.plane_stored_size(entry, index)
+        try:
+            data = _decode_paged_plane(manifest, self._fetch_page)
+        except (KeyError, ValueError) as exc:
+            data, nbytes = self._recover_paged_plane(entry, index, manifest, exc)
+        if data is not None:
+            charge(planes_fetched=1, plane_bytes={index: nbytes})
+        return data, nbytes
+
+    def _recover_paged_plane(
+        self,
+        entry: _StoredPayload,
+        index: int,
+        manifest: dict,
+        exc: Exception,
+    ) -> tuple[Optional[bytes], int]:
+        """Alternate path for a paged plane: replica plane, then zero-fill."""
+        plane_sha = manifest.get("sha", "")
+        if self.replica_store is not None and plane_sha:
+            try:
+                data = self.replica_store.get(plane_sha)
+            except (KeyError, ValueError):
+                pass
+            else:
+                self.recovery.events.append(
+                    RecoveryEvent(
+                        entry.matrix_id, plane_sha, index, "replica", True,
+                        str(exc),
+                    )
+                )
+                counter("recovery.replica_reads").inc()
+                try:
+                    nbytes = self.replica_store.stored_size(plane_sha)
+                except KeyError:  # pragma: no cover - store raced away
+                    nbytes = len(data)
+                return data, nbytes
+        if self.degraded and index >= 1:
+            lost: list[str] = []
+            data = _decode_paged_plane(
+                manifest,
+                self._fetch_page,
+                missing_ok=True,
+                on_missing=lambda sha, _err: lost.append(sha),
+            )
+            for sha in lost:
+                self.recovery.events.append(
+                    RecoveryEvent(
+                        entry.matrix_id, sha, index, "zero-fill", False,
+                        str(exc),
+                    )
+                )
+            counter("recovery.degraded_pages").inc(max(1, len(lost)))
+            return data, self.plane_stored_size(entry, index)
+        counter("recovery.failures").inc()
+        raise exc
 
     def _recover_plane(
         self, entry: _StoredPayload, index: int, sha: str, exc: Exception
@@ -422,7 +642,7 @@ class PlanArchive:
             payload, nbytes = self._read_payload(node, planes)
             bytes_read += nbytes
             entry = self._manifest[node]
-            if entry.kind == "materialize":
+            if entry.kind in ("materialize", "pages"):
                 value = payload
             else:
                 if value.shape != payload.shape:
@@ -543,6 +763,14 @@ class PlanArchive:
             entry = self._manifest[node]
             prefix = []
             for i in range(planes):
+                if entry.kind == "pages":
+                    data, _nbytes = self._fetch_paged_plane(entry, i)
+                    if data is None:  # degraded zero-fill has no bounds
+                        raise KeyError(
+                            f"plane {i} of {node!r} is unreadable"
+                        )
+                    prefix.append(data)
+                    continue
                 store = self.plane_store(i)
                 sha = entry.chunk_ids[i]
                 prefix.append(store.get(sha))

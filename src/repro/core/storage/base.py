@@ -3,7 +3,8 @@
 A :class:`~repro.dlv.repository.Repository` is versioning logic layered
 over four kinds of state:
 
-* **blobs** — content-addressed byte-plane chunks (main + replica tier),
+* **blobs** — content-addressed byte-plane chunks (main + replica tier)
+  and dedup pages (the refcounted ``pages`` tier),
 * **files** — content-addressed associated files (``dlv add``),
 * **docs** — small named documents (repo config, the commit stage,
   archive-run reports),
@@ -115,8 +116,9 @@ class StorageBackend(abc.ABC):
 
     Concrete backends expose, as attributes set during construction:
 
-    ``chunks`` / ``replica``
-        :class:`BlobStore` instances for the main and replica tiers.
+    ``chunks`` / ``replica`` / ``pages``
+        :class:`BlobStore` instances for the main, replica, and dedup
+        page tiers.
     ``catalog``
         The :class:`~repro.dlv.catalog.Catalog` (relational half).
     ``journal``
@@ -198,7 +200,7 @@ class StorageBackend(abc.ABC):
 
     @abc.abstractmethod
     def quarantine_blob(self, kind: str, sha: str) -> bool:
-        """Set a corrupt blob aside (``kind`` is "chunks" or "replica").
+        """Set a corrupt blob aside (``kind``: "chunks"/"replica"/"pages").
 
         Returns whether a blob was actually moved.  Quarantined blobs
         are unreachable from every read path but retained for forensics.

@@ -50,6 +50,8 @@ class LocalFSBackend(StorageBackend):
         # Opening the stores sweeps any stale tmp litter from a crash.
         self.chunks = ChunkStore(self.dlv_dir / "chunks")
         self.replica = ChunkStore(self.dlv_dir / "replica")
+        # Dedup page tier; mkdir-on-open upgrades pre-dedup repositories.
+        self.pages = ChunkStore(self.dlv_dir / "pages")
         self.files_dir = self.dlv_dir / "files"
         self.files_dir.mkdir(exist_ok=True)
         self.journal = Journal(self.dlv_dir / "journal")
@@ -134,12 +136,14 @@ class LocalFSBackend(StorageBackend):
             return self.chunks
         if kind == "replica":
             return self.replica
+        if kind == "pages":
+            return self.pages
         raise ValueError(f"unknown blob tier {kind!r}")
 
     def quarantine_blob(self, kind: str, sha: str) -> bool:
         """Move a corrupt blob into ``.dlv/quarantine/`` (forensics)."""
         store = self._store_for(kind)
-        suffix = ".replica" if kind == "replica" else ""
+        suffix = {"chunks": "", "replica": ".replica", "pages": ".page"}[kind]
         quarantine = self.dlv_dir / "quarantine"
         quarantine.mkdir(exist_ok=True)
         blob = store.blob_path(sha)
@@ -158,7 +162,11 @@ class LocalFSBackend(StorageBackend):
     def litter(self, repair: bool) -> list[dict]:
         """Stale ``*.tmp`` files in either chunk store (F302)."""
         findings = []
-        for store, label in ((self.chunks, "chunks"), (self.replica, "replica")):
+        for store, label in (
+            (self.chunks, "chunks"),
+            (self.replica, "replica"),
+            (self.pages, "pages"),
+        ):
             for tmp in sorted(store.root.glob("*/*.tmp")):
                 finding = {
                     "code": "F302",
@@ -174,7 +182,11 @@ class LocalFSBackend(StorageBackend):
         return findings
 
     def sweep_stale_tmps(self) -> int:
-        return self.chunks.sweep_stale_tmps() + self.replica.sweep_stale_tmps()
+        return (
+            self.chunks.sweep_stale_tmps()
+            + self.replica.sweep_stale_tmps()
+            + self.pages.sweep_stale_tmps()
+        )
 
     # -- hub publishing ---------------------------------------------------------
 

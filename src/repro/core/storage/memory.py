@@ -56,6 +56,7 @@ class MemoryBackend(SQLiteBackend):
         self.catalog = Catalog(conn=self._writer, txn=self.txn)
         self.chunks = SQLiteBlobStore(self, "chunks")
         self.replica = SQLiteBlobStore(self, "replica")
+        self.pages = SQLiteBlobStore(self, "pages")
         self.journal = SQLiteJournal(self)
         if create:
             self.write_config()

@@ -305,6 +305,7 @@ class SQLiteBackend(StorageBackend):
         self.catalog = Catalog(self.path, conn=self._writer, txn=self.txn)
         self.chunks = SQLiteBlobStore(self, "chunks")
         self.replica = SQLiteBlobStore(self, "replica")
+        self.pages = SQLiteBlobStore(self, "pages")
         self.journal = SQLiteJournal(self)
         if create:
             self.write_config()
@@ -438,9 +439,9 @@ class SQLiteBackend(StorageBackend):
 
     def quarantine_blob(self, kind: str, sha: str) -> bool:
         """Move a corrupt blob row into the quarantine table."""
-        if kind not in ("chunks", "replica"):
+        if kind not in ("chunks", "replica", "pages"):
             raise ValueError(f"unknown blob tier {kind!r}")
-        suffix = ".replica" if kind == "replica" else ""
+        suffix = {"chunks": "", "replica": ".replica", "pages": ".page"}[kind]
         with self._write_lock:
             row = self._writer.execute(
                 "SELECT data FROM store_blob WHERE ns = ? AND sha = ?",

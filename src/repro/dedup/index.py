@@ -1,0 +1,128 @@
+"""Similarity index helpers and the archival-planning cost estimator.
+
+The *persistent* sketch index lives in the catalog (``page_sketch``
+rows, written atomically with refcounts inside the archive
+transaction); this module holds the in-memory half:
+
+* :class:`SketchIndex` — the per-archive-run overlay.  An archive run
+  encodes many matrices before anything is committed, so pages stored
+  earlier in the same run must be probe-able immediately, not only
+  after the catalog flush.
+* :class:`DedupEstimator` — a dry-run of the page store used by
+  :meth:`~repro.dlv.repository.Repository.build_storage_graph` to price
+  the ``kind="pages"`` root edge for each matrix *without* mutating any
+  store.  It models both exact page hits and near-miss patches with the
+  same sketch probe and acceptance rule as the real encoder, fed
+  matrices in deterministic catalog order, so the priced edge tracks
+  what an actual dedup archive would store.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.segmentation import segment_planes
+
+from repro.dedup.pages import (
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_PATCH_MAX_RATIO,
+    DEFAULT_PROBE_LIMIT,
+    page_digest,
+    sketch_keys,
+    split_pages,
+    xor_bytes,
+)
+
+
+class SketchIndex:
+    """In-memory band-sketch index over base pages."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[str, list[str]] = {}
+
+    def add(self, sha: str, keys: Iterable[str]) -> None:
+        for key in keys:
+            self._buckets.setdefault(key, []).append(sha)
+
+    def votes(self, keys: Iterable[str]) -> Counter:
+        """Candidate base shas by number of matching bands."""
+        votes: Counter = Counter()
+        for key in keys:
+            for sha in self._buckets.get(key, ()):
+                votes[sha] += 1
+        return votes
+
+
+class DedupEstimator:
+    """Estimate the incremental stored cost of page-encoding matrices.
+
+    Seeded with the page addresses already present in the repository's
+    page store, then fed matrices in the same deterministic order the
+    archive build will use; each call charges only for pages not seen
+    before (in the store or earlier in this estimate).
+    """
+
+    def __init__(
+        self,
+        known: Iterable[str] = (),
+        page_size: int = DEFAULT_PAGE_SIZE,
+        patch_max_ratio: float = DEFAULT_PATCH_MAX_RATIO,
+        probe_limit: int = DEFAULT_PROBE_LIMIT,
+        level: int = 6,
+    ) -> None:
+        self.page_size = page_size
+        self.patch_max_ratio = patch_max_ratio
+        self.probe_limit = probe_limit
+        self.level = level
+        self._known = set(known)
+        self._index = SketchIndex()
+        # Raw bytes of base pages first seen in this estimate — patch
+        # candidates.  (Pages seeded via ``known`` have no bytes here, so
+        # they only count for exact hits, matching what the encoder can
+        # cheaply exact-match against a pre-existing store.)
+        self._pages: dict[str, bytes] = {}
+
+    def plane_cost(self, data: bytes) -> int:
+        """Estimated new stored bytes to page-encode one plane."""
+        cost = 0
+        for page in split_pages(data, self.page_size):
+            sha = page_digest(page)
+            if sha in self._known:
+                continue
+            self._known.add(sha)
+            raw_c = len(zlib.compress(page, self.level))
+            keys = sketch_keys(page)
+            budget = int(self.patch_max_ratio * raw_c)
+            best = None
+            for cand, _ in self._index.votes(keys).most_common(self.probe_limit):
+                base = self._pages.get(cand)
+                if base is None:
+                    continue
+                patch_c = len(zlib.compress(xor_bytes(page, base), self.level))
+                if patch_c <= budget and (best is None or patch_c < best):
+                    best = patch_c
+            if best is not None:
+                cost += best
+                continue
+            cost += raw_c
+            self._index.add(sha, keys)
+            self._pages[sha] = page
+        return cost
+
+    def matrix_cost(self, matrix: np.ndarray) -> int:
+        """Estimated new stored bytes to page-encode a whole matrix."""
+        return sum(self.plane_cost(plane) for plane in segment_planes(matrix))
+
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DedupEstimator",
+    "SketchIndex",
+    "page_digest",
+    "sketch_keys",
+    "split_pages",
+]

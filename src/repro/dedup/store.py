@@ -1,0 +1,244 @@
+"""Refcounted, similarity-indexed page store over a blob namespace.
+
+:class:`PageStore` binds the dedup encoding of :mod:`repro.dedup.pages`
+to a repository: page blobs land in the backend's ``pages`` blob
+namespace, while manifests, refcounts, and sketch rows live in the
+catalog so they commit atomically with the payload rewrite of an
+archive run.
+
+Write protocol (crash-safe on all three backends):
+
+1. ``encode_plane`` puts page/patch blobs immediately — they are
+   content-addressed and idempotent, so a crash strands at worst
+   unreferenced blobs (swept by ``gc`` / fsck ``F403``) — and *buffers*
+   every catalog mutation (refcount bumps, sketch rows).
+2. The caller opens ``catalog.transaction()``, writes the payload and
+   page manifests, and calls :meth:`flush` so refcounts and sketches
+   commit in the same transaction.  On the SQLite/memory backends the
+   blob writes join that transaction too; on local-fs the journal's
+   archive intent covers the window.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+from typing import Iterable, Optional
+
+from repro.obs.metrics import counter
+
+from repro.dedup.index import SketchIndex
+from repro.dedup.pages import (
+    DEFAULT_PAGE_SIZE,
+    DEFAULT_PATCH_MAX_RATIO,
+    DEFAULT_PROBE_LIMIT,
+    decode_plane,
+    manifest_shas,
+    page_digest,
+    sketch_keys,
+    split_pages,
+    xor_bytes,
+)
+
+
+class PageStore:
+    """Page-granular dedup encoder/decoder bound to one repository.
+
+    Args:
+        blobs: The backend's ``pages`` blob store.
+        catalog: The repository catalog (manifests, refcounts, sketches).
+        page_size: Page granularity in bytes.
+        patch_max_ratio: Near-miss acceptance threshold (see module docs).
+        probe_limit: Sketch candidates tried per new page.
+        level: zlib level used for cost estimates (stores compress
+            internally at their own level).
+    """
+
+    def __init__(
+        self,
+        blobs,
+        catalog,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        patch_max_ratio: float = DEFAULT_PATCH_MAX_RATIO,
+        probe_limit: int = DEFAULT_PROBE_LIMIT,
+        level: int = 6,
+    ) -> None:
+        self.blobs = blobs
+        self.catalog = catalog
+        self.page_size = page_size
+        self.patch_max_ratio = patch_max_ratio
+        self.probe_limit = probe_limit
+        self.level = level
+        self._pending_refs: Counter = Counter()
+        self._pending_sketches: list[tuple[str, str]] = []
+        self._run_index = SketchIndex()
+
+    # -- encoding -----------------------------------------------------------
+
+    def encode_plane(self, data: bytes) -> dict:
+        """Page-encode one plane's bytes; returns the plane manifest.
+
+        Blob writes happen immediately; catalog effects are buffered
+        until :meth:`flush` (see module docs for the crash protocol).
+        """
+        pages_meta: list[list[Optional[str]]] = []
+        for page in split_pages(data, self.page_size):
+            sha = page_digest(page)
+            counter("dedup.pages_referenced").inc()
+            if sha in self.blobs:
+                counter("dedup.pages_shared").inc()
+                counter("dedup.bytes_saved").inc(self.blobs.stored_size(sha))
+                self._pending_refs[sha] += 1
+                pages_meta.append([sha, None])
+                continue
+            raw_c = len(zlib.compress(page, self.level))
+            base_sha, patch = self._probe(page, raw_c)
+            if base_sha is not None:
+                patch_sha = self.blobs.put(patch)
+                stored = self.blobs.stored_size(patch_sha)
+                counter("dedup.pages_patched").inc()
+                counter("dedup.bytes_stored").inc(stored)
+                counter("dedup.bytes_saved").inc(max(0, raw_c - stored))
+                self._pending_refs[base_sha] += 1
+                self._pending_refs[patch_sha] += 1
+                pages_meta.append([base_sha, patch_sha])
+            else:
+                self.blobs.put(page)
+                counter("dedup.pages_stored").inc()
+                counter("dedup.bytes_stored").inc(self.blobs.stored_size(sha))
+                keys = sketch_keys(page)
+                self._run_index.add(sha, keys)
+                self._pending_sketches.extend((key, sha) for key in keys)
+                self._pending_refs[sha] += 1
+                pages_meta.append([sha, None])
+        return {
+            "psize": self.page_size,
+            "nbytes": len(data),
+            "sha": page_digest(data),
+            "pages": pages_meta,
+        }
+
+    def _probe(
+        self, page: bytes, raw_compressed: int
+    ) -> tuple[Optional[str], Optional[bytes]]:
+        """Find a base page this one patches well against, or ``(None, None)``.
+
+        Candidates come from the persistent sketch index (previous
+        archive runs) merged with the in-run overlay, ranked by band
+        votes; the best acceptable patch wins.
+        """
+        keys = sketch_keys(page)
+        if not keys:
+            return None, None
+        counter("dedup.index_probes").inc()
+        votes = self._run_index.votes(keys)
+        for cand_sha in self.catalog.sketch_candidates(keys, self.probe_limit):
+            votes[cand_sha] += 1
+        budget = max(0, int(self.patch_max_ratio * raw_compressed))
+        best: tuple[int, str, bytes] | None = None
+        for cand_sha, _ in votes.most_common(self.probe_limit):
+            try:
+                base = self.blobs.get(cand_sha)
+            except (KeyError, ValueError):
+                continue
+            patch = xor_bytes(page, base)
+            patch_c = len(zlib.compress(patch, self.level))
+            if patch_c <= budget and (best is None or patch_c < best[0]):
+                best = (patch_c, cand_sha, patch)
+        if best is None:
+            return None, None
+        counter("dedup.index_hits").inc()
+        return best[1], best[2]
+
+    def flush(self) -> None:
+        """Apply buffered refcounts and sketch rows to the catalog.
+
+        The caller must hold ``catalog.transaction()`` so these rows
+        commit atomically with the manifests that justify them.
+        """
+        for sha, delta in self._pending_refs.items():
+            self.catalog.bump_page_ref(sha, delta)
+        for key, sha in self._pending_sketches:
+            self.catalog.add_page_sketch(key, sha)
+        self._pending_refs.clear()
+        self._pending_sketches.clear()
+
+    def release_matrix(self, matrix_id: str) -> None:
+        """Drop a matrix's page manifests and their reference counts.
+
+        Runs inside the caller's catalog transaction; the blobs
+        themselves are swept later by ``gc`` once unreferenced.
+        """
+        for manifest in self.catalog.get_page_manifests(matrix_id).values():
+            for sha in manifest_shas(manifest):
+                self.catalog.bump_page_ref(sha, -1)
+        self.catalog.delete_page_manifests(matrix_id)
+
+    # -- decoding -----------------------------------------------------------
+
+    def decode_plane(self, manifest: dict, **kwargs) -> bytes:
+        """Reassemble one plane from its manifest (see :func:`decode_plane`)."""
+        return decode_plane(manifest, self.blobs.get, **kwargs)
+
+    # -- maintenance --------------------------------------------------------
+
+    def referenced_counts(self) -> Counter:
+        """True per-sha reference counts recomputed from all manifests."""
+        counts: Counter = Counter()
+        for _matrix_id, _plane, manifest in self.catalog.all_page_manifests():
+            for sha in manifest_shas(manifest):
+                counts[sha] += 1
+        return counts
+
+    def rebuild_refcounts(self) -> dict[str, int]:
+        """Overwrite the refcount table from the manifests (fsck repair)."""
+        counts = self.referenced_counts()
+        self.catalog.replace_page_refcounts(counts)
+        return dict(counts)
+
+    def sweep_orphans(self, referenced: Optional[Iterable[str]] = None) -> list[str]:
+        """Delete page blobs (and their index rows) nothing references."""
+        live = set(
+            referenced if referenced is not None else self.referenced_counts()
+        )
+        swept = [sha for sha in list(self.blobs.addresses()) if sha not in live]
+        for sha in swept:
+            self.blobs.delete(sha)
+        if swept:
+            self.catalog.drop_page_refs(swept)
+            self.catalog.delete_page_sketches(swept)
+            counter("dedup.pages_swept").inc(len(swept))
+        return swept
+
+    def stats(self) -> dict:
+        """Family-wide dedup accounting for ``dlv stats`` / ``dlv dedup``."""
+        refcounts = self.catalog.page_refcounts()
+        matrices: set[str] = set()
+        logical = 0
+        for matrix_id, _plane, manifest in self.catalog.all_page_manifests():
+            matrices.add(matrix_id)
+            logical += int(manifest["nbytes"])
+        stored = self.blobs.total_size()
+        referenced_stored = 0
+        for sha, count in refcounts.items():
+            try:
+                referenced_stored += count * self.blobs.stored_size(sha)
+            except KeyError:
+                continue
+        return {
+            "page_matrices": len(matrices),
+            "unique_pages": len(refcounts),
+            "page_references": sum(refcounts.values()),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "bytes_saved": max(0, referenced_stored - stored),
+        }
+
+
+__all__ = [
+    "DEFAULT_PAGE_SIZE",
+    "DEFAULT_PATCH_MAX_RATIO",
+    "DEFAULT_PROBE_LIMIT",
+    "PageStore",
+]

@@ -104,8 +104,25 @@ CREATE TABLE IF NOT EXISTS commit_marker (
     version_id  INTEGER NOT NULL,
     created_at  TEXT NOT NULL DEFAULT ''
 );
+CREATE TABLE IF NOT EXISTS page_ref (
+    sha         TEXT PRIMARY KEY,
+    refcount    INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS page_payload (
+    matrix_id   TEXT NOT NULL,
+    plane       INTEGER NOT NULL,
+    manifest    TEXT NOT NULL,
+    PRIMARY KEY (matrix_id, plane)
+);
+CREATE TABLE IF NOT EXISTS page_sketch (
+    sketch      TEXT NOT NULL,
+    sha         TEXT NOT NULL,
+    PRIMARY KEY (sketch, sha)
+);
 CREATE INDEX IF NOT EXISTS idx_matrix_snapshot
     ON matrix(version_id, snapshot_idx);
+CREATE INDEX IF NOT EXISTS idx_page_sketch_sha
+    ON page_sketch(sha);
 """
 
 
@@ -485,6 +502,111 @@ class Catalog:
             }
             for r in rows
         ]
+
+    # -- dedup page bookkeeping ---------------------------------------------------
+
+    def set_page_manifest(self, matrix_id: str, plane: int, manifest: dict) -> None:
+        """Record the page manifest of one plane of a page-encoded payload."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO page_payload (matrix_id, plane, manifest) "
+            "VALUES (?, ?, ?)",
+            (matrix_id, plane, json.dumps(manifest)),
+        )
+        self._maybe_commit()
+
+    def get_page_manifests(self, matrix_id: str) -> dict[int, dict]:
+        rows = self._conn.execute(
+            "SELECT plane, manifest FROM page_payload WHERE matrix_id = ?",
+            (matrix_id,),
+        ).fetchall()
+        return {r["plane"]: json.loads(r["manifest"]) for r in rows}
+
+    def all_page_manifests(self) -> list[tuple[str, int, dict]]:
+        rows = self._conn.execute(
+            "SELECT matrix_id, plane, manifest FROM page_payload "
+            "ORDER BY matrix_id, plane"
+        ).fetchall()
+        return [
+            (r["matrix_id"], r["plane"], json.loads(r["manifest"])) for r in rows
+        ]
+
+    def delete_page_manifests(self, matrix_id: str) -> None:
+        self._conn.execute(
+            "DELETE FROM page_payload WHERE matrix_id = ?", (matrix_id,)
+        )
+        self._maybe_commit()
+
+    def bump_page_ref(self, sha: str, delta: int) -> int:
+        """Adjust one page's reference count; returns the new count.
+
+        Rows at zero (or below — drift repaired by fsck F402) are
+        dropped so the table mirrors the set of live pages.
+        """
+        self._conn.execute(
+            "INSERT INTO page_ref (sha, refcount) VALUES (?, 0) "
+            "ON CONFLICT(sha) DO NOTHING",
+            (sha,),
+        )
+        self._conn.execute(
+            "UPDATE page_ref SET refcount = refcount + ? WHERE sha = ?",
+            (delta, sha),
+        )
+        row = self._conn.execute(
+            "SELECT refcount FROM page_ref WHERE sha = ?", (sha,)
+        ).fetchone()
+        count = row["refcount"] if row is not None else 0
+        if count <= 0:
+            self._conn.execute("DELETE FROM page_ref WHERE sha = ?", (sha,))
+        self._maybe_commit()
+        return max(0, count)
+
+    def page_refcounts(self) -> dict[str, int]:
+        rows = self._conn.execute(
+            "SELECT sha, refcount FROM page_ref"
+        ).fetchall()
+        return {r["sha"]: r["refcount"] for r in rows}
+
+    def replace_page_refcounts(self, counts: dict[str, int]) -> None:
+        """Overwrite the whole refcount table (fsck ``--repair``)."""
+        self._conn.execute("DELETE FROM page_ref")
+        self._conn.executemany(
+            "INSERT INTO page_ref (sha, refcount) VALUES (?, ?)",
+            [(sha, n) for sha, n in counts.items() if n > 0],
+        )
+        self._maybe_commit()
+
+    def drop_page_refs(self, shas: Iterable[str]) -> None:
+        self._conn.executemany(
+            "DELETE FROM page_ref WHERE sha = ?", [(s,) for s in shas]
+        )
+        self._maybe_commit()
+
+    def add_page_sketch(self, sketch: str, sha: str) -> None:
+        self._conn.execute(
+            "INSERT OR IGNORE INTO page_sketch (sketch, sha) VALUES (?, ?)",
+            (sketch, sha),
+        )
+        self._maybe_commit()
+
+    def sketch_candidates(self, sketches: Iterable[str], limit: int = 4) -> list[str]:
+        """Base-page shas matching the most probe bands, best first."""
+        keys = list(sketches)
+        if not keys:
+            return []
+        placeholders = ",".join("?" for _ in keys)
+        rows = self._conn.execute(
+            f"SELECT sha, COUNT(*) AS votes FROM page_sketch "
+            f"WHERE sketch IN ({placeholders}) "
+            f"GROUP BY sha ORDER BY votes DESC, sha LIMIT ?",
+            (*keys, limit),
+        ).fetchall()
+        return [r["sha"] for r in rows]
+
+    def delete_page_sketches(self, shas: Iterable[str]) -> None:
+        self._conn.executemany(
+            "DELETE FROM page_sketch WHERE sha = ?", [(s,) for s in shas]
+        )
+        self._maybe_commit()
 
     def commit(self) -> None:
         self._maybe_commit()

@@ -114,9 +114,43 @@ def cmd_archive(args) -> int:
             alpha=args.alpha,
             scheme=RetrievalScheme(args.scheme),
             algorithm=args.algorithm,
+            dedup=args.dedup,
+            page_size=args.page_size,
         )
     _print(report)
     return 0
+
+
+def cmd_dedup(args) -> int:
+    """``dlv dedup``: cross-model page-dedup stats and maintenance."""
+    if args.dedup_cmd == "stats":
+        with _open_repo(args) as repo:
+            stats = repo.dedup_stats()
+        if args.json:
+            _print(stats)
+        else:
+            print(
+                "dedup: {m} paged matrices, {u} unique pages, "
+                "{r} references".format(
+                    m=stats["page_matrices"],
+                    u=stats["unique_pages"],
+                    r=stats["page_references"],
+                )
+            )
+            print(
+                f"  logical {_human_bytes(stats['logical_bytes'])} -> "
+                f"stored {_human_bytes(stats['stored_bytes'])} "
+                f"(saved {_human_bytes(stats['bytes_saved'])})"
+            )
+        return 0
+    if args.dedup_cmd == "run":
+        with _open_repo(args) as repo:
+            report = repo.archive(
+                alpha=args.alpha, dedup=True, page_size=args.page_size
+            )
+        _print(report)
+        return 0
+    raise ValueError(f"unknown dedup subcommand {args.dedup_cmd!r}")
 
 
 def _write_html(path: str, content: str) -> None:
@@ -238,11 +272,12 @@ def cmd_fsck(args) -> int:
                 f"{finding.message}{status}"
             )
         print(
-            "fsck: {chunks} chunks + {replica} replica blobs re-hashed, "
-            "{payloads} payloads checked; {errors} error(s), "
-            "{warnings} warning(s) -> {verdict}".format(
+            "fsck: {chunks} chunks + {replica} replica blobs + {pages} "
+            "pages re-hashed, {payloads} payloads checked; {errors} "
+            "error(s), {warnings} warning(s) -> {verdict}".format(
                 chunks=report.chunks_checked,
                 replica=report.replica_checked,
+                pages=report.pages_checked,
                 payloads=report.payloads_checked,
                 errors=data["summary"]["error"],
                 warnings=data["summary"]["warning"],
@@ -325,6 +360,15 @@ def _render_stats_text(report: dict) -> None:
             stored=_human_bytes(repo_info["stored_bytes"]),
         )
     )
+    dedup = report.get("dedup")
+    if dedup and dedup.get("page_matrices"):
+        print(
+            "dedup: {m} paged matrices, {u} unique pages, saved {s}".format(
+                m=dedup["page_matrices"],
+                u=dedup["unique_pages"],
+                s=_human_bytes(dedup["bytes_saved"]),
+            )
+        )
     cache = report.get("cache")
     if cache:
         print(
@@ -632,6 +676,7 @@ def cmd_stats(args) -> int:
             "chunks": sum(1 for _ in repo.store.addresses()),
             "stored_bytes": repo.store.total_size(),
         }
+        dedup_stats = repo.dedup_stats()
         cache_stats = None
         if not args.no_retrieval:
             # Exercise one group retrieval (twice: a cold pass then a warm
@@ -648,6 +693,7 @@ def cmd_stats(args) -> int:
                 cache_stats = cache.stats()
     report = {
         "repository": repo_info,
+        "dedup": dedup_stats,
         "cache": cache_stats,
         "metrics": obs.dump_metrics(),
     }
@@ -929,7 +975,25 @@ def build_parser() -> argparse.ArgumentParser:
         ],
         default="best",
     )
+    p.add_argument(
+        "--dedup", action="store_true",
+        help="allow page-dedup payloads (cross-model similarity store)",
+    )
+    p.add_argument(
+        "--page-size", type=int, default=None,
+        help="dedup page granularity in bytes (default 1024)",
+    )
     p.set_defaults(func=cmd_archive)
+
+    p = sub.add_parser("dedup", help="cross-model page dedup operations")
+    dedup_sub = p.add_subparsers(dest="dedup_cmd", required=True)
+    d = dedup_sub.add_parser("stats", help="family-wide dedup accounting")
+    d.add_argument("--json", action="store_true", help="machine-readable output")
+    d.set_defaults(func=cmd_dedup)
+    d = dedup_sub.add_parser("run", help="re-archive with dedup enabled")
+    d.add_argument("--alpha", type=float, default=2.0)
+    d.add_argument("--page-size", type=int, default=None)
+    d.set_defaults(func=cmd_dedup)
 
     p = sub.add_parser("list", help="list models and lineage")
     p.add_argument("--pattern", default=None, help="SQL LIKE name filter")

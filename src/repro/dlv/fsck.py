@@ -48,7 +48,17 @@ F301       warning   pending journal intent (unreplayed crash artifact)
 F302       warning   stale tmp file in a chunk store
 F303       info      orphan chunk (referenced by no payload)
 F304       info      orphan associated file
+F401       error     page manifest references a missing/corrupt page
+F402       warning   page refcounts drift from the manifests
+F403       info      orphan page (referenced by no manifest)
 =========  ========  ====================================================
+
+Dedup-tier repairs (F4xx): corrupt page blobs are quarantined (kind
+``pages``); payloads whose pages are lost re-materialize through
+degraded retrieval exactly like F103 — the manifest's whole-plane
+replica mirror makes the high-order planes exact; refcount drift is
+rebuilt from the manifests; orphan pages are swept with their index
+rows.
 
 Exit codes of the CLI command: ``0`` — clean, or every error-severity
 finding was repaired; ``1`` — error findings remain (run with
@@ -83,6 +93,9 @@ FSCK_CODES: dict[str, tuple[str, str]] = {
     "F302": ("warning", "stale tmp file"),
     "F303": ("info", "orphan chunk"),
     "F304": ("info", "orphan associated file"),
+    "F401": ("error", "page manifest references missing page"),
+    "F402": ("warning", "page refcount drift"),
+    "F403": ("info", "orphan page"),
 }
 
 
@@ -125,6 +138,7 @@ class FsckReport:
     chunks_checked: int = 0
     replica_checked: int = 0
     payloads_checked: int = 0
+    pages_checked: int = 0
     repair: bool = False
 
     @property
@@ -141,6 +155,7 @@ class FsckReport:
             "chunks_checked": self.chunks_checked,
             "replica_checked": self.replica_checked,
             "payloads_checked": self.payloads_checked,
+            "pages_checked": self.pages_checked,
             "findings": [f.to_dict() for f in self.findings],
             "summary": {
                 severity: sum(
@@ -179,6 +194,7 @@ def run_fsck(repo: "Repository", repair: bool = False) -> FsckReport:
         for sha in corrupt_main - referenced:
             # Corrupt blob no payload references: quarantining it IS the fix.
             _annotate(report, sha, "quarantined (unreferenced)", codes=("F101",))
+    _check_pages(repo, report, repair)
     _check_journal(repo, report)
     _check_litter(repo, report, repair)
 
@@ -430,6 +446,118 @@ def _annotate(
         if finding.sha == sha and finding.code in codes:
             finding.repaired = repaired
             finding.repair = action
+
+
+# -- dedup page tier ------------------------------------------------------------------
+
+
+def _check_pages(repo, report: FsckReport, repair: bool) -> None:
+    """F401-F403: audit the dedup page tier (see module docs)."""
+    from repro.dedup.pages import manifest_shas
+
+    corrupt: set[str] = set()
+    for sha in list(repo.pages.addresses()):
+        report.pages_checked += 1
+        if not repo.pages.verify_blob(sha):
+            corrupt.add(sha)
+
+    # F401: manifests whose pages are missing or fail re-hash.
+    affected: dict[str, list[str]] = {}
+    for matrix_id, plane, man in repo.catalog.all_page_manifests():
+        for sha in sorted(set(manifest_shas(man))):
+            if sha in corrupt or sha not in repo.pages:
+                affected.setdefault(matrix_id, []).append(sha)
+                report.findings.append(
+                    Finding(
+                        "F401",
+                        f"payload {matrix_id} plane {plane} references "
+                        f"lost page {sha[:12]}",
+                        sha=sha,
+                        matrix_id=matrix_id,
+                    )
+                )
+
+    if repair:
+        for sha in corrupt:
+            repo.backend.quarantine_blob("pages", sha)
+        if affected:
+            _repair_paged_payloads(repo, report, affected)
+
+    # F402: stored refcounts disagree with what the manifests reference.
+    pstore = repo.page_store()
+    true_counts = pstore.referenced_counts()
+    stored_counts = repo.catalog.page_refcounts()
+    drift = sum(
+        1
+        for sha in set(true_counts) | set(stored_counts)
+        if true_counts.get(sha, 0) != stored_counts.get(sha, 0)
+    )
+    if drift:
+        f = Finding(
+            "F402", f"page refcounts drift from manifests ({drift} addresses)"
+        )
+        if repair:
+            pstore.rebuild_refcounts()
+            f.repaired, f.repair = True, "rebuilt refcounts from manifests"
+        report.findings.append(f)
+
+    # F403: page blobs no manifest references.
+    live = set(true_counts)
+    orphans = sorted(
+        sha for sha in list(repo.pages.addresses()) if sha not in live
+    )
+    swept: set[str] = set()
+    if repair and orphans:
+        swept = set(pstore.sweep_orphans(referenced=live))
+    for sha in orphans:
+        report.findings.append(
+            Finding(
+                "F403",
+                f"orphan page {sha[:12]}",
+                sha=sha,
+                repaired=sha in swept,
+                repair="swept" if sha in swept else None,
+            )
+        )
+
+
+def _repair_paged_payloads(
+    repo, report: FsckReport, affected: dict[str, list[str]]
+) -> None:
+    """Re-materialize payloads whose dedup pages are lost.
+
+    Degraded retrieval falls back to the whole-plane replica mirror
+    (exact for the replicated high-order planes) and zero-fills what
+    nothing else can recover; the payload is rewritten as materialized
+    and its page manifests released.
+    """
+    archive = repo._plan_archive()
+    pstore = repo.page_store()
+    with repo.catalog.transaction():
+        for matrix_id in affected:
+            try:
+                value = archive.recreate_matrix(matrix_id)
+            except (KeyError, ValueError) as exc:
+                _annotate(
+                    report,
+                    affected[matrix_id][0],
+                    f"unrecoverable: {exc}",
+                    repaired=False,
+                    codes=("F401",),
+                )
+                continue
+            chunks = repo._put_planes(segment_planes(value))
+            pstore.release_matrix(matrix_id)
+            repo.catalog.set_payload(matrix_id, ROOT, "materialize", chunks)
+            counter("fsck.rematerialized").inc()
+            for sha in affected[matrix_id]:
+                _annotate(
+                    report,
+                    sha,
+                    f"re-materialized {matrix_id} (degraded path)",
+                    codes=("F401",),
+                )
+    repo.gc()
 
 
 # -- journal & filesystem litter -----------------------------------------------------

@@ -62,6 +62,8 @@ from repro.core.storage_graph import (
     RetrievalScheme,
     StorageEdge,
 )
+from repro.dedup import DEFAULT_PAGE_SIZE, DedupEstimator, PageStore
+from repro.dedup.pages import manifest_shas
 from repro.dlv.objects import ModelVersion, Snapshot
 from repro.dnn.network import Network
 from repro.dnn.training import TrainResult
@@ -93,9 +95,10 @@ class Repository:
 
     Construct with a storage URL, a path (backend auto-detected), or an
     already-open :class:`~repro.core.storage.base.StorageBackend`.  The
-    familiar attributes — ``store``, ``replica``, ``catalog``,
-    ``journal`` — are views onto the backend; ``dlv_dir`` / ``files_dir``
-    exist only on the loose-file backend (``None`` elsewhere).
+    familiar attributes — ``store``, ``replica``, ``pages``,
+    ``catalog``, ``journal`` — are views onto the backend; ``dlv_dir`` /
+    ``files_dir`` exist only on the loose-file backend (``None``
+    elsewhere).
     """
 
     DLV_DIR = ".dlv"
@@ -113,6 +116,7 @@ class Repository:
         self.catalog = self.backend.catalog
         self.store = self.backend.chunks
         self.replica = self.backend.replica
+        self.pages = self.backend.pages
         self.journal = self.backend.journal
         self.last_replay = self._replay_journal()
 
@@ -553,7 +557,12 @@ class Repository:
 
     # -- weights ---------------------------------------------------------------------
 
-    def _plan_archive(self) -> PlanArchive:
+    def page_store(self, page_size: Optional[int] = None) -> PageStore:
+        """The dedup page store over this repo's ``pages`` blob tier."""
+        kwargs = {"page_size": page_size} if page_size else {}
+        return PageStore(self.pages, self.catalog, **kwargs)
+
+    def _plan_archive(self, plane_cache=None) -> PlanArchive:
         """Current physical layout as a :class:`PlanArchive`."""
         snapshots: dict[str, list[str]] = {}
         shapes: dict[str, tuple] = {}
@@ -561,29 +570,39 @@ class Repository:
             key = f"v{row['version_id']}/s{row['snapshot_idx']}"
             snapshots.setdefault(key, []).append(row["matrix_id"])
             shapes[row["matrix_id"]] = row["shape"]
-        manifest = {
-            "snapshots": snapshots,
-            "payloads": {
-                p["matrix_id"]: {
-                    "parent": p["parent"],
-                    "kind": p["kind"],
-                    "shape": list(shapes[p["matrix_id"]]),
-                    "chunks": p["chunks"],
-                }
-                for p in self.catalog.all_payloads()
-            },
-        }
+        page_manifests: dict[str, dict[str, dict]] = {}
+        for matrix_id, plane, man in self.catalog.all_page_manifests():
+            page_manifests.setdefault(matrix_id, {})[str(plane)] = man
+        payloads: dict[str, dict] = {}
+        for p in self.catalog.all_payloads():
+            entry = {
+                "parent": p["parent"],
+                "kind": p["kind"],
+                "shape": list(shapes[p["matrix_id"]]),
+                "chunks": p["chunks"],
+            }
+            if p["matrix_id"] in page_manifests:
+                entry["pages"] = page_manifests[p["matrix_id"]]
+            payloads[p["matrix_id"]] = entry
+        manifest = {"snapshots": snapshots, "payloads": payloads}
         return PlanArchive.from_manifest_dict(
             self.store,
             manifest,
             replica_store=self.replica,
             replicate_planes=REPLICA_PLANES,
             degraded=True,
+            page_store=self.page_store(),
+            plane_cache=plane_cache,
         )
 
-    def archive_view(self) -> PlanArchive:
-        """Public accessor for the current PAS layout."""
-        return self._plan_archive()
+    def archive_view(self, plane_cache=None) -> PlanArchive:
+        """Public accessor for the current PAS layout.
+
+        ``plane_cache`` (a :class:`~repro.serve.cache.PlaneCache`) keys
+        dedup page reads by content hash, so serving tiers that pass a
+        shared cache hold each page's bytes once across all models.
+        """
+        return self._plan_archive(plane_cache=plane_cache)
 
     def get_snapshot_weights(
         self,
@@ -677,6 +696,8 @@ class Repository:
         delta_within_versions: bool = True,
         delta_across_lineage: bool = True,
         recreation_unit: float = 1e-6,
+        dedup: bool = False,
+        page_size: Optional[int] = None,
     ) -> tuple[MatrixStorageGraph, dict[str, np.ndarray]]:
         """Construct the matrix storage graph of the whole repository.
 
@@ -687,6 +708,12 @@ class Repository:
         recreation cost = uncompressed bytes x ``recreation_unit`` per
         payload applied (a proxy for decompress+apply time).
 
+        With ``dedup`` on, every matrix also gets a parallel ``pages``
+        root edge whose storage cost is a :class:`DedupEstimator` dry run
+        — only the pages no earlier matrix (or the existing page store)
+        already holds.  Unrelated models that share content thus archive
+        near-free, without needing a lineage edge between them.
+
         Returns the graph and the id -> array map needed to physically
         archive it.
         """
@@ -695,6 +722,12 @@ class Repository:
         arrays: dict[str, np.ndarray] = {}
         rows_by_snapshot: dict[tuple[int, int], list[dict]] = {}
         archive = self._plan_archive()
+        estimator = None
+        if dedup:
+            estimator = DedupEstimator(
+                known=self.catalog.page_refcounts(),
+                page_size=page_size or DEFAULT_PAGE_SIZE,
+            )
         for row in self.catalog.get_matrices():
             matrix_id = row["matrix_id"]
             value = archive.recreate_matrix(matrix_id)
@@ -708,6 +741,16 @@ class Repository:
                 _compressed_planes_size(value),
                 value.nbytes * recreation_unit,
             )
+            if estimator is not None:
+                graph.add_edge(
+                    StorageEdge(
+                        ROOT,
+                        matrix_id,
+                        estimator.matrix_cost(value),
+                        value.nbytes * recreation_unit,
+                        kind="pages",
+                    )
+                )
             matrices[matrix_id] = value
             rows_by_snapshot.setdefault(
                 (row["version_id"], row["snapshot_idx"]), []
@@ -768,6 +811,8 @@ class Repository:
         alpha: float = 2.0,
         scheme: RetrievalScheme = RetrievalScheme.INDEPENDENT,
         algorithm: str = "best",
+        dedup: bool = False,
+        page_size: Optional[int] = None,
     ) -> dict:
         """``dlv archive``: re-optimize the repository's parameter storage.
 
@@ -775,32 +820,54 @@ class Repository:
         physically re-archives every matrix per the winning plan, and
         updates the payload table.
 
+        With ``dedup`` on, the solver may also store matrices as
+        similarity-deduplicated page manifests (see :mod:`repro.dedup`):
+        page blobs land first under the journaled intent (content
+        addressed, so a crash leaves only orphans for :meth:`gc`), and
+        refcounts/sketches apply atomically with the payload rewrite.
+
         Returns:
             A report with storage cost before/after and plan statistics.
         """
-        before = self.store.total_size()
-        graph, matrices = self.build_storage_graph()
+        before = self.store.total_size() + self.pages.total_size()
+        graph, matrices = self.build_storage_graph(
+            dedup=dedup, page_size=page_size
+        )
         constraints = alpha_constraints(graph, alpha, scheme)
         plan = solve(graph, constraints, scheme, algorithm)
-        intent = self.journal.record("archive", alpha=alpha, algorithm=algorithm)
+        intent = self.journal.record(
+            "archive", alpha=alpha, algorithm=algorithm, dedup=dedup
+        )
+        pstore = self.page_store(page_size)
         archive = PlanArchive.build(
-            self.store, matrices, plan, replica_store=self.replica
+            self.store, matrices, plan,
+            replica_store=self.replica,
+            page_store=pstore,
         )
         with self.catalog.transaction():
             for matrix_id, entry in archive.manifest.items():
+                # Drop any previous page encoding of this matrix before
+                # installing the new payload, whichever kind it is.
+                pstore.release_matrix(matrix_id)
                 self.catalog.set_payload(
                     matrix_id, entry.parent, entry.kind, entry.chunk_ids
                 )
+                if entry.pages:
+                    for plane, man in entry.pages.items():
+                        self.catalog.set_page_manifest(matrix_id, plane, man)
+            pstore.flush()
         self.gc()
         self.journal.retire(intent)
-        after = self.store.total_size()
+        after = self.store.total_size() + self.pages.total_size()
         report = {
             "algorithm": algorithm,
             "alpha": alpha,
             "scheme": scheme.value,
+            "dedup": dedup,
             "plan_storage_cost": plan.storage_cost(),
             "bytes_before": before,
             "bytes_after": after,
+            "page_bytes": self.pages.total_size(),
             "snapshot_costs": plan.all_snapshot_costs(scheme),
             "satisfied": plan.satisfies(constraints, scheme),
             "archived_at": _now(),
@@ -864,11 +931,13 @@ class Repository:
         )
         before = 0
         after = 0
+        pstore = self.page_store()
         with self.catalog.transaction():
             for matrix_id in dependents:
                 chunks = self._put_planes(
                     segment_planes(exact_values[matrix_id])
                 )
+                pstore.release_matrix(matrix_id)
                 self.catalog.set_payload(
                     matrix_id, ROOT, "materialize", chunks
                 )
@@ -877,10 +946,14 @@ class Repository:
                 payload = self.catalog.get_payload(matrix_id)
                 for sha in payload["chunks"]:
                     before += self.store.stored_size(sha)
+                for man in self.catalog.get_page_manifests(matrix_id).values():
+                    for sha in set(manifest_shas(man)):
+                        before += self.pages.stored_size(sha)
                 lossy = scheme.roundtrip(exact_values[matrix_id])
                 chunks = self._put_planes(segment_planes(lossy))
                 # Converted snapshots are re-materialized: a lossy matrix is
                 # no longer a valid delta base/target for its old neighbours.
+                pstore.release_matrix(matrix_id)
                 self.catalog.set_payload(
                     matrix_id, ROOT, "materialize", chunks
                 )
@@ -927,6 +1000,7 @@ class Repository:
         }
         archive = self._plan_archive()
         intent = self.journal.record("prune", ref=version.ref, dropped=dropped)
+        pstore = self.page_store()
         with self.catalog.transaction():
             # Rebase survivors that delta off dropped matrices.
             for payload in self.catalog.all_payloads():
@@ -936,10 +1010,12 @@ class Repository:
                 ):
                     exact = archive.recreate_matrix(payload["matrix_id"])
                     chunks = self._put_planes(segment_planes(exact))
+                    pstore.release_matrix(payload["matrix_id"])
                     self.catalog.set_payload(
                         payload["matrix_id"], ROOT, "materialize", chunks
                     )
             for matrix_id in dropped_matrix_ids:
+                pstore.release_matrix(matrix_id)
                 self.catalog._conn.execute(
                     "DELETE FROM payload WHERE matrix_id = ?", (matrix_id,)
                 )
@@ -986,20 +1062,43 @@ class Repository:
         """Delete chunks not referenced by any payload; returns count removed.
 
         Sweeps the replica tier too (replica blobs share the main store's
-        addresses); the return value counts main-store removals only.
+        addresses — paged payloads mirror whole planes under the
+        manifest's plane digest) and the dedup page tier (pages no
+        manifest references); the return value counts main-store removals
+        only.
         """
         referenced: set[str] = set()
         for payload in self.catalog.all_payloads():
             referenced.update(payload["chunks"])
+        # Replica mirrors of paged planes are keyed by the manifest's
+        # whole-plane digest — protected in the replica tier only (the
+        # same digest in the main store is a stale materialize chunk).
+        replica_referenced = set(referenced)
+        page_referenced: set[str] = set()
+        for _matrix_id, _plane, man in self.catalog.all_page_manifests():
+            page_referenced.update(manifest_shas(man))
+            if man.get("sha"):
+                replica_referenced.add(man["sha"])
         removed = 0
         for sha in list(self.store.addresses()):
             if sha not in referenced:
                 self.store.delete(sha)
                 removed += 1
         for sha in list(self.replica.addresses()):
-            if sha not in referenced:
+            if sha not in replica_referenced:
                 self.replica.delete(sha)
+        self.page_store().sweep_orphans(referenced=page_referenced)
         return removed
+
+    def dedup_stats(self) -> dict:
+        """Page-dedup accounting for ``dlv dedup stats`` / ``dlv stats``.
+
+        ``bytes_saved`` is what the paged matrices would have cost stored
+        independently minus what the shared page tier actually holds.
+        """
+        stats = self.page_store().stats()
+        stats["chunk_bytes"] = self.store.total_size()
+        return stats
 
     # -- copy (`dlv copy`) -----------------------------------------------------------------
 

@@ -220,7 +220,10 @@ class ModelServer:
 
     def _load_models(self, names: Optional[list[str]], strict: bool) -> None:
         """Build a runtime per served snapshot; refuse invalid networks."""
-        archive = self.repo.archive_view()
+        # Passing the serve cache into the archive keys dedup page reads
+        # by content hash, so pages shared across served models occupy
+        # cache bytes once and concurrent loads single-flight.
+        archive = self.repo.archive_view(plane_cache=self.cache)
         versions = [v for v in self.repo.list_versions() if v.snapshots]
         if names is not None:
             wanted = set(names)

@@ -59,7 +59,11 @@ def corrupt_blob():
     """Flip one byte of a stored (compressed) blob, on any backend."""
 
     def corrupt(repo, sha: str, ns: str = "chunks", xor: int = 0x20) -> None:
-        store = repo.store if ns == "chunks" else repo.replica
+        store = {
+            "chunks": repo.store,
+            "replica": repo.replica,
+            "pages": repo.pages,
+        }[ns]
         if hasattr(store, "blob_path"):  # loose-file layout
             path = store.blob_path(sha)
             data = bytearray(path.read_bytes())
